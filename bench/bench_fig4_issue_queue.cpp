@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces Figure 4: issue-queue frequency versus queue size,
+ * showing the log4 selection-tree cliff between 16 and 20 entries.
+ * The registered benchmarks measure the ILP tracker (the hardware the
+ * paper budgets in Section 3.2) in software.
+ */
+
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "control/ilp_tracker.hh"
+#include "timing/frequency_model.hh"
+#include "timing/palacharla_model.hh"
+#include "workload/generator.hh"
+
+using namespace gals;
+
+namespace
+{
+
+void
+printFigure4()
+{
+    benchBanner("Figure 4: issue queue frequency analysis",
+                "paper Section 2.3, Figure 4");
+
+    IssueQueueTiming timing;
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    TextTable t("Issue-queue timing (Palacharla-style model)");
+    t.setHeader({"entries", "select levels", "wakeup ns", "select ns",
+                 "cycle ns", "GHz"});
+    for (int n = 16; n <= 64; n += 4) {
+        t.addRow({csprintf("%d", n),
+                  csprintf("%d", IssueQueueTiming::selectionLevels(n)),
+                  csprintf("%.3f", timing.wakeupNs(n)),
+                  csprintf("%.3f", timing.selectNs(n)),
+                  csprintf("%.3f", timing.cycleNs(n)),
+                  csprintf("%.3f", issueQueueFreqGHzForEntries(n))});
+        labels.push_back(csprintf("%2d entries", n));
+        values.push_back(issueQueueFreqGHzForEntries(n));
+    }
+    t.print();
+    std::printf("\n%s\n",
+                renderBarChart("Figure 4: issue queue frequency (GHz)",
+                               labels, values, 1.6, 44, " GHz")
+                    .c_str());
+    std::printf("16 -> 20 entry cliff: %.1f%% (2 -> 3 selection "
+                "levels)\n\n",
+                100.0 * (1.0 - issueQueueFreqGHzForEntries(20) /
+                                   issueQueueFreqGHzForEntries(16)));
+}
+
+void
+BM_IlpTracker(benchmark::State &state)
+{
+    WorkloadParams w;
+    w.name = "bench";
+    w.suite = "bench";
+    w.seed = 11;
+    w.phases = {PhaseParams{}};
+    SyntheticWorkload gen(w);
+    IlpTracker tracker;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        tracker.onRename(gen.next());
+        if (tracker.sampleReady())
+            benchmark::DoNotOptimize(tracker.takeSample());
+        ++ops;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_IlpTracker);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure4();
+    return runRegisteredBenchmarks(argc, argv);
+}

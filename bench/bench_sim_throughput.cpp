@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Host-side throughput of the simulator itself (committed
+ * instructions per host second) for the three machine types. Useful
+ * for budgeting sweep sizes; not a paper experiment.
+ */
+
+#include "bench_util.hh"
+
+#include "sim/simulation.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+void
+BM_Simulate(benchmark::State &state, MachineConfig config)
+{
+    WorkloadParams wl = findBenchmark("gzip");
+    wl.sim_instrs = 50'000;
+    wl.warmup_instrs = 5'000;
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        RunStats s = simulate(config, wl);
+        benchmark::DoNotOptimize(s.time_ps);
+        instrs += 55'000;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+
+void
+BM_Synchronous(benchmark::State &state)
+{
+    BM_Simulate(state, MachineConfig::bestSynchronous());
+}
+BENCHMARK(BM_Synchronous);
+
+void
+BM_McdProgram(benchmark::State &state)
+{
+    BM_Simulate(state, MachineConfig::mcdProgram({}));
+}
+BENCHMARK(BM_McdProgram);
+
+void
+BM_McdPhaseAdaptive(benchmark::State &state)
+{
+    BM_Simulate(state, MachineConfig::mcdPhaseAdaptive());
+}
+BENCHMARK(BM_McdPhaseAdaptive);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    gals::benchBanner("Simulator host throughput",
+                      "infrastructure measurement (items == committed "
+                      "instructions)");
+    return runRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Table 4: the equivalent-gate estimate of the
+ * phase-adaptive cache controller's decision hardware, and the ~32
+ * cycle decision latency. The registered benchmark measures the cost
+ * computation the hardware performs, run in software.
+ */
+
+#include "bench_util.hh"
+
+#include "cache/cache_cost.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "control/cache_controller.hh"
+#include "timing/frequency_model.hh"
+#include "timing/gate_cost.hh"
+
+using namespace gals;
+
+namespace
+{
+
+void
+printTable4()
+{
+    benchBanner("Table 4: hardware cost of the phase-adaptive cache "
+                "controller",
+                "paper Section 3.1, Table 4");
+
+    GateCostModel model;
+    TextTable t("Table 4: estimate of hardware resources (per "
+                "adaptable cache / cache pair)");
+    t.setHeader({"Component", "Estimate", "Equivalent Gates"});
+    for (const GateCostRow &row : model.rows()) {
+        t.addRow({row.component, row.estimate,
+                  csprintf("%d", row.equivalent_gates)});
+    }
+    t.addRule();
+    t.addRow({"Total", "", csprintf("%d", model.totalGates())});
+    t.print();
+
+    std::printf("\nreconfiguration decision latency: %d cycles "
+                "(paper: ~32)\n",
+                model.decisionCycles());
+    std::printf("two controllers (I-cache, L1/L2 pair): ~%d gates "
+                "total (paper: ~10K)\n\n",
+                2 * model.totalGates());
+}
+
+void
+BM_CacheDecision(benchmark::State &state)
+{
+    IntervalCounts l1;
+    l1.mru_hits = {4000, 1200, 800, 500, 420, 300, 200, 100};
+    l1.misses = 250;
+    IntervalCounts l2;
+    l2.mru_hits = {200, 100, 80, 60, 40, 30, 20, 10};
+    l2.misses = 120;
+    for (auto _ : state) {
+        CacheDecision d =
+            chooseDCachePair(l1, l2, memoryLineFillPs());
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_CacheDecision);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable4();
+    return runRegisteredBenchmarks(argc, argv);
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: every binary prints its
+ * paper table/figure reproduction in main() and then runs its
+ * registered google-benchmark measurements.
+ */
+
+#ifndef GALS_BENCH_BENCH_UTIL_HH
+#define GALS_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace gals
+{
+
+/** Banner separating the reproduction report from the micro-bench. */
+inline void
+benchBanner(const char *experiment, const char *paper_note)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper reference: %s\n", paper_note);
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+/** Standard tail: run registered google-benchmark measurements. */
+inline int
+runRegisteredBenchmarks(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace gals
+
+#endif // GALS_BENCH_BENCH_UTIL_HH

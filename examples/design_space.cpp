@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Design-space explorer: for one benchmark, evaluate every
+ * configuration of one adaptive structure (others held at the
+ * minimum) and print the frequency/IPC/runtime tradeoff — the
+ * per-application view behind the paper's Program-Adaptive sweep.
+ *
+ * Usage: design_space [benchmark-name]   (default: gcc)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/simulation.hh"
+#include "timing/frequency_model.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+void
+sweepStructure(const WorkloadParams &wl, const char *title,
+               int AdaptiveConfig::*field,
+               const char *(*label)(int))
+{
+    TextTable t(title);
+    t.setHeader({"config", "domain GHz", "runtime ns", "instr/ns",
+                 "vs base"});
+    double base_ns = 0.0;
+    for (int idx = 0; idx < kNumAdaptiveConfigs; ++idx) {
+        AdaptiveConfig cfg{};
+        cfg.*field = idx;
+        MachineConfig m = MachineConfig::mcdProgram(cfg);
+        RunStats s = simulate(m, wl);
+        double ns = runtimeNs(s);
+        if (idx == 0)
+            base_ns = ns;
+        DomainId dom =
+            field == &AdaptiveConfig::icache ? DomainId::FrontEnd
+            : field == &AdaptiveConfig::dcache
+                ? DomainId::LoadStore
+                : field == &AdaptiveConfig::iq_int
+                      ? DomainId::Integer
+                      : DomainId::FloatingPoint;
+        t.addRow({label(idx),
+                  csprintf("%.3f", m.domainFreqGHz(dom, cfg)),
+                  csprintf("%.0f", ns),
+                  csprintf("%.2f", s.instrsPerNs()),
+                  csprintf("%+.1f%%", 100.0 * (base_ns / ns - 1.0))});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+const char *
+icacheLabel(int i)
+{
+    static const char *names[] = {"16k1W", "32k2W", "48k3W", "64k4W"};
+    return names[i];
+}
+
+const char *
+dcacheLabel(int i)
+{
+    static const char *names[] = {"32k/256k 1W", "64k/512k 2W",
+                                  "128k/1M 4W", "256k/2M 8W"};
+    return names[i];
+}
+
+const char *
+iqLabel(int i)
+{
+    static const char *names[] = {"16 entries", "32 entries",
+                                  "48 entries", "64 entries"};
+    return names[i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "gcc";
+    const WorkloadParams &wl = findBenchmark(name);
+    std::printf("per-structure design space for '%s' (other "
+                "structures at minimum)\n\n",
+                wl.name.c_str());
+
+    sweepStructure(wl, "I-cache / branch predictor (front-end domain)",
+                   &AdaptiveConfig::icache, icacheLabel);
+    sweepStructure(wl, "L1D/L2 cache pair (load/store domain)",
+                   &AdaptiveConfig::dcache, dcacheLabel);
+    sweepStructure(wl, "integer issue queue (integer domain)",
+                   &AdaptiveConfig::iq_int, iqLabel);
+    sweepStructure(wl, "fp issue queue (floating-point domain)",
+                   &AdaptiveConfig::iq_fp, iqLabel);
+
+    RunStats sync =
+        simulate(MachineConfig::bestSynchronous(), wl);
+    std::printf("best synchronous reference: %.0f ns (%.2f instr/ns "
+                "at %.3f GHz)\n",
+                runtimeNs(sync), sync.instrsPerNs(),
+                MachineConfig::bestSynchronous().synchronousFreqGHz());
+    return 0;
+}

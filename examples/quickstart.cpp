@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: run one benchmark on the three machines the paper
+ * compares — best synchronous, whole-program adaptive MCD (base
+ * configuration), and phase-adaptive MCD — and print what happened.
+ *
+ * Usage: quickstart [benchmark-name]   (default: gcc)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/simulation.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+void
+report(const char *label, const RunStats &s)
+{
+    std::printf("%-22s %8.0f ns  %5.2f instr/ns  "
+                "L1I miss %5.2f%%  L1D miss %5.2f%%  L2 miss %5.2f%%  "
+                "bp-miss %4.1f%%  cfg %s\n",
+                label, runtimeNs(s), s.instrsPerNs(),
+                s.l1i_accesses
+                    ? 100.0 * s.l1i_misses / s.l1i_accesses : 0.0,
+                s.l1d_accesses
+                    ? 100.0 * s.l1d_misses / s.l1d_accesses : 0.0,
+                s.l2_accesses
+                    ? 100.0 * s.l2_misses / s.l2_accesses : 0.0,
+                s.branches ? 100.0 * s.mispredicts / s.branches : 0.0,
+                s.config.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "gcc";
+    const WorkloadParams &wl = findBenchmark(name);
+
+    std::printf("benchmark: %s (%s), %llu measured instructions\n\n",
+                wl.name.c_str(), wl.suite.c_str(),
+                static_cast<unsigned long long>(wl.sim_instrs));
+
+    RunStats sync = simulate(MachineConfig::bestSynchronous(), wl);
+    report("best synchronous", sync);
+
+    RunStats base = simulate(
+        MachineConfig::mcdProgram(AdaptiveConfig{}), wl);
+    report("MCD base (minimal)", base);
+
+    ProgramAdaptiveResult pa = findBestAdaptive(wl, SweepMode::Staged);
+    report("MCD program-adaptive", pa.best_stats);
+
+    RunStats phase = simulate(MachineConfig::mcdPhaseAdaptive(), wl);
+    report("MCD phase-adaptive", phase);
+
+    std::printf("\nimprovement over synchronous: program %+0.1f%%, "
+                "phase %+0.1f%% (phase reconfigs: %zu)\n",
+                100.0 * (runtimeNs(sync) / runtimeNs(pa.best_stats) -
+                         1.0),
+                100.0 * (runtimeNs(sync) / runtimeNs(phase) - 1.0),
+                phase.trace.events().size());
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synchronization-cost explorer: show where the GALS machine pays
+ * for its domain decoupling. Runs one benchmark on (a) the fully
+ * synchronous machine, (b) MCD with all domains forced to the same
+ * frequency (synchronizer costs only), and (c) MCD with native
+ * per-domain clocks, then breaks the differences down.
+ *
+ * Usage: sync_cost [benchmark-name]   (default: g721 encode)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/simulation.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "g721 encode";
+    const WorkloadParams &wl = findBenchmark(name);
+
+    MachineConfig sync = MachineConfig::bestSynchronous();
+    double f_sync = sync.synchronousFreqGHz();
+    RunStats a = simulate(sync, wl);
+
+    // Match the synchronous structures as closely as the adaptive
+    // tables allow (64KB I-cache, minimal caches and queues).
+    MachineConfig matched =
+        MachineConfig::mcdProgram(AdaptiveConfig{3, 0, 0, 0});
+    matched.force_freq_ghz = f_sync * 0.997; // rotate domain phases.
+    RunStats b = simulate(matched, wl);
+
+    MachineConfig native = MachineConfig::mcdProgram({});
+    RunStats c = simulate(native, wl);
+
+    std::printf("benchmark: %s\n\n", wl.name.c_str());
+    TextTable t("Where the GALS design pays and wins");
+    t.setHeader({"machine", "clocks", "runtime ns", "vs sync"});
+    t.addRow({"fully synchronous", csprintf("%.3f GHz all", f_sync),
+              csprintf("%.0f", runtimeNs(a)), "--"});
+    t.addRow({"MCD, matched clocks",
+              csprintf("%.3f GHz all (detuned 0.3%%)",
+                       matched.force_freq_ghz),
+              csprintf("%.0f", runtimeNs(b)),
+              csprintf("%+.1f%%",
+                       100.0 * (runtimeNs(a) / runtimeNs(b) - 1.0))});
+    t.addRow({"MCD, native clocks",
+              csprintf("FE %.2f / INT %.2f / FP %.2f / LS %.2f",
+                       native.domainFreqGHz(DomainId::FrontEnd, {}),
+                       native.domainFreqGHz(DomainId::Integer, {}),
+                       native.domainFreqGHz(DomainId::FloatingPoint,
+                                            {}),
+                       native.domainFreqGHz(DomainId::LoadStore, {})),
+              csprintf("%.0f", runtimeNs(c)),
+              csprintf("%+.1f%%",
+                       100.0 * (runtimeNs(a) / runtimeNs(c) - 1.0))});
+    t.print();
+
+    std::printf("\nreading: row 2 isolates the synchronizer guard "
+                "bands and the deeper adaptive pipe (a cost); row 3 "
+                "adds the per-domain frequency advantage of the "
+                "minimal structures (the win).\n");
+    return 0;
+}

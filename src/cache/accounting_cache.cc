@@ -1,0 +1,175 @@
+#include "cache/accounting_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+} // namespace
+
+AccountingCache::AccountingCache(std::string name,
+                                 std::uint64_t size_bytes, int ways,
+                                 int line_bytes)
+    : name_(std::move(name)), ways_(ways), line_bytes_(line_bytes),
+      a_ways_(ways)
+{
+    GALS_ASSERT(ways_ >= 1, "cache needs at least one way");
+    GALS_ASSERT(line_bytes_ > 0 && isPowerOfTwo(
+                    static_cast<std::uint64_t>(line_bytes_)),
+                "line size must be a power of two");
+    std::uint64_t way_bytes = size_bytes / static_cast<unsigned>(ways_);
+    GALS_ASSERT(way_bytes % static_cast<unsigned>(line_bytes_) == 0,
+                "way size not a multiple of the line size");
+    num_sets_ = static_cast<int>(way_bytes /
+                                 static_cast<unsigned>(line_bytes_));
+    GALS_ASSERT(num_sets_ > 0 && isPowerOfTwo(
+                    static_cast<std::uint64_t>(num_sets_)),
+                "set count must be a positive power of two");
+
+    sets_.resize(static_cast<size_t>(num_sets_));
+    for (Set &s : sets_) {
+        s.mru.resize(static_cast<size_t>(ways_));
+        for (int w = 0; w < ways_; ++w)
+            s.mru[static_cast<size_t>(w)] = w;
+        s.tag.assign(static_cast<size_t>(ways_), 0);
+        s.valid.assign(static_cast<size_t>(ways_), false);
+    }
+    interval_.mru_hits.assign(static_cast<size_t>(ways_), 0);
+}
+
+void
+AccountingCache::setPartition(int a_ways, bool b_enabled)
+{
+    GALS_ASSERT(a_ways >= 1 && a_ways <= ways_,
+                "A partition of %d ways outside [1, %d]", a_ways, ways_);
+    a_ways_ = a_ways;
+    b_enabled_ = b_enabled;
+    if (!b_enabled_) {
+        // Without a B partition, blocks beyond the A ways are not
+        // retained; drop them so they cannot produce phantom hits.
+        for (Set &s : sets_) {
+            for (int k = a_ways_; k < ways_; ++k)
+                s.valid[static_cast<size_t>(s.mru[
+                    static_cast<size_t>(k)])] = false;
+        }
+    }
+}
+
+int
+AccountingCache::setIndex(Addr addr) const
+{
+    return static_cast<int>(
+        (addr / static_cast<unsigned>(line_bytes_)) &
+        static_cast<unsigned>(num_sets_ - 1));
+}
+
+Addr
+AccountingCache::tagOf(Addr addr) const
+{
+    return addr / static_cast<unsigned>(line_bytes_) /
+           static_cast<unsigned>(num_sets_);
+}
+
+AccessOutcome
+AccountingCache::access(Addr addr)
+{
+    Set &set = sets_[static_cast<size_t>(setIndex(addr))];
+    Addr tag = tagOf(addr);
+
+    ++interval_.accesses;
+    ++total_accesses_;
+
+    int found_pos = -1;
+    for (int k = 0; k < ways_; ++k) {
+        int w = set.mru[static_cast<size_t>(k)];
+        if (set.valid[static_cast<size_t>(w)] &&
+            set.tag[static_cast<size_t>(w)] == tag) {
+            found_pos = k;
+            break;
+        }
+    }
+
+    AccessOutcome out{};
+    if (found_pos >= 0) {
+        out.mru_pos = found_pos;
+        if (found_pos < a_ways_) {
+            out.where = HitWhere::APartition;
+            ++total_a_hits_;
+        } else {
+            // Without a B partition this cannot happen: blocks beyond
+            // the A ways were invalidated at reconfiguration time and
+            // evicted on replacement since.
+            GALS_ASSERT(b_enabled_, "B-partition hit with B disabled");
+            out.where = HitWhere::BPartition;
+            ++total_b_hits_;
+        }
+        ++interval_.mru_hits[static_cast<size_t>(found_pos)];
+
+        // Move to MRU position 0 (this is the A/B swap when the block
+        // was in B: the LRU block of A becomes the MRU block of B).
+        int way = set.mru[static_cast<size_t>(found_pos)];
+        for (int k = found_pos; k > 0; --k)
+            set.mru[static_cast<size_t>(k)] =
+                set.mru[static_cast<size_t>(k - 1)];
+        set.mru[0] = way;
+        return out;
+    }
+
+    out.where = HitWhere::Miss;
+    out.mru_pos = ways_;
+    ++interval_.misses;
+    ++total_misses_;
+
+    // Replace the LRU block when B is enabled; with B disabled only
+    // the A partition exists, so replace the LRU block *of A* and
+    // leave the (invalid) B positions untouched.
+    int victim_pos = b_enabled_ ? ways_ - 1 : a_ways_ - 1;
+    int way = set.mru[static_cast<size_t>(victim_pos)];
+    set.tag[static_cast<size_t>(way)] = tag;
+    set.valid[static_cast<size_t>(way)] = true;
+    for (int k = victim_pos; k > 0; --k)
+        set.mru[static_cast<size_t>(k)] =
+            set.mru[static_cast<size_t>(k - 1)];
+    set.mru[0] = way;
+    return out;
+}
+
+void
+AccountingCache::invalidateAll()
+{
+    for (Set &s : sets_)
+        std::fill(s.valid.begin(), s.valid.end(), false);
+}
+
+void
+AccountingCache::resetInterval()
+{
+    std::fill(interval_.mru_hits.begin(), interval_.mru_hits.end(), 0);
+    interval_.misses = 0;
+    interval_.accesses = 0;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+AccountingCache::reconstruct(const IntervalCounts &counts, int a_ways)
+{
+    std::uint64_t a_hits = 0;
+    std::uint64_t b_hits = 0;
+    for (size_t k = 0; k < counts.mru_hits.size(); ++k) {
+        if (static_cast<int>(k) < a_ways)
+            a_hits += counts.mru_hits[k];
+        else
+            b_hits += counts.mru_hits[k];
+    }
+    return {a_hits, b_hits};
+}
+
+} // namespace gals

@@ -1,0 +1,32 @@
+#include "cache/cache_cost.hh"
+
+namespace gals
+{
+
+Tick
+accountingCost(const IntervalCounts &counts,
+               const CacheCostParams &params)
+{
+    auto [a_hits, b_positions] =
+        AccountingCache::reconstruct(counts, params.a_ways);
+
+    std::uint64_t misses = counts.misses;
+    std::uint64_t b_hits = 0;
+    if (params.b_lat_cycles >= 0)
+        b_hits = b_positions;
+    else
+        misses += b_positions;
+
+    std::uint64_t a_lat = static_cast<std::uint64_t>(params.a_lat_cycles);
+    std::uint64_t b_lat = params.b_lat_cycles >= 0
+        ? static_cast<std::uint64_t>(params.b_lat_cycles) : 0;
+
+    // A hits: latA. B hits: the failed A probe plus the B probe.
+    // Misses: both probes (the lookup establishes the miss) plus the
+    // next-level time.
+    std::uint64_t cycles = a_hits * a_lat + b_hits * (a_lat + b_lat) +
+                           misses * (a_lat + b_lat);
+    return cycles * params.period_ps + misses * params.miss_extra_ps;
+}
+
+} // namespace gals

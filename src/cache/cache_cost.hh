@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Access-cost reconstruction for the accounting-cache controller.
+ *
+ * Given one interval's MRU-position counters, compute the total access
+ * time (in picoseconds) each candidate configuration *would have*
+ * spent on the same stream: A hits pay the A latency, B hits pay A
+ * then B, misses additionally pay the next level. Latencies are cycle
+ * counts at the candidate configuration's own clock, so the tradeoff
+ * between a small fast A partition and a large slow one is evaluated
+ * in absolute time, exactly as the paper's controller does.
+ */
+
+#ifndef GALS_CACHE_CACHE_COST_HH
+#define GALS_CACHE_CACHE_COST_HH
+
+#include <cstdint>
+
+#include "cache/accounting_cache.hh"
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** Latency description of one candidate cache configuration. */
+struct CacheCostParams
+{
+    int a_ways;            //!< candidate A-partition size in ways.
+    int a_lat_cycles;      //!< A access latency (cycles).
+    int b_lat_cycles;      //!< B access latency (cycles); <0 => no B.
+    Tick period_ps;        //!< clock period at this configuration.
+    Tick miss_extra_ps;    //!< next-level time added to every miss.
+};
+
+/**
+ * Total access time the candidate configuration would have spent on
+ * the interval captured in `counts`, in picoseconds.
+ *
+ * With no B partition, B-position hits are charged as misses (the
+ * blocks would not have been retained).
+ */
+Tick accountingCost(const IntervalCounts &counts,
+                    const CacheCostParams &params);
+
+} // namespace gals
+
+#endif // GALS_CACHE_CACHE_COST_HH

@@ -1,0 +1,40 @@
+#include "cache/main_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+MainMemory::MainMemory(double first_chunk_ns, double next_chunk_ns,
+                       int line_bytes, int max_in_flight)
+    : max_in_flight_(max_in_flight)
+{
+    GALS_ASSERT(line_bytes >= 8 && max_in_flight >= 1,
+                "bad memory parameters");
+    int chunks = line_bytes / 8;
+    double ns = first_chunk_ns + next_chunk_ns * (chunks - 1);
+    fill_ps_ = static_cast<Tick>(ns * kPsPerNs);
+    busy_until_.assign(static_cast<size_t>(max_in_flight_), 0);
+}
+
+Tick
+MainMemory::issueFill(Tick now)
+{
+    ++fills_;
+    // Pick the channel slot that frees the earliest.
+    size_t best = 0;
+    for (size_t i = 1; i < busy_until_.size(); ++i) {
+        if (busy_until_[i] < busy_until_[best])
+            best = i;
+    }
+    Tick start = std::max(now, busy_until_[best]);
+    if (start > now)
+        ++contended_;
+    Tick done = start + fill_ps_;
+    busy_until_[best] = done;
+    return done;
+}
+
+} // namespace gals

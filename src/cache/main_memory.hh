@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-frequency main-memory model (the paper's non-adaptive fifth
+ * domain): a full line fill costs 80 ns for the first 8-byte chunk
+ * plus 2 ns for each subsequent chunk. An optional bounded number of
+ * in-flight fills models channel contention.
+ */
+
+#ifndef GALS_CACHE_MAIN_MEMORY_HH
+#define GALS_CACHE_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** Main-memory latency/bandwidth model. */
+class MainMemory
+{
+  public:
+    /**
+     * @param first_chunk_ns  latency of the first 8-byte chunk.
+     * @param next_chunk_ns   latency of each subsequent chunk.
+     * @param line_bytes      cache line size.
+     * @param max_in_flight   concurrent fills the channel sustains.
+     */
+    MainMemory(double first_chunk_ns = 80.0, double next_chunk_ns = 2.0,
+               int line_bytes = 64, int max_in_flight = 8);
+
+    /**
+     * Issue a line fill at `now`; returns its completion time. When
+     * all channel slots are busy the fill queues behind the earliest
+     * completing one.
+     */
+    Tick issueFill(Tick now);
+
+    /** Latency of one uncontended line fill, in ps. */
+    Tick lineFillPs() const { return fill_ps_; }
+
+    std::uint64_t fills() const { return fills_; }
+
+    /** Fills that had to queue behind a busy channel. */
+    std::uint64_t contendedFills() const { return contended_; }
+
+  private:
+    Tick fill_ps_;
+    int max_in_flight_;
+    std::vector<Tick> busy_until_;
+    std::uint64_t fills_ = 0;
+    std::uint64_t contended_ = 0;
+};
+
+} // namespace gals
+
+#endif // GALS_CACHE_MAIN_MEMORY_HH

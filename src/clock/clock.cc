@@ -1,0 +1,72 @@
+#include "clock/clock.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+Clock::Clock(Tick period_ps, Tick first_edge, double jitter_sigma_ps,
+             std::uint64_t seed)
+    : period_ps_(period_ps), nominal_next_(first_edge),
+      next_edge_(first_edge), jitter_sigma_ps_(jitter_sigma_ps),
+      rng_(seed, 0x9e3779b97f4a7c15ULL)
+{
+    GALS_ASSERT(period_ps > 0, "clock period must be positive");
+}
+
+void
+Clock::advance()
+{
+    ++cycle_;
+
+    if (pending_period_ != 0 && nominal_next_ >= pending_when_) {
+        period_ps_ = pending_period_;
+        pending_period_ = 0;
+    }
+
+    // The nominal grid is jitter-free; each delivered edge wobbles
+    // around its nominal position by a bounded, zero-mean draw.
+    // Jitter therefore does not accumulate into the grid.
+    nominal_next_ += period_ps_;
+    next_edge_ = nominal_next_;
+    if (jitter_sigma_ps_ > 0.0) {
+        double j = rng_.nextGaussian(0.0, jitter_sigma_ps_);
+        double limit = 0.1 * static_cast<double>(period_ps_);
+        j = std::clamp(j, -limit, limit);
+        auto offset = static_cast<std::int64_t>(j >= 0 ? j + 0.5
+                                                       : j - 0.5);
+        if (offset < 0 &&
+            static_cast<Tick>(-offset) > nominal_next_) {
+            offset = 0;
+        }
+        next_edge_ = static_cast<Tick>(
+            static_cast<std::int64_t>(nominal_next_) + offset);
+    }
+}
+
+Tick
+Clock::nextEdgeAfter(Tick t) const
+{
+    // Extrapolate on the nominal grid; the quarter-period settling
+    // margin applied by consumers absorbs per-edge jitter.
+    if (t < nominal_next_)
+        return nominal_next_;
+    Tick delta = t - nominal_next_;
+    Tick steps = delta / period_ps_ + 1;
+    return nominal_next_ + steps * period_ps_;
+}
+
+void
+Clock::setPeriod(Tick new_period_ps, Tick when)
+{
+    GALS_ASSERT(new_period_ps > 0, "clock period must be positive");
+    if (new_period_ps == period_ps_ && pending_period_ == 0)
+        return;
+    pending_period_ = new_period_ps;
+    pending_when_ = when;
+}
+
+} // namespace gals

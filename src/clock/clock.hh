@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A clock for one GALS domain.
+ *
+ * The clock owns a period (ps), the absolute time of its next rising
+ * edge, and an optional Gaussian edge jitter. Frequency changes are
+ * applied at an edge boundary so cycles never overlap. The MCD
+ * simulator advances whichever domain clock has the earliest next
+ * edge; synchronizers query nextEdgeAfter() to decide when data
+ * produced in another domain becomes visible here.
+ */
+
+#ifndef GALS_CLOCK_CLOCK_HH
+#define GALS_CLOCK_CLOCK_HH
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** One domain clock: period, edge position, jitter, cycle count. */
+class Clock
+{
+  public:
+    /**
+     * @param period_ps   initial clock period in picoseconds.
+     * @param first_edge  absolute time of the first rising edge.
+     * @param jitter_sigma_ps standard deviation of per-edge jitter;
+     *                    0 disables jitter.
+     * @param seed        RNG seed for the jitter stream.
+     */
+    explicit Clock(Tick period_ps, Tick first_edge = 0,
+                   double jitter_sigma_ps = 0.0,
+                   std::uint64_t seed = 1);
+
+    /** Absolute time of the next rising edge. */
+    Tick nextEdge() const { return next_edge_; }
+
+    /** Current period in ps. */
+    Tick period() const { return period_ps_; }
+
+    /** Current frequency in GHz. */
+    double freqGHz() const { return ghzFromPeriodPs(period_ps_); }
+
+    /** Number of edges delivered so far. */
+    Cycle cycle() const { return cycle_; }
+
+    /**
+     * Consume the pending edge: the domain has executed its cycle at
+     * nextEdge(). Applies any pending period change and jitter.
+     */
+    void advance();
+
+    /**
+     * First edge strictly after time t, extrapolated on the nominal
+     * grid from the current edge position. Used by synchronizers.
+     */
+    Tick nextEdgeAfter(Tick t) const;
+
+    /**
+     * Schedule a period change; it takes effect at the first edge at
+     * or after `when` (the PLL re-lock completion time).
+     */
+    void setPeriod(Tick new_period_ps, Tick when);
+
+    /** True when a period change is scheduled but not yet applied. */
+    bool changePending() const { return pending_period_ != 0; }
+
+  private:
+    Tick period_ps_;
+    /** Jitter-free edge grid; jitter wobbles each edge around it. */
+    Tick nominal_next_;
+    Tick next_edge_;
+    Cycle cycle_ = 0;
+
+    Tick pending_period_ = 0;
+    Tick pending_when_ = 0;
+
+    double jitter_sigma_ps_;
+    Pcg32 rng_;
+};
+
+} // namespace gals
+
+#endif // GALS_CLOCK_CLOCK_HH

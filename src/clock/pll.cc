@@ -1,0 +1,29 @@
+#include "clock/pll.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+Pll::Pll(const PllParams &params, std::uint64_t seed)
+    : params_(params), rng_(seed, 0xb5297a4d3e0aa1c3ULL)
+{
+    GALS_ASSERT(params_.min_us > 0 && params_.max_us >= params_.min_us,
+                "bad PLL lock-time bounds [%f, %f]", params_.min_us,
+                params_.max_us);
+}
+
+Tick
+Pll::startRelock(Tick now)
+{
+    GALS_ASSERT(!busy(now), "PLL re-lock requested while locking");
+    double us = rng_.nextGaussian(params_.mean_us, params_.sigma_us);
+    us = std::clamp(us, params_.min_us, params_.max_us);
+    lock_done_ = now + static_cast<Tick>(us * kPsPerUs);
+    ++relocks_;
+    return lock_done_;
+}
+
+} // namespace gals

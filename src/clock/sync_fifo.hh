@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A bounded FIFO crossing a clock-domain boundary.
+ *
+ * Entries carry the absolute time at which they become visible to the
+ * consumer (computed with syncVisibleAt at push time). The consumer
+ * pops entries only at edges at or after their visibility time, in
+ * order. Branch flushes squash entries by predicate.
+ */
+
+#ifndef GALS_CLOCK_SYNC_FIFO_HH
+#define GALS_CLOCK_SYNC_FIFO_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** Bounded cross-domain FIFO with per-entry visibility times. */
+template <typename T>
+class SyncFifo
+{
+  public:
+    explicit SyncFifo(size_t capacity) : capacity_(capacity) {}
+
+    /** True when another entry can be accepted. */
+    bool canPush() const { return entries_.size() < capacity_; }
+
+    /** Number of queued entries (visible or not). */
+    size_t size() const { return entries_.size(); }
+
+    bool empty() const { return entries_.empty(); }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Enqueue an entry that becomes consumable at `visible_at`. */
+    void
+    push(T value, Tick visible_at)
+    {
+        GALS_ASSERT(canPush(), "push into full SyncFifo");
+        entries_.push_back(Entry{visible_at, std::move(value)});
+    }
+
+    /** True when the head entry exists and is visible at `now`. */
+    bool
+    frontReady(Tick now) const
+    {
+        return !entries_.empty() && entries_.front().visible_at <= now;
+    }
+
+    /** Head entry; only valid when frontReady(). */
+    T &front() { return entries_.front().value; }
+    const T &front() const { return entries_.front().value; }
+
+    /** Remove the head entry. */
+    void
+    pop()
+    {
+        GALS_ASSERT(!entries_.empty(), "pop from empty SyncFifo");
+        entries_.pop_front();
+    }
+
+    /** Remove every entry matching the predicate (branch squash). */
+    template <typename Pred>
+    size_t
+    squash(Pred pred)
+    {
+        size_t removed = 0;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (pred(it->value)) {
+                it = entries_.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+        return removed;
+    }
+
+    /** Drop everything. */
+    void clear() { entries_.clear(); }
+
+  private:
+    struct Entry
+    {
+        Tick visible_at;
+        T value;
+    };
+
+    size_t capacity_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace gals
+
+#endif // GALS_CLOCK_SYNC_FIFO_HH

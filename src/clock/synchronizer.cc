@@ -1,0 +1,29 @@
+#include "clock/synchronizer.hh"
+
+#include <algorithm>
+
+namespace gals
+{
+
+Tick
+syncVisibleAt(Tick produced_at, const Clock &producer,
+              const Clock &consumer, bool same_domain)
+{
+    Tick edge = consumer.nextEdgeAfter(produced_at);
+    Tick margin = consumer.period() / 4;
+    if (same_domain)
+        return edge - std::min(margin, edge);
+
+    Tick faster = std::min(producer.period(), consumer.period());
+    Tick guard = static_cast<Tick>(kSyncGuardFraction *
+                                   static_cast<double>(faster));
+    if (edge - produced_at < guard)
+        edge += consumer.period();
+    // Report visibility a quarter period before the edge: consumer
+    // edges carry bounded jitter, and an edge arriving a few ps
+    // before the nominal grid must still be able to consume the data
+    // (otherwise every such wobble costs a spurious full cycle).
+    return edge - std::min(margin, edge);
+}
+
+} // namespace gals

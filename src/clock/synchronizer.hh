@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Inter-domain synchronization timing (Sjogren & Myers, as modeled by
+ * the MCD simulator): data produced at time t in one domain becomes
+ * visible in a consumer domain at the first consumer edge after t —
+ * plus one additional consumer cycle whenever the producing time and
+ * that consumer edge are within 30% of the faster clock's period
+ * (the synchronizer cannot guarantee a stable sample).
+ */
+
+#ifndef GALS_CLOCK_SYNCHRONIZER_HH
+#define GALS_CLOCK_SYNCHRONIZER_HH
+
+#include "clock/clock.hh"
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** Fraction of the faster period within which an extra cycle is paid. */
+constexpr double kSyncGuardFraction = 0.30;
+
+/**
+ * Earliest consumer-domain edge at which data produced at
+ * `produced_at` can be consumed.
+ *
+ * @param produced_at time the producer latched the data.
+ * @param producer    producing domain's clock.
+ * @param consumer    consuming domain's clock.
+ * @param same_domain true when producer and consumer share a clock
+ *                    (fully synchronous mode or intra-domain queues);
+ *                    then only the next-edge latch applies.
+ */
+Tick syncVisibleAt(Tick produced_at, const Clock &producer,
+                   const Clock &consumer, bool same_domain);
+
+} // namespace gals
+
+#endif // GALS_CLOCK_SYNCHRONIZER_HH

@@ -1,0 +1,133 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    count_ = 0;
+}
+
+Distribution::Distribution(std::string name, double lo, double hi,
+                           int buckets)
+    : name_(std::move(name)), lo_(lo), hi_(hi)
+{
+    GALS_ASSERT(hi > lo && buckets > 0,
+                "bad distribution bounds [%f, %f) x %d", lo, hi, buckets);
+    counts_.assign(static_cast<size_t>(buckets), 0);
+    width_ = (hi_ - lo_) / buckets;
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    samples_ += count;
+    sum_ += v * count;
+    if (v < lo_) {
+        underflow_ += count;
+    } else if (v >= hi_) {
+        overflow_ += count;
+    } else {
+        auto idx = static_cast<size_t>((v - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 1);
+        counts_[idx] += count;
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+}
+
+std::uint64_t
+Distribution::bucketCount(int i) const
+{
+    GALS_ASSERT(i >= 0 && i < numBuckets(), "bucket %d out of range", i);
+    return counts_[static_cast<size_t>(i)];
+}
+
+std::string
+Distribution::toString() const
+{
+    std::string out = name_ + ": [";
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            out += ' ';
+        out += std::to_string(counts_[i]);
+    }
+    out += csprintf("] under=%llu over=%llu mean=%.3f",
+                    static_cast<unsigned long long>(underflow_),
+                    static_cast<unsigned long long>(overflow_), mean());
+    return out;
+}
+
+StatGroup::~StatGroup()
+{
+    for (Counter *c : counters_)
+        delete c;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name)
+{
+    counters_.push_back(new Counter(name));
+    return *counters_.back();
+}
+
+const Counter *
+StatGroup::findCounter(const std::string &name) const
+{
+    for (const Counter *c : counters_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    for (const Counter *c : counters_) {
+        out += csprintf("%s.%s %llu\n", name_.c_str(), c->name().c_str(),
+                        static_cast<unsigned long long>(c->value()));
+    }
+    return out;
+}
+
+} // namespace gals

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named scalar counters, averages,
+ * and fixed-bucket distributions, with a group container that can
+ * render itself as text. Modeled loosely on gem5's Stats package but
+ * kept intentionally small.
+ */
+
+#ifndef GALS_COMMON_STATS_HH
+#define GALS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gals
+{
+
+/** A named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(std::uint64_t amount = 1) { value_ += amount; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over double-valued samples. */
+class Average
+{
+  public:
+    Average() = default;
+    explicit Average(std::string name) : name_(std::move(name)) {}
+
+    void sample(double v);
+    void reset();
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Histogram over [lo, hi) with equal-width buckets plus overflow. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    Distribution(std::string name, double lo, double hi, int buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+    void reset();
+
+    std::uint64_t bucketCount(int i) const;
+    int numBuckets() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    const std::string &name() const { return name_; }
+
+    /** One-line textual rendering ("name: [c0 c1 ...] mean=x"). */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    double width_ = 1.0;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of counters, used by simulator components to
+ * expose their statistics uniformly for reports and tests.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register and return a new counter; pointers stay stable. */
+    Counter &addCounter(const std::string &name);
+
+    /** Find a counter by name; nullptr when missing. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Zero all registered counters. */
+    void resetAll();
+
+    /** Multi-line "group.counter value" rendering. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    // Deque-like stability without <deque>: store unique_ptr-free via
+    // a vector of heap nodes.
+    std::vector<Counter *> counters_;
+
+  public:
+    ~StatGroup();
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+};
+
+} // namespace gals
+
+#endif // GALS_COMMON_STATS_HH

@@ -1,0 +1,128 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    GALS_ASSERT(header_.empty() || row.size() == header_.size(),
+                "row width %zu != header width %zu", row.size(),
+                header_.size());
+    rows_.push_back(Row{false, std::move(row)});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = header_.size();
+    for (const Row &r : rows_)
+        cols = std::max(cols, r.cells.size());
+
+    std::vector<size_t> width(cols, 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = std::max(width[c], header_[c].size());
+    for (const Row &r : rows_) {
+        for (size_t c = 0; c < r.cells.size(); ++c)
+            width[c] = std::max(width[c], r.cells[c].size());
+    }
+
+    auto renderCells = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < cols; ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            line += ' ';
+            line += cell;
+            line.append(width[c] - cell.size(), ' ');
+            line += " |";
+        }
+        return line;
+    };
+
+    std::string rule = "+";
+    for (size_t c = 0; c < cols; ++c) {
+        rule.append(width[c] + 2, '-');
+        rule += '+';
+    }
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += rule + "\n";
+    if (!header_.empty()) {
+        out += renderCells(header_) + "\n";
+        out += rule + "\n";
+    }
+    for (const Row &r : rows_) {
+        if (r.rule)
+            out += rule + "\n";
+        else
+            out += renderCells(r.cells) + "\n";
+    }
+    out += rule + "\n";
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+renderBarChart(const std::string &title,
+               const std::vector<std::string> &labels,
+               const std::vector<double> &values, double scale_max,
+               int width, const std::string &unit)
+{
+    GALS_ASSERT(labels.size() == values.size(),
+                "labels/values size mismatch: %zu vs %zu", labels.size(),
+                values.size());
+    double max_v = scale_max;
+    if (max_v <= 0.0) {
+        for (double v : values)
+            max_v = std::max(max_v, v);
+        if (max_v <= 0.0)
+            max_v = 1.0;
+    }
+    size_t label_w = 0;
+    for (const auto &l : labels)
+        label_w = std::max(label_w, l.size());
+
+    std::string out;
+    if (!title.empty())
+        out += title + "\n";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        std::string line = "  " + labels[i];
+        line.append(label_w - labels[i].size(), ' ');
+        line += " |";
+        double v = std::max(values[i], 0.0);
+        int bar = static_cast<int>(v / max_v * width + 0.5);
+        bar = std::min(bar, width);
+        line.append(static_cast<size_t>(bar), '#');
+        line += csprintf(" %.3f%s", values[i], unit.c_str());
+        out += line + "\n";
+    }
+    return out;
+}
+
+} // namespace gals

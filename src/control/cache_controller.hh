@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Accounting-cache phase controllers (paper §3.1).
+ *
+ * Every 15K-instruction interval the controller reconstructs, from
+ * the MRU-position counters, the total access time each of the four
+ * candidate configurations would have spent on the interval just
+ * ended — A hits at the A latency, B hits at A+B, misses at A+B plus
+ * the next level — each at the candidate's own clock period. It picks
+ * the minimum. The L1D/L2 pair is evaluated jointly (their
+ * configurations are locked together); the I-cache controller charges
+ * misses with the cross-domain L2 round trip.
+ */
+
+#ifndef GALS_CONTROL_CACHE_CONTROLLER_HH
+#define GALS_CONTROL_CACHE_CONTROLLER_HH
+
+#include <array>
+
+#include "cache/accounting_cache.hh"
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** One cache-configuration decision with per-candidate costs (ps). */
+struct CacheDecision
+{
+    int best_index;
+    std::array<Tick, 4> cost_ps;
+};
+
+/**
+ * Joint decision for the L1 data / L2 pair.
+ *
+ * @param l1 interval counters of the L1 D-cache (8-way MRU state).
+ * @param l2 interval counters of the L2 (8-way MRU state).
+ * @param mem_fill_ps main-memory time charged to every L2 miss.
+ */
+CacheDecision chooseDCachePair(const IntervalCounts &l1,
+                               const IntervalCounts &l2,
+                               Tick mem_fill_ps);
+
+/**
+ * Decision for the I-cache (the matched branch predictor follows).
+ *
+ * @param l1i interval counters of the I-cache (4-way MRU state).
+ * @param miss_extra_ps time charged to every I-cache miss (the
+ *        synchronized round trip to the L2 in the load/store domain).
+ */
+CacheDecision chooseICache(const IntervalCounts &l1i,
+                           Tick miss_extra_ps);
+
+/** Cycles the decision hardware needs (paper: ~32; Table 4). */
+int cacheDecisionCycles();
+
+} // namespace gals
+
+#endif // GALS_CONTROL_CACHE_CONTROLLER_HH

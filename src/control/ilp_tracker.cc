@@ -1,0 +1,105 @@
+#include "control/ilp_tracker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "timing/frequency_model.hh"
+
+namespace gals
+{
+
+IlpTracker::IlpTracker()
+{
+    // Bit budgets from the paper: 4 bits per register for ILP16,
+    // 5 bits for ILP32, 6 bits each for ILP48 and ILP64.
+    const std::uint32_t bits[4] = {4, 5, 6, 6};
+    for (int k = 0; k < 4; ++k) {
+        windows_[static_cast<size_t>(k)].n_limit =
+            static_cast<std::uint32_t>(kIssueQueueSizes[k]);
+        windows_[static_cast<size_t>(k)].ts_bits = bits[k];
+        windows_[static_cast<size_t>(k)].ts_max =
+            (1u << bits[k]) - 1u;
+        windows_[static_cast<size_t>(k)].reset();
+    }
+}
+
+void
+IlpTracker::Window::reset()
+{
+    ts.fill(0);
+    n_int = 0;
+    n_fp = 0;
+    m_int = 0;
+    m_fp = 0;
+    done = false;
+}
+
+void
+IlpTracker::Window::observe(const MicroOp &op)
+{
+    if (done)
+        return;
+
+    bool fp = isFpOp(op.cls) || op.cls == OpClass::FpLoad;
+    if (fp)
+        ++n_fp;
+    else
+        ++n_int;
+
+    if (op.dst >= 0) {
+        std::uint32_t t = 0;
+        if (op.src1 > 0)
+            t = ts[static_cast<size_t>(op.src1)];
+        if (op.src2 > 0)
+            t = std::max(t,
+                         static_cast<std::uint32_t>(
+                             ts[static_cast<size_t>(op.src2)]));
+        t = std::min(t + 1, ts_max);
+        ts[static_cast<size_t>(op.dst)] = static_cast<std::uint8_t>(t);
+        if (fp)
+            m_fp = std::max(m_fp, t);
+        else
+            m_int = std::max(m_int, t);
+    }
+
+    if (n_int >= n_limit || n_fp >= n_limit)
+        done = true;
+}
+
+void
+IlpTracker::onRename(const MicroOp &op)
+{
+    for (Window &w : windows_)
+        w.observe(op);
+}
+
+bool
+IlpTracker::sampleReady() const
+{
+    for (const Window &w : windows_) {
+        if (!w.done)
+            return false;
+    }
+    return true;
+}
+
+IlpSample
+IlpTracker::takeSample()
+{
+    GALS_ASSERT(sampleReady(), "takeSample before all windows done");
+    IlpSample s{};
+    for (size_t k = 0; k < windows_.size(); ++k) {
+        Window &w = windows_[k];
+        // A window with no register-writing ops of a type reports
+        // M = 0; the controller treats that as "no evidence".
+        s.m_int[k] = w.m_int;
+        s.m_fp[k] = w.m_fp;
+        s.n_int[k] = w.n_int;
+        s.n_fp[k] = w.n_fp;
+        w.reset();
+    }
+    ++samples_;
+    return s;
+}
+
+} // namespace gals

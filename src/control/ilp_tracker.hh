@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hardware ILP tracker for issue-queue sizing (paper §3.2).
+ *
+ * At rename, every op's destination timestamp becomes
+ * max(timestamps of its sources) + 1 (unit latency assumed), and the
+ * running maximum M is recorded. Four trackers run simultaneously,
+ * one per candidate queue size N in {16, 32, 48, 64}; tracker N stops
+ * once N integer ops *or* N floating-point ops have been renamed
+ * (stifling consideration of queue sizes the less dominant type could
+ * never fill). The application's inherent ILP at window N is N/M_N.
+ *
+ * Hardware faithfulness: per-register timestamps saturate at the bit
+ * widths the paper budgets (4 bits for N=16, 5 for 32, 6 for 48/64),
+ * and each tracker keeps its own 64-entry timestamp table.
+ */
+
+#ifndef GALS_CONTROL_ILP_TRACKER_HH
+#define GALS_CONTROL_ILP_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "workload/uop.hh"
+
+namespace gals
+{
+
+/** One completed tracking interval: max-timestamp per window size. */
+struct IlpSample
+{
+    /** M_N for the integer stream, per window size index. */
+    std::array<std::uint32_t, 4> m_int;
+    /** M_N for the floating-point stream. */
+    std::array<std::uint32_t, 4> m_fp;
+    /** Integer/FP ops seen by each tracker when it stopped. */
+    std::array<std::uint32_t, 4> n_int;
+    std::array<std::uint32_t, 4> n_fp;
+};
+
+/** The four-window dependence-timestamp tracker. */
+class IlpTracker
+{
+  public:
+    IlpTracker();
+
+    /** Observe one op at rename. */
+    void onRename(const MicroOp &op);
+
+    /** True when all four windows have completed their interval. */
+    bool sampleReady() const;
+
+    /** Retrieve the sample and restart all four trackers. */
+    IlpSample takeSample();
+
+    /** Number of completed samples so far. */
+    std::uint64_t samples() const { return samples_; }
+
+  private:
+    struct Window
+    {
+        std::uint32_t n_limit;
+        std::uint32_t ts_bits;
+        std::uint32_t ts_max;
+        std::array<std::uint8_t, kNumLogicalRegs> ts;
+        std::uint32_t n_int = 0;
+        std::uint32_t n_fp = 0;
+        std::uint32_t m_int = 0;
+        std::uint32_t m_fp = 0;
+        bool done = false;
+
+        void reset();
+        void observe(const MicroOp &op);
+    };
+
+    std::array<Window, 4> windows_;
+    std::uint64_t samples_ = 0;
+};
+
+} // namespace gals
+
+#endif // GALS_CONTROL_ILP_TRACKER_HH

@@ -1,0 +1,35 @@
+#include "control/queue_controller.hh"
+
+#include "timing/frequency_model.hh"
+
+namespace gals
+{
+
+QueueDecision
+QueueController::decide(const IlpSample &sample) const
+{
+    QueueDecision d{};
+    d.best_index = 0;
+    double best = -1.0;
+    for (int k = 0; k < 4; ++k) {
+        auto m = use_fp_ ? sample.m_fp[static_cast<size_t>(k)]
+                         : sample.m_int[static_cast<size_t>(k)];
+        auto n = use_fp_ ? sample.n_fp[static_cast<size_t>(k)]
+                         : sample.n_int[static_cast<size_t>(k)];
+        double score = 0.0;
+        if (m > 0 && n > 0) {
+            double ilp = static_cast<double>(n) / m;
+            score = ilp * issueQueueFreqGHz(k);
+        }
+        d.score[static_cast<size_t>(k)] = score;
+        // Strict improvement required: ties go to the smaller, faster
+        // queue.
+        if (score > best + 1e-12) {
+            best = score;
+            d.best_index = k;
+        }
+    }
+    return d;
+}
+
+} // namespace gals

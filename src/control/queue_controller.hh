@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Issue-queue size selection from ILP-tracker samples (paper §3.2).
+ *
+ * For each candidate size N the effective throughput is the inherent
+ * ILP over a window of N instructions, N/M_N, scaled by the clock
+ * frequency f_N the queue supports. The controller picks
+ * argmax_N (N/M_N) * f_N. No search, no local minima: every candidate
+ * is evaluated from the same interval's measurements.
+ */
+
+#ifndef GALS_CONTROL_QUEUE_CONTROLLER_HH
+#define GALS_CONTROL_QUEUE_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "control/ilp_tracker.hh"
+
+namespace gals
+{
+
+/** One queue-size decision with its per-candidate scores. */
+struct QueueDecision
+{
+    int best_index;                  //!< chosen size index 0..3.
+    std::array<double, 4> score;     //!< (N/M_N) * f_N per candidate.
+};
+
+/** Picks issue-queue sizes for one domain (integer or FP). */
+class QueueController
+{
+  public:
+    /**
+     * @param use_fp evaluate the floating-point stream's chains when
+     *               true, the integer stream's otherwise.
+     */
+    explicit QueueController(bool use_fp) : use_fp_(use_fp) {}
+
+    /**
+     * Evaluate a tracker sample. When a window saw no
+     * register-writing ops of this type, its score is zero — the
+     * smallest adequate queue wins by frequency.
+     */
+    QueueDecision decide(const IlpSample &sample) const;
+
+  private:
+    bool use_fp_;
+};
+
+} // namespace gals
+
+#endif // GALS_CONTROL_QUEUE_CONTROLLER_HH

@@ -1,0 +1,40 @@
+#include "control/reconfig_trace.hh"
+
+namespace gals
+{
+
+const char *
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::ICache:        return "I-cache";
+      case Structure::DCachePair:    return "D/L2-cache";
+      case Structure::IntIssueQueue: return "int-IQ";
+      case Structure::FpIssueQueue:  return "fp-IQ";
+    }
+    return "unknown";
+}
+
+std::vector<ReconfigEvent>
+ReconfigTrace::eventsFor(Structure s) const
+{
+    std::vector<ReconfigEvent> out;
+    for (const ReconfigEvent &e : events_) {
+        if (e.structure == s)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::uint64_t
+ReconfigTrace::countFor(Structure s) const
+{
+    std::uint64_t n = 0;
+    for (const ReconfigEvent &e : events_) {
+        if (e.structure == s)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace gals

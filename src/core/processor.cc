@@ -1,0 +1,958 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+
+#include "clock/synchronizer.hh"
+#include "common/logging.hh"
+#include "control/cache_controller.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+constexpr std::uint64_t KB = 1024;
+
+/** Per-domain clocks for the configured machine. */
+std::array<Clock, 4>
+makeClocks(const MachineConfig &cfg)
+{
+    auto make = [&](DomainId d) {
+        Tick period =
+            periodPsFromGHz(cfg.domainFreqGHz(d, cfg.adaptive));
+        double jitter = cfg.mode == ClockingMode::MCD
+                            ? cfg.jitter_sigma_ps : 0.0;
+        // Stagger MCD first edges so domains do not start artificially
+        // aligned; synchronous domains share one grid.
+        int idx = static_cast<int>(d);
+        Tick first = cfg.mode == ClockingMode::MCD
+                         ? period + (period * static_cast<Tick>(idx)) / 5
+                         : period;
+        return Clock(period, first, jitter,
+                     cfg.seed + 0x9e37 * static_cast<Tick>(idx));
+    };
+    return {make(DomainId::FrontEnd), make(DomainId::Integer),
+            make(DomainId::FloatingPoint), make(DomainId::LoadStore)};
+}
+
+} // namespace
+
+Processor::Processor(const MachineConfig &config,
+                     const WorkloadParams &wl)
+    : cfg_(config), wl_params_(wl), workload_(wl),
+      cur_cfg_(config.adaptive),
+      same_domain_(config.mode == ClockingMode::Synchronous),
+      clocks_(makeClocks(config)),
+      memory_(kMemFirstChunkNs, kMemNextChunkNs, 64, 8),
+      regs_(config.phys_int_regs, config.phys_fp_regs),
+      rob_(config.rob_entries),
+      iq_int_(kIssueQueueSizes[config.adaptive.iq_int]),
+      iq_fp_(kIssueQueueSizes[config.adaptive.iq_fp]),
+      lsq_(config.lsq_entries),
+      store_buffer_(config.store_buffer_entries),
+      mshr_busy_(static_cast<size_t>(config.mshrs), 0),
+      fetch_queue_(static_cast<size_t>(
+          config.fetch_queue_entries +
+          config.decode_width * config.feDepth())),
+      // The dispatch FIFOs model both the synchronizer queue and the
+      // dispatch pipe stages, so their capacity covers the pipe
+      // occupancy at full decode width.
+      disp_int_(static_cast<size_t>(
+          config.dispatch_fifo_entries +
+          config.decode_width * config.dispatchDepth())),
+      disp_fp_(static_cast<size_t>(
+          config.dispatch_fifo_entries +
+          config.decode_width * config.dispatchDepth())),
+      disp_ls_(static_cast<size_t>(
+          config.dispatch_fifo_entries +
+          config.decode_width * config.lsDispatchDepth())),
+      qctl_int_(false), qctl_fp_(true)
+{
+    fu_int_.alus = cfg_.int_alus;
+    fu_fp_.alus = cfg_.fp_alus;
+    for (int d = 0; d < kNumDomains; ++d) {
+        plls_[static_cast<size_t>(d)] =
+            Pll(cfg_.pll, cfg_.seed + 31 * static_cast<unsigned>(d));
+    }
+    buildCaches();
+    if (wl_params_.warmup_instrs == 0) {
+        measuring_ = true;
+        snapshotBaselines(0);
+    }
+}
+
+void
+Processor::buildCaches()
+{
+    if (cfg_.mode == ClockingMode::MCD) {
+        const ICacheConfig &ic = icacheConfig(cur_cfg_.icache);
+        l1i_ = std::make_unique<AccountingCache>("l1i", 64 * KB, 4);
+        l1i_->setPartition(ic.org.assoc, cfg_.phase_adaptive);
+        predictor_ = std::make_unique<HybridPredictor>(ic.predictor);
+
+        const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
+        l1d_ = std::make_unique<AccountingCache>("l1d", 256 * KB, 8);
+        l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
+        l2_ = std::make_unique<AccountingCache>("l2", 2048 * KB, 8);
+        l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
+    } else {
+        const OptICacheConfig &ic = optICacheConfig(cfg_.sync_icache_opt);
+        l1i_ = std::make_unique<AccountingCache>(
+            "l1i", ic.org.size_bytes, ic.org.assoc);
+        l1i_->setPartition(ic.org.assoc, false);
+        predictor_ = std::make_unique<HybridPredictor>(ic.predictor);
+
+        const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
+        l1d_ = std::make_unique<AccountingCache>(
+            "l1d", dc.l1_opt.size_bytes, dc.l1_opt.assoc);
+        l1d_->setPartition(dc.l1_opt.assoc, false);
+        l2_ = std::make_unique<AccountingCache>(
+            "l2", dc.l2_opt.size_bytes, dc.l2_opt.assoc);
+        l2_->setPartition(dc.l2_opt.assoc, false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timing helpers.
+// ---------------------------------------------------------------------
+
+Tick
+Processor::visibleAt(Tick produced, DomainId prod, DomainId cons) const
+{
+    if (produced == 0)
+        return 0;
+    if (same_domain_ || prod == cons) {
+        // Bypass within one clock: usable at the first edge at or
+        // after production (with the same anti-wobble margin the
+        // synchronizer applies; see clock/synchronizer.cc).
+        Tick edge = clock(cons).nextEdgeAfter(produced - 1);
+        Tick margin = clock(cons).period() / 4;
+        return edge - std::min(margin, edge);
+    }
+    return syncVisibleAt(produced, clock(prod), clock(cons), false);
+}
+
+bool
+Processor::refVisible(PhysRef ref, DomainId dom, Tick now) const
+{
+    if (ref.index < 0)
+        return true;
+    const PhysRegState &s = regs_.state(ref);
+    if (s.pending)
+        return false;
+    return visibleAt(s.ready_at, s.producer, dom) <= now;
+}
+
+bool
+Processor::sourcesVisible(const InFlightOp &op, DomainId dom,
+                          Tick now) const
+{
+    return refVisible(op.psrc1, dom, now) &&
+           refVisible(op.psrc2, dom, now);
+}
+
+// ---------------------------------------------------------------------
+// Front end.
+// ---------------------------------------------------------------------
+
+Tick
+Processor::icacheMissTime(Tick now)
+{
+    // The unified L2 lives in the load/store domain: request and
+    // response each cross a synchronizer.
+    const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
+    Tick ls_period = clock(DomainId::LoadStore).period();
+    Tick t_req = syncVisibleAt(now, clock(DomainId::FrontEnd),
+                               clock(DomainId::LoadStore),
+                               same_domain_);
+    AccessOutcome out = l2_->access(staged_op_->pc);
+    Tick served;
+    switch (out.where) {
+      case HitWhere::APartition:
+        served = t_req + static_cast<Tick>(dc.l2_a_lat) * ls_period;
+        break;
+      case HitWhere::BPartition:
+        served = t_req + static_cast<Tick>(dc.l2_a_lat + dc.l2_b_lat) *
+                             ls_period;
+        break;
+      default: {
+        int probe = dc.l2_a_lat +
+                    (l2_->bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat
+                                                        : 0);
+        served = memory_.issueFill(
+            t_req + static_cast<Tick>(probe) * ls_period);
+        break;
+      }
+    }
+    return syncVisibleAt(served, clock(DomainId::LoadStore),
+                         clock(DomainId::FrontEnd), same_domain_);
+}
+
+void
+Processor::doFetch(Tick now)
+{
+    if (fetch_halted_) {
+        if (now < fetch_resume_)
+            return;
+        fetch_halted_ = false;
+    }
+
+    Tick fe_period = clock(DomainId::FrontEnd).period();
+    int a_lat;
+    int b_lat;
+    if (cfg_.mode == ClockingMode::MCD) {
+        const ICacheConfig &ic = icacheConfig(cur_cfg_.icache);
+        a_lat = ic.a_lat;
+        b_lat = ic.b_lat;
+    } else {
+        a_lat = 2;
+        b_lat = -1;
+    }
+
+    int line_bytes = l1i_->lineBytes();
+    int fetched = 0;
+    while (fetched < cfg_.fetch_width && fetch_queue_.canPush()) {
+        if (!staged_op_)
+            staged_op_ = workload_.next();
+        Addr line = staged_op_->pc / static_cast<unsigned>(line_bytes);
+
+        if (line == cur_fetch_line_) {
+            if (fetch_line_ready_ > now)
+                break;
+        } else {
+            bool sequential = line == cur_fetch_line_ + 1;
+            AccessOutcome out = l1i_->access(staged_op_->pc);
+            Tick ready;
+            switch (out.where) {
+              case HitWhere::APartition:
+                ready = sequential
+                            ? now
+                            : now + static_cast<Tick>(a_lat - 1) *
+                                        fe_period;
+                break;
+              case HitWhere::BPartition:
+                ready = now + static_cast<Tick>(a_lat + b_lat) *
+                                  fe_period;
+                break;
+              default:
+                ready = icacheMissTime(now);
+                break;
+            }
+            cur_fetch_line_ = line;
+            fetch_line_ready_ = ready;
+            if (ready > now)
+                break;
+        }
+
+        FetchedOp f;
+        f.uop = *staged_op_;
+        staged_op_.reset();
+        bool is_branch = f.uop.cls == OpClass::Branch;
+        if (is_branch) {
+            f.pred = predictor_->predict(f.uop.pc);
+            predictor_->update(f.uop.pc, f.pred, f.uop.taken);
+            f.mispredict = f.pred.taken != f.uop.taken;
+        }
+        fetch_queue_.push(
+            f, now + static_cast<Tick>(cfg_.feDepth()) * fe_period);
+        ++fetched;
+
+        if (is_branch) {
+            if (f.mispredict) {
+                // Halt fetch until the branch resolves in the integer
+                // domain; resume time is set at issue.
+                fetch_halted_ = true;
+                fetch_resume_ = kTickMax;
+                ++flushes_;
+                break;
+            }
+            if (f.uop.taken)
+                break; // taken-branch redirect ends the fetch group.
+        }
+    }
+}
+
+void
+Processor::doRename(Tick now)
+{
+    auto srcRef = [&](std::int8_t logical) -> PhysRef {
+        if (logical < 0)
+            return PhysRef{-1, false};
+        if (logical == kZeroReg)
+            return PhysRef{-1, false};
+        if (logical == kFirstFpReg)
+            return PhysRef{-1, true};
+        return regs_.lookup(logical);
+    };
+
+    int renamed = 0;
+    while (renamed < cfg_.decode_width && fetch_queue_.frontReady(now)) {
+        FetchedOp &f = fetch_queue_.front();
+        OpClass cls = f.uop.cls;
+        DomainId dom = execDomain(cls);
+
+        if (rob_.full())
+            break;
+        bool needs_dst = f.uop.dst >= 0;
+        bool dst_fp = needs_dst && f.uop.dst >= kFirstFpReg;
+        if (needs_dst && !regs_.canAlloc(dst_fp))
+            break;
+        bool is_mem = isMemOp(cls);
+        if (is_mem && lsq_.full())
+            break;
+        // Memory ops dispatch twice: an address-generation uop into
+        // the integer queue (which therefore gates memory
+        // parallelism, as in the 21264) and the access itself into
+        // the LSQ.
+        SyncFifo<size_t> &fifo =
+            dom == DomainId::Integer || is_mem
+                ? disp_int_
+                : dom == DomainId::FloatingPoint ? disp_fp_ : disp_ls_;
+        if (!fifo.canPush())
+            break;
+        if (is_mem && !disp_ls_.canPush())
+            break;
+
+        size_t idx = rob_.alloc();
+        InFlightOp &op = rob_[idx];
+        op = InFlightOp{};
+        op.uop = f.uop;
+        op.seq = next_seq_++;
+        op.domain = dom;
+        op.is_mem = is_mem;
+        op.pred = f.pred;
+        op.mispredict = f.mispredict;
+        op.psrc1 = srcRef(f.uop.src1);
+        op.psrc2 = srcRef(f.uop.src2);
+        if (needs_dst) {
+            auto [fresh, old] = regs_.renameDest(f.uop.dst);
+            op.pdst = fresh;
+            op.old_pdst = old;
+            regs_.markPending(fresh);
+        }
+        if (is_mem) {
+            lsq_.allocate(idx, cls == OpClass::Store,
+                          f.uop.mem_addr /
+                              static_cast<unsigned>(l1d_->lineBytes()));
+        }
+
+        if (cfg_.phase_adaptive) {
+            ilp_tracker_.onRename(f.uop);
+            if (ilp_tracker_.sampleReady())
+                controlQueues(now);
+        }
+
+        // The op becomes issue-eligible after the synchronizer plus
+        // the dispatch pipe of the target domain (7/9 integer cycles;
+        // this is the "+integer" half of the mispredict penalty).
+        DomainId q_dom = is_mem ? DomainId::Integer : dom;
+        Tick visible =
+            syncVisibleAt(now, clock(DomainId::FrontEnd),
+                          clock(q_dom), same_domain_) +
+            static_cast<Tick>(cfg_.dispatchDepth()) *
+                clock(q_dom).period();
+        fifo.push(idx, visible);
+        if (is_mem) {
+            Tick ls_visible =
+                syncVisibleAt(now, clock(DomainId::FrontEnd),
+                              clock(DomainId::LoadStore),
+                              same_domain_) +
+                static_cast<Tick>(cfg_.lsDispatchDepth()) *
+                    clock(DomainId::LoadStore).period();
+            disp_ls_.push(idx, ls_visible);
+        }
+        fetch_queue_.pop();
+        ++renamed;
+    }
+}
+
+void
+Processor::doRetire(Tick now)
+{
+    const std::uint64_t stop_at =
+        wl_params_.warmup_instrs + wl_params_.sim_instrs;
+    int retired = 0;
+    while (retired < cfg_.retire_width && !rob_.empty() &&
+           committed_ < stop_at) {
+        InFlightOp &op = rob_[rob_.headIndex()];
+
+        if (op.uop.cls == OpClass::Store) {
+            if (!op.store_ready)
+                break;
+            if (store_buffer_.full())
+                break;
+            store_buffer_.push(
+                op.uop.mem_addr /
+                    static_cast<unsigned>(l1d_->lineBytes()),
+                now);
+            lsq_.popFront();
+        } else {
+            if (!op.completed())
+                break;
+            if (visibleAt(op.complete_at, op.domain,
+                          DomainId::FrontEnd) > now) {
+                break;
+            }
+            if (op.is_mem)
+                lsq_.popFront();
+        }
+
+        regs_.release(op.old_pdst);
+        rob_.retireHead();
+        ++committed_;
+        last_commit_time_ = now;
+        ++retired;
+
+        if (!measuring_ && committed_ >= wl_params_.warmup_instrs) {
+            measuring_ = true;
+            measure_start_ = now;
+            measure_committed_base_ = committed_;
+            snapshotBaselines(now);
+        }
+        if (measuring_) {
+            ++stats_.icache_residency[static_cast<size_t>(
+                cur_cfg_.icache)];
+            ++stats_.dcache_residency[static_cast<size_t>(
+                cur_cfg_.dcache)];
+            ++stats_.iq_int_residency[static_cast<size_t>(
+                cur_cfg_.iq_int)];
+            ++stats_.iq_fp_residency[static_cast<size_t>(
+                cur_cfg_.iq_fp)];
+        }
+
+        if (cfg_.phase_adaptive &&
+            ++interval_commits_ >= cfg_.cache_interval_instrs) {
+            interval_commits_ = 0;
+            controlCaches(now);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer / floating-point domains.
+// ---------------------------------------------------------------------
+
+void
+Processor::stepIssueDomain(DomainId dom, Tick now)
+{
+    applyPending(dom, now);
+
+    IssueQueue &iq =
+        dom == DomainId::Integer ? iq_int_ : iq_fp_;
+    SyncFifo<size_t> &fifo =
+        dom == DomainId::Integer ? disp_int_ : disp_fp_;
+    FuPool &fu = dom == DomainId::Integer ? fu_int_ : fu_fp_;
+    Tick period = clock(dom).period();
+
+    while (fifo.frontReady(now) && !iq.full()) {
+        size_t idx = fifo.front();
+        fifo.pop();
+        InFlightOp &op = rob_[idx];
+        op.issue_eligible = now;
+        op.in_queue = true;
+        iq.push(idx);
+    }
+
+    fu.newCycle();
+    int issued = 0;
+    auto &entries = iq.entries();
+    for (size_t i = 0;
+         i < entries.size() && issued < cfg_.issue_width;) {
+        InFlightOp &op = rob_[entries[i]];
+        bool ready = op.issue_eligible <= now &&
+                     sourcesVisible(op, dom, now);
+        if (ready) {
+            // Memory ops in the integer queue are address-generation
+            // uops: one ALU cycle, then the LSQ takes over.
+            bool agen = op.is_mem;
+            OpClass fu_cls = agen ? OpClass::IntAlu : op.uop.cls;
+            Tick complete =
+                now + static_cast<Tick>(opLatency(fu_cls)) * period;
+            if (fu.claim(fu_cls, now, complete)) {
+                op.issued = true;
+                op.in_queue = false;
+                if (agen) {
+                    op.agen_done = complete;
+                } else {
+                    op.complete_at = complete;
+                    regs_.complete(op.pdst, complete, dom);
+                }
+                if (op.uop.cls == OpClass::Branch && op.mispredict) {
+                    fetch_resume_ = visibleAt(complete, dom,
+                                              DomainId::FrontEnd);
+                }
+                entries.erase(entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                ++issued;
+                continue;
+            }
+        }
+        ++i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load/store domain.
+// ---------------------------------------------------------------------
+
+Tick
+Processor::dataHierarchyTime(Addr addr, Tick now)
+{
+    const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
+    Tick period = clock(DomainId::LoadStore).period();
+    bool b_on = l1d_->bEnabled();
+
+    AccessOutcome l1 = l1d_->access(addr);
+    if (l1.where == HitWhere::APartition)
+        return now + static_cast<Tick>(dc.l1_a_lat) * period;
+    if (l1.where == HitWhere::BPartition) {
+        return now +
+               static_cast<Tick>(dc.l1_a_lat + dc.l1_b_lat) * period;
+    }
+
+    Tick probe = static_cast<Tick>(
+        dc.l1_a_lat + (b_on && dc.l1_b_lat > 0 ? dc.l1_b_lat : 0));
+    AccessOutcome l2 = l2_->access(addr);
+    if (l2.where == HitWhere::APartition) {
+        return now + (probe + static_cast<Tick>(dc.l2_a_lat)) * period;
+    }
+    if (l2.where == HitWhere::BPartition) {
+        return now + (probe + static_cast<Tick>(dc.l2_a_lat +
+                                                dc.l2_b_lat)) *
+                         period;
+    }
+    Tick l2_probe = static_cast<Tick>(
+        dc.l2_a_lat +
+        (l2_->bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat : 0));
+    Tick issue_at = now + (probe + l2_probe) * period;
+    Tick done = memory_.issueFill(issue_at);
+
+    // Claim the MSHR slot the caller verified was free.
+    for (Tick &slot : mshr_busy_) {
+        if (slot <= now) {
+            slot = done;
+            return done;
+        }
+    }
+    panic("dataHierarchyTime without a free MSHR");
+}
+
+bool
+Processor::tryStartLoad(LsqEntry &entry, Tick now, int &ports_used)
+{
+    InFlightOp &op = rob_[entry.rob_idx];
+    if (op.agen_done == kTickMax ||
+        visibleAt(op.agen_done, DomainId::Integer,
+                  DomainId::LoadStore) > now) {
+        return false;
+    }
+
+    // Memory disambiguation against older stores (exact, since all
+    // addresses are known at rename).
+    bool forward = false;
+    for (const LsqEntry &older : lsq_.entries()) {
+        if (&older == &entry)
+            break;
+        if (older.is_store && older.line_addr == entry.line_addr) {
+            if (rob_[older.rob_idx].store_ready)
+                forward = true; // youngest ready older store wins.
+            else
+                return false;   // wait for the store's data.
+        }
+    }
+    if (!forward && store_buffer_.hasLine(entry.line_addr))
+        forward = true;
+
+    Tick done;
+    if (forward) {
+        done = now + clock(DomainId::LoadStore).period();
+    } else {
+        // Conservatively require a free MSHR before starting an
+        // access that might miss.
+        bool mshr_free = false;
+        for (Tick slot : mshr_busy_) {
+            if (slot <= now) {
+                mshr_free = true;
+                break;
+            }
+        }
+        if (!mshr_free)
+            return false;
+        done = dataHierarchyTime(op.uop.mem_addr, now);
+    }
+
+    entry.issued = true;
+    op.complete_at = done;
+    regs_.complete(op.pdst, done, DomainId::LoadStore);
+    ++ports_used;
+    return true;
+}
+
+void
+Processor::drainStoreBuffer(Tick now, int &ports_used, int max_ports)
+{
+    while (ports_used < max_ports && !store_buffer_.empty()) {
+        StoreWrite &w = store_buffer_.front();
+        if (w.ready_at > now)
+            break;
+        bool mshr_free = false;
+        for (Tick slot : mshr_busy_) {
+            if (slot <= now) {
+                mshr_free = true;
+                break;
+            }
+        }
+        if (!mshr_free)
+            break;
+        dataHierarchyTime(w.line_addr *
+                              static_cast<unsigned>(l1d_->lineBytes()),
+                          now);
+        store_buffer_.pop();
+        ++ports_used;
+    }
+}
+
+void
+Processor::stepLoadStore(Tick now)
+{
+    applyPending(DomainId::LoadStore, now);
+
+    while (disp_ls_.frontReady(now)) {
+        disp_ls_.pop();
+        lsq_.markArrived(now);
+    }
+
+    // Stores become ready once their address-generation uop (which
+    // also captures the data register) completes and its result
+    // crosses into this domain; the ROB then retires them into the
+    // store buffer.
+    for (LsqEntry &e : lsq_.entries()) {
+        if (!e.is_store)
+            continue;
+        InFlightOp &op = rob_[e.rob_idx];
+        if (!op.store_ready && e.arrived_at <= now &&
+            op.agen_done != kTickMax &&
+            visibleAt(op.agen_done, DomainId::Integer,
+                      DomainId::LoadStore) <= now) {
+            op.store_ready = true;
+            op.complete_at = now;
+        }
+    }
+
+    int ports_used = 0;
+    // When the store buffer is nearly full it blocks retirement; give
+    // it one port first.
+    bool sb_pressure =
+        store_buffer_.size() + 1 >= store_buffer_.capacity();
+    if (sb_pressure)
+        drainStoreBuffer(now, ports_used, 1);
+
+    for (LsqEntry &e : lsq_.entries()) {
+        if (ports_used >= cfg_.mem_ports)
+            break;
+        if (e.is_store || e.issued || e.arrived_at > now)
+            continue;
+        tryStartLoad(e, now, ports_used);
+    }
+
+    drainStoreBuffer(now, ports_used, cfg_.mem_ports);
+}
+
+// ---------------------------------------------------------------------
+// Phase-adaptive control.
+// ---------------------------------------------------------------------
+
+DomainId
+Processor::domainOf(Structure s) const
+{
+    switch (s) {
+      case Structure::ICache:        return DomainId::FrontEnd;
+      case Structure::DCachePair:    return DomainId::LoadStore;
+      case Structure::IntIssueQueue: return DomainId::Integer;
+      case Structure::FpIssueQueue:  return DomainId::FloatingPoint;
+    }
+    panic("bad structure");
+}
+
+int
+Processor::currentIndexOf(Structure s) const
+{
+    switch (s) {
+      case Structure::ICache:        return cur_cfg_.icache;
+      case Structure::DCachePair:    return cur_cfg_.dcache;
+      case Structure::IntIssueQueue: return cur_cfg_.iq_int;
+      case Structure::FpIssueQueue:  return cur_cfg_.iq_fp;
+    }
+    panic("bad structure");
+}
+
+void
+Processor::applyStructure(Structure s, int target, Tick)
+{
+    switch (s) {
+      case Structure::ICache:
+        cur_cfg_.icache = target;
+        l1i_->setPartition(icacheConfig(target).org.assoc,
+                           cfg_.phase_adaptive);
+        predictor_->reconfigure(icacheConfig(target).predictor);
+        break;
+      case Structure::DCachePair: {
+        cur_cfg_.dcache = target;
+        const DCachePairConfig &dc = dcachePairConfig(target);
+        l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
+        l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
+        break;
+      }
+      case Structure::IntIssueQueue:
+        cur_cfg_.iq_int = target;
+        iq_int_.setCapacity(kIssueQueueSizes[target]);
+        break;
+      case Structure::FpIssueQueue:
+        cur_cfg_.iq_fp = target;
+        iq_fp_.setCapacity(kIssueQueueSizes[target]);
+        break;
+    }
+}
+
+void
+Processor::requestConfig(Structure s, int target, Tick now)
+{
+    int cur = currentIndexOf(s);
+    if (target == cur)
+        return;
+    DomainId d = domainOf(s);
+    Pll &pll = plls_[static_cast<size_t>(d)];
+    if (pll.busy(now) || pending_[static_cast<size_t>(d)].active)
+        return;
+
+    AdaptiveConfig probe = cur_cfg_;
+    switch (s) {
+      case Structure::ICache:        probe.icache = target; break;
+      case Structure::DCachePair:    probe.dcache = target; break;
+      case Structure::IntIssueQueue: probe.iq_int = target; break;
+      case Structure::FpIssueQueue:  probe.iq_fp = target; break;
+    }
+    double f_new = cfg_.domainFreqGHz(d, probe);
+    double f_old = clock(d).freqGHz();
+
+    Tick lock_done = pll.startRelock(now);
+    clock(d).setPeriod(periodPsFromGHz(f_new), lock_done);
+    trace_.record(committed_, s, cur, target);
+
+    if (f_new >= f_old) {
+        // Speeding up: run the simpler configuration through the
+        // lock window (downsize at the start of the change).
+        applyStructure(s, target, now);
+    } else {
+        // Slowing down: upsize only once the slower clock is locked.
+        pending_[static_cast<size_t>(d)] =
+            PendingApply{true, s, target, lock_done};
+    }
+}
+
+void
+Processor::applyPending(DomainId d, Tick now)
+{
+    PendingApply &p = pending_[static_cast<size_t>(d)];
+    if (p.active && now >= p.apply_at) {
+        applyStructure(p.structure, p.target, now);
+        p.active = false;
+    }
+}
+
+void
+Processor::controlCaches(Tick now)
+{
+    const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
+    Tick fe_period = clock(DomainId::FrontEnd).period();
+    Tick ls_period = clock(DomainId::LoadStore).period();
+
+    Tick i_miss_extra =
+        2 * fe_period + static_cast<Tick>(dc.l2_a_lat) * ls_period;
+    CacheDecision di = chooseICache(l1i_->interval(), i_miss_extra);
+    CacheDecision dd = chooseDCachePair(
+        l1d_->interval(), l2_->interval(), memoryLineFillPs());
+    l1i_->resetInterval();
+    l1d_->resetInterval();
+    l2_->resetInterval();
+
+    auto clearlyBetter = [&](const CacheDecision &d, int cur,
+                             double hysteresis) {
+        double best =
+            static_cast<double>(d.cost_ps[static_cast<size_t>(
+                d.best_index)]);
+        double cur_cost = static_cast<double>(
+            d.cost_ps[static_cast<size_t>(cur)]);
+        return best < cur_cost * (1.0 - hysteresis);
+    };
+    int prop_i =
+        clearlyBetter(di, cur_cfg_.icache, cfg_.icache_hysteresis)
+            ? di.best_index
+            : cur_cfg_.icache;
+    if (damp_icache_.vote(prop_i, cur_cfg_.icache,
+                          cfg_.cache_persistence)) {
+        requestConfig(Structure::ICache, prop_i, now);
+    }
+    int prop_d =
+        clearlyBetter(dd, cur_cfg_.dcache, cfg_.cache_hysteresis)
+            ? dd.best_index
+            : cur_cfg_.dcache;
+    if (damp_dcache_.vote(prop_d, cur_cfg_.dcache,
+                          cfg_.cache_persistence)) {
+        requestConfig(Structure::DCachePair, prop_d, now);
+    }
+}
+
+void
+Processor::controlQueues(Tick now)
+{
+    IlpSample sample = ilp_tracker_.takeSample();
+
+    auto propose = [&](const QueueDecision &d, int cur) {
+        bool passes =
+            d.best_index != cur &&
+            d.score[static_cast<size_t>(d.best_index)] >
+                d.score[static_cast<size_t>(cur)] *
+                    (1.0 + cfg_.queue_hysteresis);
+        return passes ? d.best_index : cur;
+    };
+
+    QueueDecision di = qctl_int_.decide(sample);
+    int prop_i = propose(di, cur_cfg_.iq_int);
+    if (damp_iq_int_.vote(prop_i, cur_cfg_.iq_int,
+                          cfg_.queue_persistence)) {
+        requestConfig(Structure::IntIssueQueue, prop_i, now);
+    }
+
+    QueueDecision df = qctl_fp_.decide(sample);
+    int prop_f = propose(df, cur_cfg_.iq_fp);
+    if (damp_iq_fp_.vote(prop_f, cur_cfg_.iq_fp,
+                         cfg_.queue_persistence)) {
+        requestConfig(Structure::FpIssueQueue, prop_f, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run loop and statistics.
+// ---------------------------------------------------------------------
+
+void
+Processor::stepDomain(int d, Tick now)
+{
+    switch (static_cast<DomainId>(d)) {
+      case DomainId::FrontEnd:
+        applyPending(DomainId::FrontEnd, now);
+        doRetire(now);
+        doRename(now);
+        doFetch(now);
+        break;
+      case DomainId::Integer:
+        stepIssueDomain(DomainId::Integer, now);
+        break;
+      case DomainId::FloatingPoint:
+        stepIssueDomain(DomainId::FloatingPoint, now);
+        break;
+      case DomainId::LoadStore:
+        stepLoadStore(now);
+        break;
+      default:
+        panic("bad domain %d", d);
+    }
+}
+
+void
+Processor::snapshotBaselines(Tick)
+{
+    base_.l1i_acc = l1i_->totalAccesses();
+    base_.l1i_miss = l1i_->totalMisses();
+    base_.l1i_b = l1i_->totalBHits();
+    base_.l1d_acc = l1d_->totalAccesses();
+    base_.l1d_miss = l1d_->totalMisses();
+    base_.l1d_b = l1d_->totalBHits();
+    base_.l2_acc = l2_->totalAccesses();
+    base_.l2_miss = l2_->totalMisses();
+    base_.l2_b = l2_->totalBHits();
+    base_.bp_lookups = predictor_->lookups();
+    base_.bp_miss = predictor_->mispredicts();
+    base_.flushes = flushes_;
+    std::uint64_t relocks = 0;
+    for (const Pll &p : plls_)
+        relocks += p.relocks();
+    base_.relocks = relocks;
+}
+
+void
+Processor::finalizeStats(RunStats &stats) const
+{
+    stats.benchmark = wl_params_.name;
+    stats.config =
+        cfg_.mode == ClockingMode::Synchronous
+            ? csprintf("sync(%s,D%d,Qi%d,Qf%d)",
+                       optICacheConfig(cfg_.sync_icache_opt).name
+                           .c_str(),
+                       cfg_.adaptive.dcache, cfg_.adaptive.iq_int,
+                       cfg_.adaptive.iq_fp)
+            : csprintf("%s(%s)",
+                       cfg_.phase_adaptive ? "phase" : "mcd",
+                       cfg_.adaptive.str().c_str());
+
+    stats.committed = committed_ - measure_committed_base_;
+    stats.time_ps = last_commit_time_ - measure_start_;
+
+    stats.l1i_accesses = l1i_->totalAccesses() - base_.l1i_acc;
+    stats.l1i_misses = l1i_->totalMisses() - base_.l1i_miss;
+    stats.l1i_b_hits = l1i_->totalBHits() - base_.l1i_b;
+    stats.l1d_accesses = l1d_->totalAccesses() - base_.l1d_acc;
+    stats.l1d_misses = l1d_->totalMisses() - base_.l1d_miss;
+    stats.l1d_b_hits = l1d_->totalBHits() - base_.l1d_b;
+    stats.l2_accesses = l2_->totalAccesses() - base_.l2_acc;
+    stats.l2_misses = l2_->totalMisses() - base_.l2_miss;
+    stats.l2_b_hits = l2_->totalBHits() - base_.l2_b;
+    stats.branches = predictor_->lookups() - base_.bp_lookups;
+    stats.mispredicts = predictor_->mispredicts() - base_.bp_miss;
+    stats.flushes = flushes_ - base_.flushes;
+    std::uint64_t relocks = 0;
+    for (const Pll &p : plls_)
+        relocks += p.relocks();
+    stats.relocks = relocks - base_.relocks;
+    stats.trace = trace_;
+}
+
+RunStats
+Processor::run()
+{
+    const std::uint64_t target =
+        wl_params_.warmup_instrs + wl_params_.sim_instrs;
+
+    std::uint64_t steps = 0;
+    std::uint64_t last_committed = committed_;
+    while (committed_ < target) {
+        int d = 0;
+        Tick best = clocks_[0].nextEdge();
+        for (int i = 1; i < kNumDomains; ++i) {
+            Tick e = clocks_[static_cast<size_t>(i)].nextEdge();
+            if (e < best) {
+                best = e;
+                d = i;
+            }
+        }
+        stepDomain(d, best);
+        clocks_[static_cast<size_t>(d)].advance();
+
+        if (++steps >= 8'000'000) {
+            GALS_ASSERT(committed_ != last_committed,
+                        "no commit in 8M domain steps: deadlock at "
+                        "t=%llu (committed=%llu)",
+                        static_cast<unsigned long long>(best),
+                        static_cast<unsigned long long>(committed_));
+            steps = 0;
+            last_committed = committed_;
+        }
+    }
+
+    finalizeStats(stats_);
+    return stats_;
+}
+
+} // namespace gals

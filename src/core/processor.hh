@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The adaptive GALS/MCD processor model.
+ *
+ * Four domains — front end (I-cache, predictor, rename, ROB, retire),
+ * integer, floating-point, and load/store (LSQ, L1D, unified L2) —
+ * each own a clock. The main loop always steps the domain with the
+ * earliest pending edge; all cross-domain traffic (dispatch, operand
+ * visibility, redirects, retirement visibility) pays the synchronizer
+ * rule. In Synchronous mode the four clocks are identical and the
+ * synchronizer rule degenerates to plain next-edge latching.
+ *
+ * Fetch is oracle-driven: a mispredicted branch halts fetch until it
+ * resolves in the integer domain, so the flush penalty (front-end
+ * depth + dispatch depth + synchronization) is paid in time without
+ * modeling wrong-path instructions (see DESIGN.md §4).
+ */
+
+#ifndef GALS_CORE_PROCESSOR_HH
+#define GALS_CORE_PROCESSOR_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "cache/accounting_cache.hh"
+#include "cache/main_memory.hh"
+#include "clock/clock.hh"
+#include "clock/pll.hh"
+#include "clock/sync_fifo.hh"
+#include "control/ilp_tracker.hh"
+#include "control/queue_controller.hh"
+#include "control/reconfig_trace.hh"
+#include "core/machine_config.hh"
+#include "core/run_stats.hh"
+#include "core/structures.hh"
+#include "predictor/hybrid_predictor.hh"
+#include "workload/generator.hh"
+
+namespace gals
+{
+
+/** One configured machine executing one synthetic benchmark. */
+class Processor
+{
+  public:
+    Processor(const MachineConfig &config, const WorkloadParams &wl);
+
+    /** Run warmup + measured window; return window statistics. */
+    RunStats run();
+
+    /** Current structure configuration (changes in phase mode). */
+    const AdaptiveConfig &currentConfig() const { return cur_cfg_; }
+
+  private:
+    struct FetchedOp
+    {
+        MicroOp uop;
+        BranchPrediction pred{};
+        bool mispredict = false;
+    };
+
+    /** A structure change waiting for PLL lock completion. */
+    struct PendingApply
+    {
+        bool active = false;
+        Structure structure = Structure::ICache;
+        int target = 0;
+        Tick apply_at = 0;
+    };
+
+    // Construction.
+    void buildClocks();
+    void buildCaches();
+
+    // Main loop.
+    void stepDomain(int d, Tick now);
+
+    // Front-end stages.
+    void doRetire(Tick now);
+    void doRename(Tick now);
+    void doFetch(Tick now);
+
+    // Execution domains.
+    void stepIssueDomain(DomainId dom, Tick now);
+
+    // Load/store domain.
+    void stepLoadStore(Tick now);
+    bool tryStartLoad(LsqEntry &entry, Tick now, int &ports_used);
+    void drainStoreBuffer(Tick now, int &ports_used, int max_ports);
+    Tick dataHierarchyTime(Addr addr, Tick now);
+    Tick icacheMissTime(Tick now);
+
+    // Timing helpers.
+    Clock &clock(DomainId d)
+    {
+        return clocks_[static_cast<size_t>(d)];
+    }
+    const Clock &clock(DomainId d) const
+    {
+        return clocks_[static_cast<size_t>(d)];
+    }
+    /** When a value produced in `prod` is usable in `cons`. */
+    Tick visibleAt(Tick produced, DomainId prod, DomainId cons) const;
+    /** Operand readiness for an op executing in `dom` at `now`. */
+    bool sourcesVisible(const InFlightOp &op, DomainId dom,
+                        Tick now) const;
+    bool refVisible(PhysRef ref, DomainId dom, Tick now) const;
+
+    // Phase-adaptive control.
+    void controlCaches(Tick now);
+    void controlQueues(Tick now);
+    void requestConfig(Structure s, int target, Tick now);
+    void applyStructure(Structure s, int target, Tick now);
+    int currentIndexOf(Structure s) const;
+    DomainId domainOf(Structure s) const;
+    void applyPending(DomainId d, Tick now);
+
+    // Statistics.
+    void snapshotBaselines(Tick now);
+    void finalizeStats(RunStats &stats) const;
+
+    MachineConfig cfg_;
+    WorkloadParams wl_params_;
+    SyntheticWorkload workload_;
+    AdaptiveConfig cur_cfg_;
+    bool same_domain_;
+
+    std::array<Clock, 4> clocks_;
+    std::array<Pll, 4> plls_;
+    std::array<PendingApply, 4> pending_;
+
+    // Structures.
+    std::unique_ptr<AccountingCache> l1i_;
+    std::unique_ptr<AccountingCache> l1d_;
+    std::unique_ptr<AccountingCache> l2_;
+    std::unique_ptr<HybridPredictor> predictor_;
+    MainMemory memory_;
+
+    RegisterFiles regs_;
+    Rob rob_;
+    IssueQueue iq_int_;
+    IssueQueue iq_fp_;
+    Lsq lsq_;
+    StoreBuffer store_buffer_;
+    FuPool fu_int_;
+    FuPool fu_fp_;
+    std::vector<Tick> mshr_busy_;
+
+    // Fetch state.
+    SyncFifo<FetchedOp> fetch_queue_;
+    std::optional<MicroOp> staged_op_;
+    Addr cur_fetch_line_ = ~0ULL;
+    Tick fetch_line_ready_ = 0;
+    bool fetch_halted_ = false;
+    Tick fetch_resume_ = 0;
+
+    // Dispatch queues (front end -> each execution domain).
+    SyncFifo<size_t> disp_int_;
+    SyncFifo<size_t> disp_fp_;
+    SyncFifo<size_t> disp_ls_;
+
+    // Control.
+    IlpTracker ilp_tracker_;
+    QueueController qctl_int_;
+    QueueController qctl_fp_;
+    ReconfigTrace trace_;
+
+    /** Persistence damper: act only on repeated agreeing decisions. */
+    struct Damper
+    {
+        int target = -1;
+        int count = 0;
+
+        /** Returns true when `target` has persisted `need` times. */
+        bool
+        vote(int proposal, int current, int need)
+        {
+            if (proposal == current) {
+                target = -1;
+                count = 0;
+                return false;
+            }
+            if (proposal == target) {
+                ++count;
+            } else {
+                target = proposal;
+                count = 1;
+            }
+            if (count >= need) {
+                target = -1;
+                count = 0;
+                return true;
+            }
+            return false;
+        }
+    };
+    Damper damp_iq_int_;
+    Damper damp_iq_fp_;
+    Damper damp_icache_;
+    Damper damp_dcache_;
+
+    // Progress.
+    SeqNum next_seq_ = 0;
+    std::uint64_t committed_ = 0;
+    std::uint64_t interval_commits_ = 0;
+    Tick last_commit_time_ = 0;
+    std::uint64_t flushes_ = 0;
+    std::uint64_t fe_idle_cycles_ = 0;
+
+    // Measurement window.
+    bool measuring_ = false;
+    Tick measure_start_ = 0;
+    std::uint64_t measure_committed_base_ = 0;
+
+    struct Baseline
+    {
+        std::uint64_t l1i_acc = 0, l1i_miss = 0, l1i_b = 0;
+        std::uint64_t l1d_acc = 0, l1d_miss = 0, l1d_b = 0;
+        std::uint64_t l2_acc = 0, l2_miss = 0, l2_b = 0;
+        std::uint64_t bp_lookups = 0, bp_miss = 0;
+        std::uint64_t flushes = 0;
+        std::uint64_t relocks = 0;
+    } base_;
+
+    RunStats stats_;
+};
+
+} // namespace gals
+
+#endif // GALS_CORE_PROCESSOR_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Results of one simulation run over the measured window.
+ */
+
+#ifndef GALS_CORE_RUN_STATS_HH
+#define GALS_CORE_RUN_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "control/reconfig_trace.hh"
+
+namespace gals
+{
+
+/** Statistics for one (machine, workload) run. */
+struct RunStats
+{
+    std::string benchmark;
+    std::string config;
+
+    /** Committed instructions in the measured window. */
+    std::uint64_t committed = 0;
+    /** Wall-clock (simulated) time of the window, ps. */
+    Tick time_ps = 0;
+
+    /** Committed instructions per nanosecond (frequency-honest IPC). */
+    double
+    instrsPerNs() const
+    {
+        return time_ps ? static_cast<double>(committed) /
+                             (static_cast<double>(time_ps) / 1000.0)
+                       : 0.0;
+    }
+
+    // Cache behavior over the window.
+    std::uint64_t l1i_accesses = 0, l1i_misses = 0;
+    std::uint64_t l1d_accesses = 0, l1d_misses = 0;
+    std::uint64_t l2_accesses = 0, l2_misses = 0;
+    std::uint64_t l1i_b_hits = 0, l1d_b_hits = 0, l2_b_hits = 0;
+
+    // Branch behavior.
+    std::uint64_t branches = 0, mispredicts = 0;
+
+    /** Fetch stalls caused by mispredicted branches. */
+    std::uint64_t flushes = 0;
+
+    /** PLL re-locks performed (phase mode). */
+    std::uint64_t relocks = 0;
+
+    /**
+     * Instruction-weighted residency of each configuration index,
+     * per structure (phase mode; all weight on the fixed index
+     * otherwise).
+     */
+    std::array<std::uint64_t, 4> icache_residency{};
+    std::array<std::uint64_t, 4> dcache_residency{};
+    std::array<std::uint64_t, 4> iq_int_residency{};
+    std::array<std::uint64_t, 4> iq_fp_residency{};
+
+    /** Reconfiguration log (phase mode). */
+    ReconfigTrace trace;
+};
+
+} // namespace gals
+
+#endif // GALS_CORE_RUN_STATS_HH

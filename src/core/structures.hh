@@ -1,0 +1,329 @@
+/**
+ * @file
+ * In-flight bookkeeping structures of the out-of-order core: the
+ * in-flight op record, reorder buffer, resizable issue queue,
+ * load/store queue, store buffer, and function-unit pools.
+ *
+ * None of these know about clocks or domains; the Processor supplies
+ * all times. Because a mispredicted branch halts fetch until it
+ * resolves (no wrong-path execution), nothing here ever needs to be
+ * squashed; entries leave only by completing/retiring.
+ */
+
+#ifndef GALS_CORE_STRUCTURES_HH
+#define GALS_CORE_STRUCTURES_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/regfile.hh"
+#include "predictor/hybrid_predictor.hh"
+#include "workload/uop.hh"
+
+namespace gals
+{
+
+/** Execution latencies in owning-domain cycles (Alpha-flavored). */
+constexpr int
+opLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:  return 1;
+      case OpClass::Branch:  return 1;
+      case OpClass::IntMul:  return 3;
+      case OpClass::IntDiv:  return 20;
+      case OpClass::FpAlu:   return 4;
+      case OpClass::FpMul:   return 4;
+      case OpClass::FpDiv:   return 16;
+      default:               return 1; // memory ops: cache-determined.
+    }
+}
+
+/** Domain in which an op class executes. */
+constexpr DomainId
+execDomain(OpClass cls)
+{
+    if (isMemOp(cls))
+        return DomainId::LoadStore;
+    if (isFpOp(cls))
+        return DomainId::FloatingPoint;
+    return DomainId::Integer;
+}
+
+/** One op in flight from rename to retire. */
+struct InFlightOp
+{
+    MicroOp uop;
+    SeqNum seq = 0;
+
+    PhysRef psrc1;
+    PhysRef psrc2;
+    PhysRef pdst;
+    PhysRef old_pdst;
+
+    /** Earliest issue time (dispatch-depth pipe). */
+    Tick issue_eligible = 0;
+    bool in_queue = false;
+    bool issued = false;
+    /** Absolute completion time; kTickMax until known. */
+    Tick complete_at = kTickMax;
+    DomainId domain = DomainId::Integer;
+
+    /** Memory ops: slot sequence in the LSQ. */
+    bool is_mem = false;
+    /**
+     * Memory ops: completion time of the address-generation uop
+     * issued from the integer queue (kTickMax until issued). The
+     * load/store unit may access the cache only once this is visible
+     * in its domain.
+     */
+    Tick agen_done = kTickMax;
+    /** Stores: address and data captured, ready to retire. */
+    bool store_ready = false;
+
+    /** Branches. */
+    BranchPrediction pred{};
+    bool mispredict = false;
+
+    bool completed() const { return complete_at != kTickMax; }
+};
+
+/** Circular reorder buffer. Slots stay valid until retire. */
+class Rob
+{
+  public:
+    explicit Rob(int entries)
+        : slots_(static_cast<size_t>(entries))
+    {}
+
+    bool full() const { return count_ == slots_.size(); }
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+
+    /** Allocate the next slot (program order); returns its index. */
+    size_t
+    alloc()
+    {
+        GALS_ASSERT(!full(), "ROB overflow");
+        size_t idx = tail_;
+        tail_ = (tail_ + 1) % slots_.size();
+        ++count_;
+        return idx;
+    }
+
+    /** Index of the oldest op. */
+    size_t headIndex() const
+    {
+        GALS_ASSERT(!empty(), "ROB head of empty buffer");
+        return head_;
+    }
+
+    /** Pop the oldest op after retirement. */
+    void
+    retireHead()
+    {
+        GALS_ASSERT(!empty(), "ROB underflow");
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+    }
+
+    InFlightOp &operator[](size_t idx) { return slots_[idx]; }
+    const InFlightOp &operator[](size_t idx) const
+    {
+        return slots_[idx];
+    }
+
+  private:
+    std::vector<InFlightOp> slots_;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t count_ = 0;
+};
+
+/** Resizable issue queue holding ROB indices in age order. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(int capacity) : capacity_(capacity) {}
+
+    bool full() const
+    {
+        return entries_.size() >= static_cast<size_t>(capacity_);
+    }
+    size_t size() const { return entries_.size(); }
+    int capacity() const { return capacity_; }
+
+    /**
+     * Change capacity. Occupancy above a smaller capacity is legal;
+     * it drains naturally because full() blocks further dispatch.
+     */
+    void setCapacity(int capacity) { capacity_ = capacity; }
+
+    void
+    push(size_t rob_idx)
+    {
+        GALS_ASSERT(!full(), "issue-queue overflow");
+        entries_.push_back(rob_idx);
+    }
+
+    /** Age-ordered entries; the Processor selects and removes. */
+    std::vector<size_t> &entries() { return entries_; }
+
+  private:
+    int capacity_;
+    std::vector<size_t> entries_;
+};
+
+/** One load/store queue entry (program order). */
+struct LsqEntry
+{
+    size_t rob_idx = 0;
+    bool is_store = false;
+    Addr line_addr = 0;
+    /** Arrival at the load/store domain; kTickMax until then. */
+    Tick arrived_at = kTickMax;
+    bool issued = false;
+};
+
+/** Program-ordered load/store queue. */
+class Lsq
+{
+  public:
+    explicit Lsq(int entries) : capacity_(static_cast<size_t>(entries))
+    {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+
+    void
+    allocate(size_t rob_idx, bool is_store, Addr line_addr)
+    {
+        GALS_ASSERT(!full(), "LSQ overflow");
+        entries_.push_back(LsqEntry{rob_idx, is_store, line_addr,
+                                    kTickMax, false});
+    }
+
+    /** Mark the oldest not-yet-arrived entry as arrived. */
+    void
+    markArrived(Tick when)
+    {
+        for (LsqEntry &e : entries_) {
+            if (e.arrived_at == kTickMax) {
+                e.arrived_at = when;
+                return;
+            }
+        }
+        panic("LSQ arrival with no waiting entry");
+    }
+
+    /** Oldest entry (the one the ROB retires next among mem ops). */
+    LsqEntry &front()
+    {
+        GALS_ASSERT(!empty(), "LSQ front of empty queue");
+        return entries_.front();
+    }
+
+    void
+    popFront()
+    {
+        GALS_ASSERT(!empty(), "LSQ pop of empty queue");
+        entries_.pop_front();
+    }
+
+    std::deque<LsqEntry> &entries() { return entries_; }
+
+  private:
+    size_t capacity_;
+    std::deque<LsqEntry> entries_;
+};
+
+/** A committed store waiting to write the cache. */
+struct StoreWrite
+{
+    Addr line_addr = 0;
+    Tick ready_at = 0;
+};
+
+/** Post-commit store buffer. */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(int entries)
+        : capacity_(static_cast<size_t>(entries))
+    {}
+
+    bool full() const { return writes_.size() >= capacity_; }
+    bool empty() const { return writes_.empty(); }
+    size_t size() const { return writes_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    void
+    push(Addr line_addr, Tick ready_at)
+    {
+        GALS_ASSERT(!full(), "store-buffer overflow");
+        writes_.push_back(StoreWrite{line_addr, ready_at});
+    }
+
+    StoreWrite &front() { return writes_.front(); }
+    void pop() { writes_.pop_front(); }
+
+    /** True when a pending write matches the line (forwarding). */
+    bool
+    hasLine(Addr line_addr) const
+    {
+        for (const StoreWrite &w : writes_) {
+            if (w.line_addr == line_addr)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    size_t capacity_;
+    std::deque<StoreWrite> writes_;
+};
+
+/** Per-domain function units: N pipelined ALUs + 1 mult/div unit. */
+struct FuPool
+{
+    int alus = 4;
+    int alu_used = 0;
+    int muldiv_used = 0;
+    Tick muldiv_busy_until = 0;
+
+    void
+    newCycle()
+    {
+        alu_used = 0;
+        muldiv_used = 0;
+    }
+
+    /** Try to claim a unit for the op class at time `now`. */
+    bool
+    claim(OpClass cls, Tick now, Tick complete_at)
+    {
+        bool muldiv = cls == OpClass::IntMul || cls == OpClass::IntDiv ||
+                      cls == OpClass::FpMul || cls == OpClass::FpDiv;
+        if (!muldiv) {
+            if (alu_used >= alus)
+                return false;
+            ++alu_used;
+            return true;
+        }
+        if (muldiv_used >= 1 || muldiv_busy_until > now)
+            return false;
+        ++muldiv_used;
+        // Divides occupy the unit to completion (not pipelined).
+        if (cls == OpClass::IntDiv || cls == OpClass::FpDiv)
+            muldiv_busy_until = complete_at;
+        return true;
+    }
+};
+
+} // namespace gals
+
+#endif // GALS_CORE_STRUCTURES_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal index-parallel helper for the sweep layer. Simulations are
+ * independent and deterministic, so running them on a few host
+ * threads changes nothing but wall-clock time.
+ */
+
+#ifndef GALS_SIM_PARALLEL_HH
+#define GALS_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace gals
+{
+
+/**
+ * Invoke fn(i) for every i in [0, count) across up to `max_threads`
+ * host threads (0 = hardware concurrency). fn must be thread-safe
+ * with respect to distinct indices.
+ */
+template <typename Fn>
+void
+parallelFor(size_t count, Fn fn, unsigned max_threads = 0)
+{
+    if (count == 0)
+        return;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    unsigned n = max_threads == 0 ? hw : std::min(max_threads, hw);
+    n = static_cast<unsigned>(
+        std::min<size_t>(n, count));
+
+    if (n <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+        threads.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+}
+
+} // namespace gals
+
+#endif // GALS_SIM_PARALLEL_HH

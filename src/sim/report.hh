@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text rendering of the paper's tables and figures from study
+ * results. Each bench binary calls one of these so every experiment
+ * prints in a uniform, diffable format.
+ */
+
+#ifndef GALS_SIM_REPORT_HH
+#define GALS_SIM_REPORT_HH
+
+#include <string>
+
+#include "control/reconfig_trace.hh"
+#include "sim/study.hh"
+
+namespace gals
+{
+
+/** Figure 6: per-benchmark improvement bars plus suite averages. */
+std::string renderFigure6(const StudyResult &study);
+
+/** Table 9: distribution of Program-Adaptive configuration choices. */
+std::string renderTable9(const StudyResult &study);
+
+/**
+ * Figure 7-style reconfiguration trace: configuration index versus
+ * committed instructions for one structure of one run.
+ */
+std::string renderReconfigTrace(const std::string &title,
+                                const ReconfigTrace &trace, Structure s,
+                                int initial_index,
+                                std::uint64_t total_instrs,
+                                const std::vector<std::string> &labels);
+
+} // namespace gals
+
+#endif // GALS_SIM_REPORT_HH

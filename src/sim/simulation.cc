@@ -1,0 +1,19 @@
+#include "sim/simulation.hh"
+
+namespace gals
+{
+
+RunStats
+simulate(const MachineConfig &machine, const WorkloadParams &workload)
+{
+    Processor cpu(machine, workload);
+    return cpu.run();
+}
+
+double
+runtimeNs(const RunStats &stats)
+{
+    return static_cast<double>(stats.time_ps) / 1000.0;
+}
+
+} // namespace gals

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Single-run driver: execute one machine configuration against one
+ * synthetic benchmark and return the measured-window statistics.
+ */
+
+#ifndef GALS_SIM_SIMULATION_HH
+#define GALS_SIM_SIMULATION_HH
+
+#include "core/machine_config.hh"
+#include "core/processor.hh"
+#include "core/run_stats.hh"
+#include "workload/params.hh"
+
+namespace gals
+{
+
+/** Run `workload` on `machine`; returns window statistics. */
+RunStats simulate(const MachineConfig &machine,
+                  const WorkloadParams &workload);
+
+/** Measured window runtime in nanoseconds. */
+double runtimeNs(const RunStats &stats);
+
+} // namespace gals
+
+#endif // GALS_SIM_SIMULATION_HH

@@ -1,0 +1,119 @@
+#include "sim/study.hh"
+
+#include "common/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+std::array<int, 4>
+distribution(const std::vector<BenchmarkResult> &results,
+             int AdaptiveConfig::*field)
+{
+    std::array<int, 4> d{};
+    for (const BenchmarkResult &r : results)
+        ++d[static_cast<size_t>(r.program_cfg.*field)];
+    return d;
+}
+
+} // namespace
+
+double
+StudyResult::avgProgramImprovement() const
+{
+    if (benchmarks.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const BenchmarkResult &r : benchmarks)
+        sum += r.programImprovement();
+    return sum / static_cast<double>(benchmarks.size());
+}
+
+double
+StudyResult::avgPhaseImprovement() const
+{
+    if (benchmarks.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const BenchmarkResult &r : benchmarks)
+        sum += r.phaseImprovement();
+    return sum / static_cast<double>(benchmarks.size());
+}
+
+std::array<int, 4>
+StudyResult::distIcache() const
+{
+    return distribution(benchmarks, &AdaptiveConfig::icache);
+}
+
+std::array<int, 4>
+StudyResult::distDcache() const
+{
+    return distribution(benchmarks, &AdaptiveConfig::dcache);
+}
+
+std::array<int, 4>
+StudyResult::distIqInt() const
+{
+    return distribution(benchmarks, &AdaptiveConfig::iq_int);
+}
+
+std::array<int, 4>
+StudyResult::distIqFp() const
+{
+    return distribution(benchmarks, &AdaptiveConfig::iq_fp);
+}
+
+StudyResult
+runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
+         bool verbose)
+{
+    StudyResult out;
+    out.mode = mode;
+    out.benchmarks.resize(suite.size());
+
+    MachineConfig sync = MachineConfig::bestSynchronous();
+    MachineConfig phase = MachineConfig::mcdPhaseAdaptive();
+
+    std::vector<std::uint64_t> runs(suite.size(), 0);
+    // Parallel across benchmarks; the per-benchmark sweep inside
+    // findBestAdaptive stays serial to bound thread fan-out.
+    parallelFor(suite.size(), [&](size_t i) {
+        const WorkloadParams &wl = suite[i];
+        BenchmarkResult r;
+        r.name = wl.name;
+        r.suite = wl.suite;
+
+        r.sync_ns = runtimeNs(simulate(sync, wl));
+
+        ProgramAdaptiveResult pa = findBestAdaptive(wl, mode);
+        r.program_ns = runtimeNs(pa.best_stats);
+        r.program_cfg = pa.best;
+        runs[i] = pa.runs_performed + 2;
+
+        r.phase_stats = simulate(phase, wl);
+        r.phase_ns = runtimeNs(r.phase_stats);
+
+        out.benchmarks[i] = std::move(r);
+    });
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        out.total_runs += runs[i];
+        if (verbose) {
+            const BenchmarkResult &r = out.benchmarks[i];
+            inform("%-18s sync %9.0fns  program %9.0fns (%+5.1f%%, %s)"
+                   "  phase %9.0fns (%+5.1f%%)",
+                   r.name.c_str(), r.sync_ns, r.program_ns,
+                   100.0 * r.programImprovement(),
+                   r.program_cfg.str().c_str(), r.phase_ns,
+                   100.0 * r.phaseImprovement());
+        }
+    }
+    return out;
+}
+
+} // namespace gals

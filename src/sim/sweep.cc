@@ -1,0 +1,187 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+
+namespace gals
+{
+
+SweepMode
+sweepModeFromEnv()
+{
+    const char *env = std::getenv("GALS_SWEEP");
+    if (env && std::strcmp(env, "exhaustive") == 0)
+        return SweepMode::Exhaustive;
+    return SweepMode::Staged;
+}
+
+std::vector<AdaptiveConfig>
+allAdaptiveConfigs()
+{
+    std::vector<AdaptiveConfig> out;
+    out.reserve(256);
+    for (int i = 0; i < 4; ++i)
+        for (int d = 0; d < 4; ++d)
+            for (int qi = 0; qi < 4; ++qi)
+                for (int qf = 0; qf < 4; ++qf)
+                    out.push_back(AdaptiveConfig{i, d, qi, qf});
+    return out;
+}
+
+namespace
+{
+
+/** Run one whole-program adaptive config; returns window stats. */
+RunStats
+runAdaptive(const WorkloadParams &wl, const AdaptiveConfig &cfg)
+{
+    return simulate(MachineConfig::mcdProgram(cfg), wl);
+}
+
+ProgramAdaptiveResult
+exhaustiveSearch(const WorkloadParams &wl)
+{
+    std::vector<AdaptiveConfig> configs = allAdaptiveConfigs();
+    std::vector<double> times(configs.size(), 0.0);
+    std::vector<RunStats> stats(configs.size());
+
+    parallelFor(configs.size(), [&](size_t i) {
+        stats[i] = runAdaptive(wl, configs[i]);
+        times[i] = runtimeNs(stats[i]);
+    });
+
+    size_t best = 0;
+    for (size_t i = 1; i < configs.size(); ++i) {
+        if (times[i] < times[best])
+            best = i;
+    }
+    return ProgramAdaptiveResult{configs[best], stats[best],
+                                 configs.size()};
+}
+
+ProgramAdaptiveResult
+stagedSearch(const WorkloadParams &wl)
+{
+    // Greedy per-structure optimization. Order matters: the cache
+    // pair and I-cache dominate the frequency/miss tradeoffs, so they
+    // are settled before the issue queues.
+    AdaptiveConfig cur{};
+    RunStats best_stats = runAdaptive(wl, cur);
+    double best_time = runtimeNs(best_stats);
+    std::uint64_t runs = 1;
+
+    auto optimize = [&](auto set_field) {
+        // Evaluate the three non-current candidates in parallel.
+        std::vector<AdaptiveConfig> cands;
+        for (int idx = 0; idx < 4; ++idx) {
+            AdaptiveConfig c = cur;
+            set_field(c, idx);
+            if (!(c == cur))
+                cands.push_back(c);
+        }
+        std::vector<RunStats> stats(cands.size());
+        std::vector<double> times(cands.size());
+        parallelFor(cands.size(), [&](size_t i) {
+            stats[i] = runAdaptive(wl, cands[i]);
+            times[i] = runtimeNs(stats[i]);
+        });
+        runs += cands.size();
+        for (size_t i = 0; i < cands.size(); ++i) {
+            if (times[i] < best_time) {
+                best_time = times[i];
+                best_stats = stats[i];
+                cur = cands[i];
+            }
+        }
+    };
+
+    optimize([](AdaptiveConfig &c, int v) { c.dcache = v; });
+    optimize([](AdaptiveConfig &c, int v) { c.icache = v; });
+    optimize([](AdaptiveConfig &c, int v) { c.iq_int = v; });
+    optimize([](AdaptiveConfig &c, int v) { c.iq_fp = v; });
+
+    return ProgramAdaptiveResult{cur, best_stats, runs};
+}
+
+} // namespace
+
+ProgramAdaptiveResult
+findBestAdaptive(const WorkloadParams &wl, SweepMode mode)
+{
+    return mode == SweepMode::Exhaustive ? exhaustiveSearch(wl)
+                                         : stagedSearch(wl);
+}
+
+std::vector<SyncDesignPoint>
+sweepSynchronous(const std::vector<WorkloadParams> &suite, bool full)
+{
+    GALS_ASSERT(!suite.empty(), "empty suite for synchronous sweep");
+
+    struct Point
+    {
+        int ic, dc, qi, qf;
+    };
+    std::vector<Point> points;
+    if (full) {
+        for (int ic = 0; ic < kNumOptICacheConfigs; ++ic)
+            for (int dc = 0; dc < 4; ++dc)
+                for (int qi = 0; qi < 4; ++qi)
+                    for (int qf = 0; qf < 4; ++qf)
+                        points.push_back(Point{ic, dc, qi, qf});
+    } else {
+        for (int ic = 0; ic < kNumOptICacheConfigs; ++ic)
+            for (int dc = 0; dc < 4; ++dc)
+                points.push_back(Point{ic, dc, 0, 0});
+    }
+
+    // runtimes[point][bench]
+    std::vector<std::vector<double>> runtimes(
+        points.size(), std::vector<double>(suite.size(), 0.0));
+
+    size_t total = points.size() * suite.size();
+    parallelFor(total, [&](size_t k) {
+        size_t p = k / suite.size();
+        size_t b = k % suite.size();
+        MachineConfig mc = MachineConfig::synchronous(
+            points[p].ic, points[p].dc, points[p].qi, points[p].qf);
+        runtimes[p][b] = runtimeNs(simulate(mc, suite[b]));
+    });
+
+    // Per-benchmark best for normalization.
+    std::vector<double> best_per_bench(suite.size(), 0.0);
+    for (size_t b = 0; b < suite.size(); ++b) {
+        double best = runtimes[0][b];
+        for (size_t p = 1; p < points.size(); ++p)
+            best = std::min(best, runtimes[p][b]);
+        best_per_bench[b] = best;
+    }
+
+    std::vector<SyncDesignPoint> out;
+    out.reserve(points.size());
+    for (size_t p = 0; p < points.size(); ++p) {
+        double log_sum = 0.0;
+        for (size_t b = 0; b < suite.size(); ++b)
+            log_sum += std::log(runtimes[p][b] / best_per_bench[b]);
+        out.push_back(SyncDesignPoint{
+            points[p].ic, points[p].dc, points[p].qi, points[p].qf,
+            std::exp(log_sum / static_cast<double>(suite.size()))});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SyncDesignPoint &a, const SyncDesignPoint &b) {
+                  return a.norm_runtime < b.norm_runtime;
+              });
+    // Re-normalize so the best point reads exactly 1.0.
+    double best = out.front().norm_runtime;
+    for (SyncDesignPoint &p : out)
+        p.norm_runtime /= best;
+    return out;
+}
+
+} // namespace gals

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Configuration-space search.
+ *
+ * The paper finds Program-Adaptive configurations by exhaustively
+ * simulating all 4x4x4x4 = 256 adaptive MCD configurations per
+ * application, and the "best overall" synchronous baseline by
+ * sweeping 1,024 synchronous design points across the suite (~300
+ * CPU-months). We reproduce both sweeps at scaled windows; because
+ * that is still thousands of runs, a staged-greedy mode (optimize one
+ * structure at a time, in dependence order) is the default and the
+ * exhaustive mode is selected with GALS_SWEEP=exhaustive.
+ */
+
+#ifndef GALS_SIM_SWEEP_HH
+#define GALS_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/run_stats.hh"
+#include "workload/params.hh"
+
+namespace gals
+{
+
+/** Search strategy for the per-application adaptive sweep. */
+enum class SweepMode
+{
+    Staged,     //!< greedy per-structure search (~13 runs).
+    Exhaustive, //!< all 256 configurations.
+};
+
+/** Read GALS_SWEEP (staged|exhaustive); default staged. */
+SweepMode sweepModeFromEnv();
+
+/** Every adaptive configuration (256 points). */
+std::vector<AdaptiveConfig> allAdaptiveConfigs();
+
+/** Outcome of the per-application Program-Adaptive search. */
+struct ProgramAdaptiveResult
+{
+    AdaptiveConfig best;
+    RunStats best_stats;
+    std::uint64_t runs_performed = 0;
+};
+
+/**
+ * Find the whole-program adaptive MCD configuration minimizing the
+ * measured-window runtime for one benchmark.
+ */
+ProgramAdaptiveResult findBestAdaptive(const WorkloadParams &wl,
+                                       SweepMode mode);
+
+/** One synchronous design point and its suite-average slowdown. */
+struct SyncDesignPoint
+{
+    int icache_opt;
+    int dcache;
+    int iq_int;
+    int iq_fp;
+    /**
+     * Geometric-mean runtime across the evaluated suite, normalized
+     * to the best design point (1.0 = best overall).
+     */
+    double norm_runtime;
+};
+
+/**
+ * Sweep synchronous design points across a suite and rank them by
+ * geometric-mean runtime (paper §4's "best overall" search).
+ *
+ * @param suite      benchmarks to average over.
+ * @param full       all 1,024 points when true; a 64-point cross of
+ *                   the 16 I-cache options and 4 cache pairs (issue
+ *                   queues held at 16 entries, which the full sweep
+ *                   confirms) otherwise.
+ * @return design points sorted best-first.
+ */
+std::vector<SyncDesignPoint>
+sweepSynchronous(const std::vector<WorkloadParams> &suite, bool full);
+
+} // namespace gals
+
+#endif // GALS_SIM_SWEEP_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * "CACTI-lite": an analytical SRAM/cache access-time model.
+ *
+ * The paper derives structure timings from CACTI 3.1. We rebuild the
+ * model analytically with the same structural form — decoder depth,
+ * bitline/wire delay growing with capacity, a tag-compare/way-select
+ * term that direct-mapped caches avoid (speculative data read), and a
+ * sub-bank routing term — and calibrate the coefficients per structure
+ * class so the frequency ratios the paper quotes hold:
+ *
+ *  - D-cache/L2 pair: adaptive configurations ~5% slower than optimal
+ *    organizations of equal capacity (Fig. 2);
+ *  - I-cache: ~31% frequency drop from direct-mapped to 2-way on the
+ *    adaptive curve; optimal 64KB direct-mapped ~27% faster than the
+ *    adaptive 64KB 4-way (Fig. 3).
+ *
+ * Unit tests in tests/test_cacti.cc assert these calibration points.
+ */
+
+#ifndef GALS_TIMING_CACTI_MODEL_HH
+#define GALS_TIMING_CACTI_MODEL_HH
+
+#include <cstdint>
+
+namespace gals
+{
+
+/** Physical organization of one SRAM structure. */
+struct SramOrg
+{
+    /** Total capacity in bytes. */
+    std::uint64_t size_bytes = 0;
+    /** Set associativity (1 == direct-mapped). */
+    int assoc = 1;
+    /** Number of identical sub-banks. */
+    int subbanks = 1;
+    /** Line size in bytes (64 throughout the paper). */
+    int line_bytes = 64;
+};
+
+/**
+ * Calibrated coefficients for one structure class. All delays are in
+ * nanoseconds; see cacti_model.cc for the derivation of the presets.
+ */
+struct CactiParams
+{
+    /** Fixed decode + sense overhead. */
+    double base_ns;
+    /** Coefficient on log2(capacity in KB) — decoder depth. */
+    double log_size_ns;
+    /** Coefficient on capacity/64KB — bitline/wire RC. */
+    double linear_size_ns;
+    /** Fixed tag-compare + way-mux cost once assoc > 1. */
+    double assoc_base_ns;
+    /** Additional cost per log2(assoc) level. */
+    double assoc_log_ns;
+    /** Sub-bank routing cost per log2(subbanks). */
+    double subbank_log_ns;
+    /**
+     * Replication penalty multiplier applied to adaptive structures
+     * sized above their minimal configuration (the adaptive design
+     * must replicate the minimal sub-bank layout; see paper §2).
+     */
+    double adaptive_penalty;
+};
+
+/**
+ * Access-time model for one structure class (L1D, L1I, L2...).
+ *
+ * The model is deliberately monotone: larger capacity, higher
+ * associativity, and more sub-banks never make an access faster.
+ */
+class CactiModel
+{
+  public:
+    explicit CactiModel(const CactiParams &params) : params_(params) {}
+
+    /**
+     * Access time of an optimally organized (non-resizable) structure.
+     *
+     * @param org physical organization.
+     * @return access time in nanoseconds.
+     */
+    double accessNs(const SramOrg &org) const;
+
+    /**
+     * Access time of an adaptive structure: the organization replicates
+     * the minimal configuration's sub-banking, and any configuration
+     * larger than the minimal one pays the replication penalty.
+     *
+     * @param org physical organization (A partition only).
+     * @param is_minimal true when this is the smallest configuration.
+     */
+    double adaptiveAccessNs(const SramOrg &org, bool is_minimal) const;
+
+    /** Preset calibrated for the L1D/L2 data-cache class. */
+    static const CactiModel &dataCache();
+
+    /** Preset calibrated for the I-cache + branch-predictor path. */
+    static const CactiModel &instCache();
+
+  private:
+    CactiParams params_;
+};
+
+} // namespace gals
+
+#endif // GALS_TIMING_CACTI_MODEL_HH

@@ -1,0 +1,93 @@
+#include "timing/gate_cost.hh"
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+constexpr int kHalfAdderPerBit = 3;
+constexpr int kFullAdderPerBit = 7;
+constexpr int kFlipFlopPerBit = 4;
+constexpr int kMultiplierCellPerBit = 1;
+constexpr int kComparatorPerBit = 6;
+} // namespace
+
+std::vector<GateCostRow>
+GateCostModel::rows() const
+{
+    std::vector<GateCostRow> out;
+
+    // Counters: a half-adder increment stage plus a flip-flop per bit.
+    int counter_gates = (kHalfAdderPerBit + kFlipFlopPerBit) *
+                        dp_.counter_bits;
+    out.push_back({csprintf("%d MRU and Hit Counters (%d-bit)",
+                            dp_.num_counters, dp_.counter_bits),
+                   "3n (Half-Adder) + 4n (D Flip-Flop) = 7n each",
+                   counter_gates * dp_.num_counters});
+
+    int adder_gates = kFullAdderPerBit * dp_.adder_bits;
+    out.push_back({csprintf("%d Adders (%d-bit)", dp_.num_adders,
+                            dp_.adder_bits),
+                   "7n (Full-Adder) = 7n each",
+                   adder_gates * dp_.num_adders});
+
+    // Iterative multiplier: one multiplier cell plus a flip-flop per
+    // result bit (one partial product per cycle).
+    int mult_gates = (kMultiplierCellPerBit + kFlipFlopPerBit) *
+                     dp_.multiplier_result_bits;
+    out.push_back({csprintf("%d 8x28-bit Multipliers (%d-bit Result)",
+                            dp_.num_multipliers,
+                            dp_.multiplier_result_bits),
+                   "1n (Multiplier) + 4n (D Flip-Flop) = 5n each",
+                   mult_gates * dp_.num_multipliers});
+
+    out.push_back({csprintf("1 Final Adder (%d-bit)",
+                            dp_.final_adder_bits),
+                   "7n (Full-adder) = 7n each",
+                   kFullAdderPerBit * dp_.final_adder_bits});
+
+    out.push_back({csprintf("Result Register (%d-bit)",
+                            dp_.result_register_bits),
+                   "4n (D Flip-Flop) = 4n each",
+                   kFlipFlopPerBit * dp_.result_register_bits});
+
+    out.push_back({csprintf("Comparator (%d-bit)", dp_.comparator_bits),
+                   "6n (Comparator) = 6n each",
+                   kComparatorPerBit * dp_.comparator_bits});
+
+    return out;
+}
+
+int
+GateCostModel::totalGates() const
+{
+    int total = 0;
+    for (const GateCostRow &row : rows())
+        total += row.equivalent_gates;
+    return total;
+}
+
+int
+GateCostModel::decisionCycles() const
+{
+    // One partial product per cycle for the multiplier operand width
+    // (8 bits per the paper's 8x28 multipliers; the two multipliers
+    // run in parallel, halving the passes), plus a binary addition
+    // tree over the counter terms, evaluated once per candidate
+    // configuration.
+    constexpr int multiplier_passes = 8;
+    int add_tree_depth = 0;
+    int terms = dp_.num_adders;
+    while (terms > 1) {
+        terms = (terms + 1) / 2;
+        ++add_tree_depth;
+    }
+    int per_config = multiplier_passes / dp_.num_multipliers +
+                     add_tree_depth;
+    constexpr int num_configs = 4;
+    return per_config * num_configs;
+}
+
+} // namespace gals

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Gate-count estimator for the phase-adaptive cache control hardware
+ * (reproduces Table 4 of the paper). Equivalent-gate weights follow
+ * Zimmermann's arithmetic-circuit notes as cited by the paper.
+ */
+
+#ifndef GALS_TIMING_GATE_COST_HH
+#define GALS_TIMING_GATE_COST_HH
+
+#include <string>
+#include <vector>
+
+namespace gals
+{
+
+/** One row of the hardware-cost estimate. */
+struct GateCostRow
+{
+    std::string component;  //!< e.g. "24 MRU and Hit Counters (15-bit)".
+    std::string estimate;   //!< the per-unit gate formula.
+    int equivalent_gates;   //!< total equivalent gates for the row.
+};
+
+/** Parameters of the accounting-cache decision datapath. */
+struct CacheControlDatapath
+{
+    int num_counters = 24;       //!< MRU + hit counters per cache pair.
+    int counter_bits = 15;       //!< counter width.
+    int num_adders = 11;         //!< cost-summation adders.
+    int adder_bits = 15;         //!< adder width.
+    int num_multipliers = 2;     //!< latency x count multipliers.
+    int multiplier_result_bits = 36;
+    int final_adder_bits = 36;
+    int result_register_bits = 36;
+    int comparator_bits = 36;
+};
+
+/**
+ * Gate-cost model for one adaptable cache (or cache pair) controller.
+ *
+ * Weights (equivalent gates per bit): half-adder 3, full-adder 7,
+ * D flip-flop 4, iterative multiplier cell 1, comparator 6.
+ */
+class GateCostModel
+{
+  public:
+    explicit GateCostModel(const CacheControlDatapath &dp = {})
+        : dp_(dp)
+    {}
+
+    /** The itemized rows of Table 4. */
+    std::vector<GateCostRow> rows() const;
+
+    /** Total equivalent gates (Table 4 bottom line: 4,647). */
+    int totalGates() const;
+
+    /**
+     * Cycles needed for a full reconfiguration decision, assuming one
+     * partial product per cycle plus the binary addition tree (the
+     * paper estimates ~32 cycles).
+     */
+    int decisionCycles() const;
+
+  private:
+    CacheControlDatapath dp_;
+};
+
+} // namespace gals
+
+#endif // GALS_TIMING_GATE_COST_HH

@@ -1,0 +1,47 @@
+#include "timing/palacharla_model.hh"
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+int
+IssueQueueTiming::selectionLevels(int entries)
+{
+    GALS_ASSERT(entries >= 1, "queue must have at least one entry");
+    int levels = 0;
+    int reach = 1;
+    while (reach < entries) {
+        reach *= 4;
+        ++levels;
+    }
+    return levels == 0 ? 1 : levels;
+}
+
+double
+IssueQueueTiming::wakeupNs(int entries) const
+{
+    return params_.wakeup_base_ns +
+           params_.wakeup_per_entry_ns * entries;
+}
+
+double
+IssueQueueTiming::selectNs(int entries) const
+{
+    return params_.select_base_ns +
+           params_.select_level_ns * selectionLevels(entries);
+}
+
+double
+IssueQueueTiming::cycleNs(int entries) const
+{
+    return wakeupNs(entries) + selectNs(entries);
+}
+
+double
+IssueQueueTiming::freqGHz(int entries) const
+{
+    return 1.0 / cycleNs(entries);
+}
+
+} // namespace gals

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Issue-queue timing model after Palacharla, Jouppi and Smith.
+ *
+ * The cycle time of the issue loop is the wakeup delay (tag drive and
+ * match across all entries, linear in queue depth) plus the selection
+ * delay (a log4 arbitration tree whose depth is ceil(log4(entries))).
+ * Because selection dominates, growing from 16 entries (2 tree levels)
+ * to anything up to 64 entries (3 levels) costs a large frequency step
+ * — the cliff visible in the paper's Figure 4.
+ */
+
+#ifndef GALS_TIMING_PALACHARLA_MODEL_HH
+#define GALS_TIMING_PALACHARLA_MODEL_HH
+
+namespace gals
+{
+
+/** Calibrated delay coefficients for the issue-queue loop (ns). */
+struct IssueQueueTimingParams
+{
+    /** Fixed wakeup overhead (tag drive). */
+    double wakeup_base_ns = 0.05;
+    /** Wakeup cost per queue entry (tag match fan-out). */
+    double wakeup_per_entry_ns = 0.00405;
+    /** Delay of one log4 selection-tree level. */
+    double select_level_ns = 0.235;
+    /** Fixed selection overhead (grant drive back). */
+    double select_base_ns = 0.073;
+};
+
+/** Issue-queue wakeup+select timing as a function of queue depth. */
+class IssueQueueTiming
+{
+  public:
+    IssueQueueTiming() = default;
+    explicit IssueQueueTiming(const IssueQueueTimingParams &p)
+        : params_(p)
+    {}
+
+    /** Depth of the log4 selection tree for a queue of n entries. */
+    static int selectionLevels(int entries);
+
+    /** Wakeup delay in ns. */
+    double wakeupNs(int entries) const;
+
+    /** Selection delay in ns. */
+    double selectNs(int entries) const;
+
+    /** Full issue-loop delay in ns (wakeup + select, single cycle). */
+    double cycleNs(int entries) const;
+
+    /** Maximum issue-queue clock in GHz for the given depth. */
+    double freqGHz(int entries) const;
+
+  private:
+    IssueQueueTimingParams params_;
+};
+
+} // namespace gals
+
+#endif // GALS_TIMING_PALACHARLA_MODEL_HH

@@ -1,0 +1,302 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+namespace
+{
+constexpr int kLineBytes = 64;
+constexpr int kInstrBytes = 4;
+
+std::uint64_t
+linesOf(std::uint64_t bytes)
+{
+    return std::max<std::uint64_t>(1, bytes / kLineBytes);
+}
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams &params)
+    : params_(params), rng_(params.seed, 0x2545f4914f6cdd1dULL)
+{
+    GALS_ASSERT(!params_.phases.empty(),
+                "workload '%s' has no phases", params_.name.c_str());
+    startPhase(0);
+}
+
+const PhaseParams &
+SyntheticWorkload::phase() const
+{
+    return params_.phases[static_cast<size_t>(phase_idx_)];
+}
+
+void
+SyntheticWorkload::startPhase(int idx)
+{
+    phase_idx_ = idx;
+    instrs_in_phase_ = 0;
+    const PhaseParams &p = phase();
+
+    GALS_ASSERT(p.block_len >= 2, "block_len must be at least 2");
+    GALS_ASSERT(p.num_chains >= 1 && p.chain_segment_len >= 1,
+                "chain parameters must be positive");
+
+    hot_lines_ = linesOf(p.code_hot_bytes);
+    total_lines_ = std::max(linesOf(p.code_total_bytes), hot_lines_);
+    loop_start_ = loop_start_ % hot_lines_;
+    newLoopEpisode();
+    pos_in_loop_ = 0;
+    cur_line_ = loop_start_;
+    in_excursion_ = false;
+    excursion_left_ = 0;
+    instr_in_block_ = 0;
+
+    // Keep per-site branch state across phases when the layout allows;
+    // grow it to cover the whole footprint.
+    if (site_counter_.size() < total_lines_) {
+        site_counter_.resize(total_lines_, 0);
+        site_kind_.resize(total_lines_, 0);
+    }
+
+    chains_.resize(static_cast<size_t>(p.num_chains));
+    int window = std::max(1, (kNumIntRegs - 8) / p.num_chains);
+    for (size_t i = 0; i < chains_.size(); ++i) {
+        Chain &c = chains_[i];
+        c.is_fp = rng_.chance(p.fp_frac);
+        c.tail = kZeroReg;
+        c.stream_pos = (i * 4096) % std::max<std::uint64_t>(
+            p.stream_bytes, static_cast<std::uint64_t>(kLineBytes));
+        c.reg_base = 8 + static_cast<int>(i) * window;
+        c.reg_count = window;
+        c.reg_next = 0;
+    }
+    chain_idx_ = 0;
+    ops_in_segment_ = 0;
+}
+
+std::int8_t
+SyntheticWorkload::allocReg(Chain &chain)
+{
+    int r = chain.reg_base + chain.reg_next;
+    chain.reg_next = (chain.reg_next + 1) % chain.reg_count;
+    if (chain.is_fp)
+        r += kFirstFpReg;
+    return static_cast<std::int8_t>(r);
+}
+
+bool
+SyntheticWorkload::branchOutcome()
+{
+    const PhaseParams &p = phase();
+    size_t site = static_cast<size_t>(cur_line_ % total_lines_);
+    std::uint32_t &counter = site_counter_[site];
+    ++counter;
+
+    std::uint8_t &kind = site_kind_[site];
+    if (kind == 0) {
+        // First execution decides the site's behavior.
+        if (rng_.chance(p.loop_site_frac))
+            kind = 1;
+        else
+            kind = rng_.chance(0.85) ? 2 : 3;
+    }
+
+    bool taken = true;
+    switch (kind) {
+      case 1:
+        // Loop backedge: taken except every pattern_len-th run.
+        taken = p.branch_pattern_len <= 1 ||
+                (counter % static_cast<std::uint32_t>(
+                     p.branch_pattern_len)) != 0;
+        break;
+      case 2:
+        taken = true;
+        break;
+      default:
+        taken = false;
+        break;
+    }
+    if (p.branch_noise > 0.0 && rng_.chance(p.branch_noise))
+        taken = rng_.chance(0.5);
+    return taken;
+}
+
+void
+SyntheticWorkload::newLoopEpisode()
+{
+    const PhaseParams &p = phase();
+    std::uint64_t max_len = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(std::max(p.loop_lines_max, 1)),
+        hot_lines_);
+    loop_len_ = 1 + rng_.nextBounded(
+        static_cast<std::uint32_t>(max_len));
+    loop_iters_left_ =
+        1 + static_cast<int>(rng_.nextBounded(static_cast<std::uint32_t>(
+            std::max(p.loop_iters_max, 1))));
+}
+
+void
+SyntheticWorkload::advanceBlock()
+{
+    const PhaseParams &p = phase();
+    if (in_excursion_) {
+        if (--excursion_left_ <= 0) {
+            in_excursion_ = false;
+            cur_line_ = (loop_start_ + pos_in_loop_) % hot_lines_;
+        } else {
+            excursion_pos_ = hot_lines_ +
+                             (excursion_pos_ - hot_lines_ + 1) %
+                                 (total_lines_ - hot_lines_);
+            cur_line_ = excursion_pos_;
+        }
+        return;
+    }
+    if (total_lines_ > hot_lines_ && rng_.chance(p.excursion_frac)) {
+        in_excursion_ = true;
+        excursion_left_ = p.excursion_len;
+        excursion_pos_ = hot_lines_ +
+                         rng_.nextBounded(static_cast<std::uint32_t>(
+                             total_lines_ - hot_lines_));
+        cur_line_ = excursion_pos_;
+        return;
+    }
+
+    // Advance within the current loop episode; iterate it; then move
+    // the episode window onward through the hot footprint.
+    ++pos_in_loop_;
+    if (pos_in_loop_ >= loop_len_) {
+        pos_in_loop_ = 0;
+        if (--loop_iters_left_ <= 0) {
+            loop_start_ = (loop_start_ + loop_len_) % hot_lines_;
+            newLoopEpisode();
+        }
+    }
+    cur_line_ = (loop_start_ + pos_in_loop_) % hot_lines_;
+}
+
+Addr
+SyntheticWorkload::dataAddress(Chain &chain)
+{
+    const PhaseParams &p = phase();
+    if (p.rand_bytes >= kLineBytes && rng_.chance(p.rand_frac)) {
+        // The pool sits contiguously after the streamed region (as a
+        // real heap would), so small working sets do not suffer
+        // artificial direct-mapped conflicts.
+        Addr rand_base =
+            kStreamBase +
+            ((std::max<std::uint64_t>(p.stream_bytes, kLineBytes) +
+              3 * kLineBytes) /
+             kLineBytes) *
+                kLineBytes;
+        std::uint64_t lines = linesOf(p.rand_bytes);
+        std::uint64_t line = rng_.nextBounded(
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                lines, 0xffffffffULL)));
+        return rand_base + line * kLineBytes;
+    }
+    std::uint64_t region = std::max<std::uint64_t>(
+        p.stream_bytes, static_cast<std::uint64_t>(kLineBytes));
+    chain.stream_pos =
+        (chain.stream_pos + std::max<std::uint64_t>(
+                                p.stream_stride_bytes, 1)) %
+        region;
+    return kStreamBase + chain.stream_pos;
+}
+
+MicroOp
+SyntheticWorkload::makeBranch()
+{
+    MicroOp op;
+    op.cls = OpClass::Branch;
+    Chain &chain = chains_[chain_idx_];
+    bool data_dep = !chain.is_fp &&
+                    rng_.chance(phase().branch_dep_frac);
+    op.src1 = data_dep ? chain.tail : kZeroReg;
+    op.src2 = -1;
+    op.dst = -1;
+    op.taken = branchOutcome();
+    return op;
+}
+
+MicroOp
+SyntheticWorkload::makeWork()
+{
+    const PhaseParams &p = phase();
+    Chain &chain = chains_[chain_idx_];
+
+    MicroOp op;
+    op.src1 = chain.tail;
+    op.src2 = kZeroReg;
+    if (p.cross_chain_frac > 0.0 && chains_.size() > 1 &&
+        rng_.chance(p.cross_chain_frac)) {
+        size_t other = rng_.nextBounded(
+            static_cast<std::uint32_t>(chains_.size()));
+        op.src2 = chains_[other].tail;
+    }
+
+    double roll = rng_.nextDouble();
+    if (roll < p.load_frac) {
+        op.cls = chain.is_fp ? OpClass::FpLoad : OpClass::Load;
+        op.mem_addr = dataAddress(chain);
+        op.dst = allocReg(chain);
+        if (rng_.chance(p.load_chain_frac))
+            chain.tail = op.dst;
+    } else if (roll < p.load_frac + p.store_frac) {
+        op.cls = OpClass::Store;
+        op.mem_addr = dataAddress(chain);
+        op.src2 = chain.tail;
+        op.dst = -1;
+    } else {
+        double alu = rng_.nextDouble();
+        if (chain.is_fp) {
+            op.cls = alu < p.div_frac ? OpClass::FpDiv
+                     : alu < p.div_frac + p.mul_frac ? OpClass::FpMul
+                                                     : OpClass::FpAlu;
+        } else {
+            op.cls = alu < p.div_frac ? OpClass::IntDiv
+                     : alu < p.div_frac + p.mul_frac ? OpClass::IntMul
+                                                     : OpClass::IntAlu;
+        }
+        op.dst = allocReg(chain);
+        chain.tail = op.dst;
+    }
+
+    if (++ops_in_segment_ >= p.chain_segment_len) {
+        ops_in_segment_ = 0;
+        chain_idx_ = (chain_idx_ + 1) % chains_.size();
+    }
+    return op;
+}
+
+MicroOp
+SyntheticWorkload::next()
+{
+    const PhaseParams &p = phase();
+
+    MicroOp op;
+    bool end_of_block = instr_in_block_ == p.block_len - 1;
+    op = end_of_block ? makeBranch() : makeWork();
+    op.pc = kCodeBase + cur_line_ * kLineBytes +
+            static_cast<Addr>((instr_in_block_ * kInstrBytes) %
+                              kLineBytes);
+
+    if (end_of_block) {
+        instr_in_block_ = 0;
+        advanceBlock();
+    } else {
+        ++instr_in_block_;
+    }
+
+    ++generated_;
+    if (++instrs_in_phase_ >= p.length_instrs) {
+        int next_phase =
+            (phase_idx_ + 1) % static_cast<int>(params_.phases.size());
+        startPhase(next_phase);
+    }
+    return op;
+}
+
+} // namespace gals

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic synthetic instruction-stream generator.
+ *
+ * The generator walks a hot code loop (one basic block per step, with
+ * occasional excursions into cold code), emits interleaved dependence
+ * chains in segments, issues loads/stores against a streamed region
+ * and a random pool, and ends every block with a conditional branch
+ * whose outcome follows a per-site periodic pattern perturbed by
+ * noise. All state advances from one Pcg32 stream, so a given
+ * WorkloadParams always produces the identical instruction sequence.
+ */
+
+#ifndef GALS_WORKLOAD_GENERATOR_HH
+#define GALS_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/params.hh"
+#include "workload/uop.hh"
+
+namespace gals
+{
+
+/**
+ * Address-space layout of the synthetic program. Data lives at
+ * kStreamBase: the streamed region first, then (padded by a few
+ * lines) the random pool — contiguous, as a real heap would lay
+ * them out, so small working sets do not suffer artificial
+ * direct-mapped conflicts.
+ */
+constexpr Addr kCodeBase = 0x0001'0000;
+constexpr Addr kStreamBase = 0x1000'0000;
+
+/** The synthetic benchmark instruction stream. */
+class SyntheticWorkload
+{
+  public:
+    explicit SyntheticWorkload(const WorkloadParams &params);
+
+    /** Generate the next micro-op in program order. */
+    MicroOp next();
+
+    /** Number of ops generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+    /** Index into params().phases of the current phase. */
+    int currentPhase() const { return phase_idx_; }
+
+    const WorkloadParams &params() const { return params_; }
+
+    /** Current phase's parameters. */
+    const PhaseParams &phase() const;
+
+  private:
+    struct Chain
+    {
+        bool is_fp = false;
+        std::int8_t tail = kZeroReg;
+        Addr stream_pos = 0;
+        /** Dedicated logical-register window (no cross-chain
+         * aliasing: a chain's tail is never overwritten by another
+         * chain's destinations). */
+        int reg_base = 8;
+        int reg_count = 1;
+        int reg_next = 0;
+    };
+
+    void startPhase(int idx);
+    void advanceBlock();
+    std::int8_t allocReg(Chain &chain);
+    bool branchOutcome();
+    Addr dataAddress(Chain &chain);
+    MicroOp makeBranch();
+    MicroOp makeWork();
+
+    WorkloadParams params_;
+    Pcg32 rng_;
+
+    int phase_idx_ = -1;
+    std::uint64_t instrs_in_phase_ = 0;
+    std::uint64_t generated_ = 0;
+
+    // Code walk (loop episodes over the hot footprint).
+    std::uint64_t hot_lines_ = 1;
+    std::uint64_t total_lines_ = 1;
+    std::uint64_t loop_start_ = 0;
+    std::uint64_t loop_len_ = 1;
+    int loop_iters_left_ = 1;
+    std::uint64_t pos_in_loop_ = 0;
+    std::uint64_t cur_line_ = 0;
+    bool in_excursion_ = false;
+    int excursion_left_ = 0;
+    std::uint64_t excursion_pos_ = 0;
+    int instr_in_block_ = 0;
+
+    void newLoopEpisode();
+
+    // Dependence chains.
+    std::vector<Chain> chains_;
+    size_t chain_idx_ = 0;
+    int ops_in_segment_ = 0;
+
+    // Per-branch-site iteration counters (indexed by hot line).
+    std::vector<std::uint32_t> site_counter_;
+    /** Per-site behavior: 0 unset, 1 loop, 2 taken, 3 not-taken. */
+    std::vector<std::uint8_t> site_kind_;
+};
+
+} // namespace gals
+
+#endif // GALS_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The benchmark suite: synthetic analogs of the 40 runs (32
+ * applications) the paper evaluates — 16 MediaBench runs, 9 Olden
+ * runs, and 15 SPEC2000 runs (Tables 6, 7, 8).
+ *
+ * Each descriptor's knobs are tuned to the application's published
+ * character (see DESIGN.md §5): e.g. adpcm is a tiny high-ILP kernel,
+ * em3d is a memory-bound pointer chaser, gcc has a large instruction
+ * and data footprint, apsi alternates data working sets between
+ * phases, art cycles through ILP-distance regimes.
+ *
+ * Simulation windows are scaled down ~1000x from the paper's (120K to
+ * 260K measured instructions) so the full Figure 6 study runs on a
+ * laptop; phase periods are scaled proportionally.
+ */
+
+#ifndef GALS_WORKLOAD_SUITE_HH
+#define GALS_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/params.hh"
+
+namespace gals
+{
+
+/** All 40 benchmark runs, in the paper's Figure 6 order. */
+const std::vector<WorkloadParams> &benchmarkSuite();
+
+/** Look up one benchmark by name; fatal when unknown. */
+const WorkloadParams &findBenchmark(const std::string &name);
+
+} // namespace gals
+
+#endif // GALS_WORKLOAD_SUITE_HH

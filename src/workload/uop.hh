@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The value-free micro-operation that flows from the workload
+ * generator through the pipeline. Only the fields that affect timing
+ * exist: operation class, logical registers, memory address, and the
+ * oracle branch outcome. Semantics (actual values) are not simulated;
+ * every result the paper reports is a timing result.
+ */
+
+#ifndef GALS_WORKLOAD_UOP_HH
+#define GALS_WORKLOAD_UOP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gals
+{
+
+/** Operation classes with distinct timing behavior. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    FpLoad,
+    Store,
+    Branch,
+};
+
+/** Logical register file layout: 32 integer + 32 floating point. */
+constexpr int kNumIntRegs = 32;
+constexpr int kNumFpRegs = 32;
+constexpr int kNumLogicalRegs = kNumIntRegs + kNumFpRegs;
+/** Register 0 is a hard-wired always-ready zero register. */
+constexpr int kZeroReg = 0;
+/** First floating-point logical register. */
+constexpr int kFirstFpReg = kNumIntRegs;
+
+/** True for operations executed in the floating-point domain. */
+constexpr bool
+isFpOp(OpClass cls)
+{
+    return cls == OpClass::FpAlu || cls == OpClass::FpMul ||
+           cls == OpClass::FpDiv;
+}
+
+/** True for memory operations (executed in the load/store domain). */
+constexpr bool
+isMemOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::FpLoad ||
+           cls == OpClass::Store;
+}
+
+/** One micro-operation in program order. */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    Addr pc = 0;
+    /** Logical source registers; -1 when unused. */
+    std::int8_t src1 = -1;
+    std::int8_t src2 = -1;
+    /** Logical destination register; -1 when none. */
+    std::int8_t dst = -1;
+    /** Byte address for memory operations. */
+    Addr mem_addr = 0;
+    /** Oracle outcome for branches. */
+    bool taken = false;
+};
+
+} // namespace gals
+
+#endif // GALS_WORKLOAD_UOP_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the Accounting Cache, including the property at the heart
+ * of the paper's controller: one interval of MRU-position counters
+ * reconstructs exactly the A/B hit counts that *every* partitioning
+ * would have produced on the same access stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/accounting_cache.hh"
+#include "common/random.hh"
+
+using namespace gals;
+
+namespace
+{
+constexpr std::uint64_t KB = 1024;
+
+/** Synthesize a mixed stream: strided sweeps plus random pool. */
+std::vector<Addr>
+mixedStream(std::uint64_t seed, size_t n, std::uint64_t pool_bytes,
+            double rand_frac)
+{
+    Pcg32 rng(seed);
+    std::vector<Addr> out;
+    out.reserve(n);
+    Addr stream_pos = 0;
+    std::uint64_t lines = pool_bytes / 64;
+    for (size_t i = 0; i < n; ++i) {
+        if (rng.chance(rand_frac)) {
+            out.push_back(0x4000'0000 +
+                          rng.nextBounded(static_cast<std::uint32_t>(
+                              lines)) * 64);
+        } else {
+            stream_pos = (stream_pos + 64) % pool_bytes;
+            out.push_back(0x1000'0000 + stream_pos);
+        }
+    }
+    return out;
+}
+} // namespace
+
+TEST(AccountingCache, Geometry)
+{
+    AccountingCache c("c", 256 * KB, 8);
+    EXPECT_EQ(c.numSets(), 512);
+    EXPECT_EQ(c.ways(), 8);
+    EXPECT_EQ(c.lineBytes(), 64);
+    EXPECT_EQ(c.aWays(), 8);
+}
+
+TEST(AccountingCache, HitsAfterFill)
+{
+    AccountingCache c("c", 8 * KB, 4);
+    c.setPartition(4, true);
+    Addr a = 0x1000;
+    EXPECT_EQ(c.access(a).where, HitWhere::Miss);
+    EXPECT_EQ(c.access(a).where, HitWhere::APartition);
+    EXPECT_EQ(c.access(a).where, HitWhere::APartition);
+    EXPECT_EQ(c.totalMisses(), 1u);
+    EXPECT_EQ(c.totalAHits(), 2u);
+}
+
+TEST(AccountingCache, BPartitionHitAndSwap)
+{
+    AccountingCache c("c", 8 * KB, 4);
+    c.setPartition(1, true);
+    // Four lines mapping to the same set (set stride = 32 lines).
+    Addr set_stride = 32 * 64;
+    Addr a0 = 0, a1 = set_stride, a2 = 2 * set_stride;
+    c.access(a0);
+    c.access(a1); // a0 pushed to MRU pos 1 (B partition).
+    EXPECT_EQ(c.access(a0).where, HitWhere::BPartition);
+    // The swap made a0 MRU again.
+    EXPECT_EQ(c.access(a0).where, HitWhere::APartition);
+    EXPECT_EQ(c.access(a1).where, HitWhere::BPartition);
+    c.access(a2);
+    EXPECT_EQ(c.totalBHits(), 2u);
+}
+
+TEST(AccountingCache, NoBHitsWhenDisabled)
+{
+    AccountingCache c("c", 8 * KB, 4);
+    c.setPartition(1, false);
+    Addr set_stride = 32 * 64;
+    c.access(0);
+    c.access(set_stride);          // evicts line 0 (A is 1 way).
+    EXPECT_EQ(c.access(0).where, HitWhere::Miss);
+    EXPECT_EQ(c.totalBHits(), 0u);
+}
+
+TEST(AccountingCache, DisablingBInvalidatesRetainedBlocks)
+{
+    AccountingCache c("c", 8 * KB, 4);
+    c.setPartition(4, true);
+    Addr set_stride = 32 * 64;
+    for (int i = 0; i < 4; ++i)
+        c.access(static_cast<Addr>(i) * set_stride);
+    // All four resident; now shrink A to 1 without B.
+    c.setPartition(1, false);
+    // Only the MRU block (i=3) survives.
+    EXPECT_EQ(c.access(3 * set_stride).where, HitWhere::APartition);
+    EXPECT_EQ(c.access(0 * set_stride).where, HitWhere::Miss);
+}
+
+TEST(AccountingCache, IntervalCountersResettable)
+{
+    AccountingCache c("c", 8 * KB, 4);
+    c.access(0);
+    c.access(0);
+    EXPECT_EQ(c.interval().accesses, 2u);
+    EXPECT_EQ(c.interval().misses, 1u);
+    EXPECT_EQ(c.interval().mru_hits[0], 1u);
+    c.resetInterval();
+    EXPECT_EQ(c.interval().accesses, 0u);
+    EXPECT_EQ(c.interval().misses, 0u);
+    // Lifetime totals survive the interval reset.
+    EXPECT_EQ(c.totalAccesses(), 2u);
+}
+
+TEST(AccountingCache, ReconstructSplitsByPosition)
+{
+    IntervalCounts counts;
+    counts.mru_hits = {10, 20, 30, 40};
+    counts.misses = 5;
+    auto [a1, b1] = AccountingCache::reconstruct(counts, 1);
+    EXPECT_EQ(a1, 10u);
+    EXPECT_EQ(b1, 90u);
+    auto [a3, b3] = AccountingCache::reconstruct(counts, 3);
+    EXPECT_EQ(a3, 60u);
+    EXPECT_EQ(b3, 40u);
+    auto [a4, b4] = AccountingCache::reconstruct(counts, 4);
+    EXPECT_EQ(a4, 100u);
+    EXPECT_EQ(b4, 0u);
+}
+
+/**
+ * The central Accounting Cache property (paper §3.1): run the same
+ * stream through (a) one fully-enabled cache collecting MRU counters
+ * and (b) reference caches fixed at each candidate A size with B
+ * enabled; the reconstruction from (a) must match the actual A/B/miss
+ * counts of every (b) exactly.
+ */
+class AccountingReconstruction
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::uint64_t, double>>
+{};
+
+TEST_P(AccountingReconstruction, MatchesReferenceCaches)
+{
+    auto [ways, pool_kb, rand_frac] = GetParam();
+    const std::uint64_t size = 64 * KB;
+    auto stream = mixedStream(ways * 1000 + pool_kb, 30'000,
+                              pool_kb * KB, rand_frac);
+
+    AccountingCache observer("obs", size, ways);
+    observer.setPartition(ways, true);
+    for (Addr a : stream)
+        observer.access(a);
+
+    for (int a_ways = 1; a_ways <= ways; ++a_ways) {
+        AccountingCache ref("ref", size, ways);
+        ref.setPartition(a_ways, true);
+        std::uint64_t a_hits = 0, b_hits = 0, misses = 0;
+        for (Addr a : stream) {
+            switch (ref.access(a).where) {
+              case HitWhere::APartition: ++a_hits; break;
+              case HitWhere::BPartition: ++b_hits; break;
+              default: ++misses; break;
+            }
+        }
+        auto [ra, rb] = AccountingCache::reconstruct(
+            observer.interval(), a_ways);
+        EXPECT_EQ(ra, a_hits) << "A hits at a_ways=" << a_ways;
+        EXPECT_EQ(rb, b_hits) << "B hits at a_ways=" << a_ways;
+        EXPECT_EQ(observer.interval().misses, misses)
+            << "misses at a_ways=" << a_ways;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, AccountingReconstruction,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(16u, 96u, 512u),
+                       ::testing::Values(0.1, 0.5, 0.9)));

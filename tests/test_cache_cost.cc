@@ -1,0 +1,102 @@
+/** @file Tests for access-cost reconstruction and main memory. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_cost.hh"
+#include "cache/main_memory.hh"
+
+using namespace gals;
+
+namespace
+{
+IntervalCounts
+counts4(std::uint64_t p0, std::uint64_t p1, std::uint64_t p2,
+        std::uint64_t p3, std::uint64_t misses)
+{
+    IntervalCounts c;
+    c.mru_hits = {p0, p1, p2, p3};
+    c.misses = misses;
+    c.accesses = p0 + p1 + p2 + p3 + misses;
+    return c;
+}
+} // namespace
+
+TEST(CacheCost, PureAHits)
+{
+    CacheCostParams p{4, 2, -1, 1000, 0};
+    Tick cost = accountingCost(counts4(10, 10, 10, 10, 0), p);
+    EXPECT_EQ(cost, 40u * 2u * 1000u);
+}
+
+TEST(CacheCost, BHitsPayBothProbes)
+{
+    CacheCostParams p{2, 2, 5, 1000, 0};
+    // 10 A hits, 10 B hits, no misses.
+    Tick cost = accountingCost(counts4(10, 0, 10, 0, 0), p);
+    EXPECT_EQ(cost, (10u * 2u + 10u * 7u) * 1000u);
+}
+
+TEST(CacheCost, MissesAddNextLevelTime)
+{
+    CacheCostParams p{4, 2, -1, 1000, 94'000};
+    Tick cost = accountingCost(counts4(0, 0, 0, 0, 5), p);
+    EXPECT_EQ(cost, 5u * 2u * 1000u + 5u * 94'000u);
+}
+
+TEST(CacheCost, NoBPartitionConvertsBHitsToMisses)
+{
+    // Candidate with no B: hits beyond A cost a miss each.
+    CacheCostParams p{1, 2, -1, 1000, 50'000};
+    Tick cost = accountingCost(counts4(10, 5, 0, 0, 0), p);
+    EXPECT_EQ(cost, (10u + 5u) * 2u * 1000u + 5u * 50'000u);
+}
+
+TEST(CacheCost, FasterClockWinsWhenFitting)
+{
+    // Working set fits one way: small/fast beats large/slow.
+    IntervalCounts fits = counts4(1000, 0, 0, 0, 10);
+    CacheCostParams small{1, 2, 8, 633, 94'000};
+    CacheCostParams large{4, 2, 2, 855, 94'000};
+    EXPECT_LT(accountingCost(fits, small),
+              accountingCost(fits, large));
+}
+
+TEST(CacheCost, LargerConfigWinsWhenThrashing)
+{
+    // Most hits sit deep in the MRU stack: the large A captures them.
+    IntervalCounts deep = counts4(100, 100, 400, 400, 50);
+    CacheCostParams small{1, 2, 8, 633, 94'000};
+    CacheCostParams large{4, 2, 2, 855, 94'000};
+    EXPECT_LT(accountingCost(deep, large),
+              accountingCost(deep, small));
+}
+
+TEST(MainMemory, UncontendedFillLatency)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.lineFillPs(), 94'000u);
+    EXPECT_EQ(mem.issueFill(1000), 95'000u);
+    EXPECT_EQ(mem.fills(), 1u);
+}
+
+TEST(MainMemory, ParallelChannelsThenQueueing)
+{
+    MainMemory mem(80.0, 2.0, 64, 2);
+    Tick d0 = mem.issueFill(0);
+    Tick d1 = mem.issueFill(0);
+    EXPECT_EQ(d0, 94'000u);
+    EXPECT_EQ(d1, 94'000u);
+    // Third fill queues behind the earliest channel.
+    Tick d2 = mem.issueFill(0);
+    EXPECT_EQ(d2, 188'000u);
+    EXPECT_EQ(mem.contendedFills(), 1u);
+}
+
+TEST(MainMemory, ChannelsFreeOverTime)
+{
+    MainMemory mem(80.0, 2.0, 64, 1);
+    Tick d0 = mem.issueFill(0);
+    Tick d1 = mem.issueFill(d0 + 10);
+    EXPECT_EQ(d1, d0 + 10 + 94'000u);
+    EXPECT_EQ(mem.contendedFills(), 0u);
+}

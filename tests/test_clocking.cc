@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the clocking substrate: domain clocks (edges, frequency
+ * changes, jitter bounds), the PLL lock model, the Sjogren-Myers
+ * synchronizer rule, and the cross-domain FIFO.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clock/clock.hh"
+#include "clock/pll.hh"
+#include "clock/sync_fifo.hh"
+#include "clock/synchronizer.hh"
+
+using namespace gals;
+
+TEST(Clock, EdgesAdvanceByPeriod)
+{
+    Clock c(100, 100);
+    EXPECT_EQ(c.nextEdge(), 100u);
+    c.advance();
+    EXPECT_EQ(c.nextEdge(), 200u);
+    c.advance();
+    EXPECT_EQ(c.nextEdge(), 300u);
+    EXPECT_EQ(c.cycle(), 2u);
+    EXPECT_DOUBLE_EQ(c.freqGHz(), 10.0);
+}
+
+TEST(Clock, NextEdgeAfterExtrapolates)
+{
+    Clock c(100, 100);
+    EXPECT_EQ(c.nextEdgeAfter(0), 100u);
+    EXPECT_EQ(c.nextEdgeAfter(99), 100u);
+    EXPECT_EQ(c.nextEdgeAfter(100), 200u); // strictly after.
+    EXPECT_EQ(c.nextEdgeAfter(1050), 1100u);
+}
+
+TEST(Clock, PeriodChangeAppliesAtScheduledEdge)
+{
+    Clock c(100, 100);
+    c.setPeriod(250, 350);
+    EXPECT_TRUE(c.changePending());
+    c.advance();                       // edge 100 -> next 200.
+    EXPECT_EQ(c.nextEdge(), 200u);
+    c.advance();                       // edge 200 -> next 300.
+    EXPECT_EQ(c.nextEdge(), 300u);
+    c.advance();                       // edge 300 -> next 400 (old p).
+    EXPECT_EQ(c.nextEdge(), 400u);
+    c.advance();                       // edge 400 >= 350: new period.
+    EXPECT_EQ(c.nextEdge(), 650u);
+    EXPECT_EQ(c.period(), 250u);
+    EXPECT_FALSE(c.changePending());
+}
+
+TEST(Clock, JitterBoundedAndGridStable)
+{
+    Clock jittered(100, 100, 3.0, 5);
+    Clock clean(100, 100, 0.0, 5);
+    for (int i = 0; i < 10'000; ++i) {
+        jittered.advance();
+        clean.advance();
+        // The jittered edge wobbles around the clean grid, bounded by
+        // 10% of the period; the grid itself never drifts.
+        Tick nominal = clean.nextEdge();
+        Tick actual = jittered.nextEdge();
+        Tick diff = actual > nominal ? actual - nominal
+                                     : nominal - actual;
+        EXPECT_LE(diff, 10u);
+    }
+}
+
+TEST(Clock, JitterZeroMatchesNominal)
+{
+    Clock a(137, 137, 0.0, 1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.nextEdge(), 137u * (i + 1));
+        a.advance();
+    }
+}
+
+TEST(Pll, LockTimeWithinPaperBounds)
+{
+    // Paper: normal with mean 15us, range 10-20us.
+    Pll pll(PllParams{15.0, 1.7, 10.0, 20.0}, 3);
+    Tick prev_done = 0;
+    double sum = 0.0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        Tick now = prev_done;
+        Tick done = pll.startRelock(now);
+        Tick lock = done - now;
+        EXPECT_GE(lock, 10 * kPsPerUs);
+        EXPECT_LE(lock, 20 * kPsPerUs);
+        sum += static_cast<double>(lock) / kPsPerUs;
+        prev_done = done;
+    }
+    EXPECT_NEAR(sum / n, 15.0, 0.5);
+    EXPECT_EQ(pll.relocks(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Pll, BusyDuringLock)
+{
+    Pll pll({}, 4);
+    Tick done = pll.startRelock(1000);
+    EXPECT_TRUE(pll.busy(1000));
+    EXPECT_TRUE(pll.busy(done - 1));
+    EXPECT_FALSE(pll.busy(done));
+}
+
+// ---------------------------------------------------------------------
+// Synchronizer rule.
+// ---------------------------------------------------------------------
+
+TEST(Synchronizer, SameDomainIsNextEdgeLatch)
+{
+    Clock c(100, 100);
+    // Produced at 100 -> consumable around edge 200 (minus the
+    // settling margin).
+    Tick v = syncVisibleAt(100, c, c, true);
+    EXPECT_GT(v, 100u);
+    EXPECT_LE(v, 200u);
+    EXPECT_GE(v, 200u - 25u);
+}
+
+TEST(Synchronizer, GuardBandAddsACycle)
+{
+    Clock prod(100, 100);
+    Clock cons(100, 130); // consumer edges at 130, 230, ...
+    // Produced at 105: next consumer edge 130, gap 25 < 30 (guard =
+    // 30% of 100) -> pushed to 230.
+    Tick v = syncVisibleAt(105, prod, cons, false);
+    EXPECT_GT(v, 200u);
+    EXPECT_LE(v, 230u);
+    // Produced at 95: gap 35 >= 30 -> visible at 130.
+    Tick v2 = syncVisibleAt(95, prod, cons, false);
+    EXPECT_LE(v2, 130u);
+    EXPECT_GT(v2, 100u);
+}
+
+TEST(Synchronizer, VisibilityNeverBeforeProduction)
+{
+    Clock prod(73, 73);
+    Clock cons(131, 57);
+    for (Tick t = 1; t < 3000; t += 13) {
+        Tick v = syncVisibleAt(t, prod, cons, false);
+        EXPECT_GT(v + cons.period() / 4 + 1, t);
+    }
+}
+
+/** Property sweep: the guard rule holds for arbitrary phase pairs. */
+class SynchronizerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(SynchronizerSweep, GuardRuleHolds)
+{
+    auto [prod_period, cons_phase] = GetParam();
+    Clock prod(static_cast<Tick>(prod_period), 50);
+    Clock cons(100, static_cast<Tick>(cons_phase));
+    Tick guard = static_cast<Tick>(
+        0.3 * std::min<Tick>(prod_period, 100));
+    for (Tick t = 1; t < 2000; t += 7) {
+        Tick v = syncVisibleAt(t, prod, cons, false);
+        // Undo the settling margin to recover the edge.
+        Tick edge = v + cons.period() / 4;
+        EXPECT_GT(edge, t);
+        // The chosen edge is never inside the guard band.
+        EXPECT_GE(edge - t, guard);
+        // And never more than one period beyond the first candidate.
+        Tick first = cons.nextEdgeAfter(t);
+        EXPECT_LE(edge, first + cons.period());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhasePairs, SynchronizerSweep,
+    ::testing::Combine(::testing::Values(61, 100, 137, 211),
+                       ::testing::Values(0, 13, 50, 99)));
+
+// ---------------------------------------------------------------------
+// SyncFifo.
+// ---------------------------------------------------------------------
+
+TEST(SyncFifo, VisibilityGatesConsumption)
+{
+    SyncFifo<int> f(4);
+    f.push(1, 100);
+    f.push(2, 200);
+    EXPECT_FALSE(f.frontReady(99));
+    EXPECT_TRUE(f.frontReady(100));
+    EXPECT_EQ(f.front(), 1);
+    f.pop();
+    EXPECT_FALSE(f.frontReady(150));
+    EXPECT_TRUE(f.frontReady(250));
+    EXPECT_EQ(f.front(), 2);
+}
+
+TEST(SyncFifo, CapacityEnforced)
+{
+    SyncFifo<int> f(2);
+    EXPECT_TRUE(f.canPush());
+    f.push(1, 0);
+    f.push(2, 0);
+    EXPECT_FALSE(f.canPush());
+    f.pop();
+    EXPECT_TRUE(f.canPush());
+}
+
+TEST(SyncFifo, OrderPreservedAndSquash)
+{
+    SyncFifo<int> f(8);
+    for (int i = 0; i < 6; ++i)
+        f.push(i, 0);
+    size_t removed = f.squash([](int v) { return v % 2 == 1; });
+    EXPECT_EQ(removed, 3u);
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_EQ(f.front(), 0);
+    f.pop();
+    EXPECT_EQ(f.front(), 2);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+}

@@ -1,0 +1,242 @@
+/** @file Tests for ROB, issue queue, LSQ, store buffer, FUs, rename. */
+
+#include <gtest/gtest.h>
+
+#include "core/machine_config.hh"
+#include "core/regfile.hh"
+#include "core/structures.hh"
+
+using namespace gals;
+
+TEST(Rob, CircularAllocation)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    size_t a = rob.alloc();
+    size_t b = rob.alloc();
+    rob[a].seq = 1;
+    rob[b].seq = 2;
+    EXPECT_EQ(rob.size(), 2u);
+    EXPECT_EQ(rob[rob.headIndex()].seq, 1u);
+    rob.retireHead();
+    EXPECT_EQ(rob[rob.headIndex()].seq, 2u);
+    rob.alloc();
+    rob.alloc();
+    rob.alloc();
+    EXPECT_TRUE(rob.full());
+}
+
+TEST(IssueQueue, CapacityAndResize)
+{
+    IssueQueue iq(2);
+    iq.push(10);
+    iq.push(11);
+    EXPECT_TRUE(iq.full());
+    iq.setCapacity(4);
+    EXPECT_FALSE(iq.full());
+    iq.push(12);
+    // Shrinking below occupancy is legal; it only blocks new pushes.
+    iq.setCapacity(2);
+    EXPECT_TRUE(iq.full());
+    EXPECT_EQ(iq.entries().size(), 3u);
+    EXPECT_EQ(iq.entries()[0], 10u);
+}
+
+TEST(Lsq, ProgramOrderAndArrivals)
+{
+    Lsq lsq(4);
+    lsq.allocate(0, false, 100);
+    lsq.allocate(1, true, 101);
+    lsq.allocate(2, false, 100);
+    lsq.markArrived(50);
+    lsq.markArrived(60);
+    EXPECT_EQ(lsq.entries()[0].arrived_at, 50u);
+    EXPECT_EQ(lsq.entries()[1].arrived_at, 60u);
+    EXPECT_EQ(lsq.entries()[2].arrived_at, kTickMax);
+    EXPECT_EQ(lsq.front().rob_idx, 0u);
+    lsq.popFront();
+    EXPECT_TRUE(lsq.front().is_store);
+    EXPECT_EQ(lsq.size(), 2u);
+}
+
+TEST(StoreBuffer, ForwardingLookup)
+{
+    StoreBuffer sb(2);
+    sb.push(42, 100);
+    EXPECT_TRUE(sb.hasLine(42));
+    EXPECT_FALSE(sb.hasLine(43));
+    sb.push(43, 200);
+    EXPECT_TRUE(sb.full());
+    sb.pop();
+    EXPECT_FALSE(sb.hasLine(42));
+}
+
+TEST(FuPool, AluWidthEnforced)
+{
+    FuPool fu;
+    fu.alus = 2;
+    fu.newCycle();
+    EXPECT_TRUE(fu.claim(OpClass::IntAlu, 100, 101));
+    EXPECT_TRUE(fu.claim(OpClass::Branch, 100, 101));
+    EXPECT_FALSE(fu.claim(OpClass::IntAlu, 100, 101));
+    fu.newCycle();
+    EXPECT_TRUE(fu.claim(OpClass::IntAlu, 200, 201));
+}
+
+TEST(FuPool, DivideOccupiesUnit)
+{
+    FuPool fu;
+    fu.newCycle();
+    EXPECT_TRUE(fu.claim(OpClass::IntDiv, 100, 2100));
+    fu.newCycle();
+    // Pipelined multiply cannot start while the divide occupies the
+    // shared unit.
+    EXPECT_FALSE(fu.claim(OpClass::IntMul, 200, 500));
+    fu.newCycle();
+    EXPECT_TRUE(fu.claim(OpClass::IntMul, 2100, 2400));
+}
+
+TEST(FuPool, MultipliesArePipelinedOnePerCycle)
+{
+    FuPool fu;
+    fu.newCycle();
+    EXPECT_TRUE(fu.claim(OpClass::FpMul, 100, 500));
+    EXPECT_FALSE(fu.claim(OpClass::FpMul, 100, 500));
+    fu.newCycle();
+    EXPECT_TRUE(fu.claim(OpClass::FpMul, 200, 600));
+}
+
+TEST(OpLatency, AlphaFlavoredLatencies)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1);
+    EXPECT_EQ(opLatency(OpClass::Branch), 1);
+    EXPECT_GT(opLatency(OpClass::IntDiv), opLatency(OpClass::IntMul));
+    EXPECT_GT(opLatency(OpClass::FpDiv), opLatency(OpClass::FpMul));
+}
+
+TEST(ExecDomain, ClassesRouteToDomains)
+{
+    EXPECT_EQ(execDomain(OpClass::IntAlu), DomainId::Integer);
+    EXPECT_EQ(execDomain(OpClass::Branch), DomainId::Integer);
+    EXPECT_EQ(execDomain(OpClass::FpMul), DomainId::FloatingPoint);
+    EXPECT_EQ(execDomain(OpClass::Load), DomainId::LoadStore);
+    EXPECT_EQ(execDomain(OpClass::FpLoad), DomainId::LoadStore);
+    EXPECT_EQ(execDomain(OpClass::Store), DomainId::LoadStore);
+}
+
+// ---------------------------------------------------------------------
+// Register files.
+// ---------------------------------------------------------------------
+
+TEST(RegisterFiles, RenameReleaseCycle)
+{
+    RegisterFiles rf(96, 96);
+    EXPECT_EQ(rf.freeIntRegs(), 64);
+    auto [fresh, old] = rf.renameDest(5);
+    EXPECT_EQ(rf.freeIntRegs(), 63);
+    EXPECT_EQ(old.index, 5);
+    EXPECT_EQ(rf.lookup(5).index, fresh.index);
+    rf.release(old);
+    EXPECT_EQ(rf.freeIntRegs(), 64);
+}
+
+TEST(RegisterFiles, FpRegsUseSeparateFile)
+{
+    RegisterFiles rf(96, 96);
+    auto [fresh, old] = rf.renameDest(kFirstFpReg + 3);
+    EXPECT_TRUE(fresh.fp);
+    EXPECT_TRUE(old.fp);
+    EXPECT_EQ(rf.freeFpRegs(), 63);
+    EXPECT_EQ(rf.freeIntRegs(), 64);
+}
+
+TEST(RegisterFiles, ExhaustionReported)
+{
+    RegisterFiles rf(40, 40);
+    // 8 free int regs (40 - 32 logical).
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(rf.canAlloc(false));
+        rf.renameDest(8 + i);
+    }
+    EXPECT_FALSE(rf.canAlloc(false));
+    EXPECT_TRUE(rf.canAlloc(true));
+}
+
+TEST(RegisterFiles, ScoreboardTracksCompletion)
+{
+    RegisterFiles rf(96, 96);
+    auto [fresh, old] = rf.renameDest(9);
+    rf.markPending(fresh);
+    EXPECT_TRUE(rf.state(fresh).pending);
+    rf.complete(fresh, 12345, DomainId::LoadStore);
+    EXPECT_FALSE(rf.state(fresh).pending);
+    EXPECT_EQ(rf.state(fresh).ready_at, 12345u);
+    EXPECT_EQ(rf.state(fresh).producer, DomainId::LoadStore);
+}
+
+TEST(RegisterFiles, ZeroRegistersAlwaysReady)
+{
+    RegisterFiles rf(96, 96);
+    PhysRef zero{-1, false};
+    EXPECT_FALSE(rf.state(zero).pending);
+    EXPECT_EQ(rf.state(zero).ready_at, 0u);
+    EXPECT_EQ(rf.lookup(kZeroReg).index, -1);
+    EXPECT_EQ(rf.lookup(kFirstFpReg).index, -1);
+}
+
+// ---------------------------------------------------------------------
+// Machine configuration.
+// ---------------------------------------------------------------------
+
+TEST(MachineConfig, PenaltiesPerMode)
+{
+    MachineConfig sync = MachineConfig::bestSynchronous();
+    EXPECT_EQ(sync.feDepth(), 9);
+    EXPECT_EQ(sync.dispatchDepth(), 7);
+    MachineConfig mcd = MachineConfig::mcdProgram({});
+    EXPECT_EQ(mcd.feDepth(), 10);
+    EXPECT_EQ(mcd.dispatchDepth(), 9);
+}
+
+TEST(MachineConfig, BestSynchronousMatchesPaper)
+{
+    MachineConfig c = MachineConfig::bestSynchronous();
+    EXPECT_EQ(c.sync_icache_opt, 4); // 64KB direct-mapped.
+    EXPECT_EQ(c.adaptive.dcache, 0); // 32KB/256KB direct-mapped.
+    EXPECT_EQ(c.adaptive.iq_int, 0); // 16-entry queues.
+    EXPECT_EQ(c.adaptive.iq_fp, 0);
+    EXPECT_NEAR(c.synchronousFreqGHz(), 1.275, 0.02);
+}
+
+TEST(MachineConfig, DomainFrequenciesFollowConfig)
+{
+    MachineConfig mcd = MachineConfig::mcdProgram({1, 2, 3, 0});
+    EXPECT_DOUBLE_EQ(mcd.domainFreqGHz(DomainId::FrontEnd,
+                                       mcd.adaptive),
+                     frontEndFreqAdaptive(1));
+    EXPECT_DOUBLE_EQ(mcd.domainFreqGHz(DomainId::LoadStore,
+                                       mcd.adaptive),
+                     loadStoreFreqAdaptive(2));
+    EXPECT_DOUBLE_EQ(mcd.domainFreqGHz(DomainId::Integer,
+                                       mcd.adaptive),
+                     issueQueueFreqGHz(3));
+}
+
+TEST(MachineConfig, ForceFreqOverridesEverything)
+{
+    MachineConfig mcd = MachineConfig::mcdProgram({});
+    mcd.force_freq_ghz = 1.0;
+    for (int d = 0; d < kNumDomains; ++d) {
+        EXPECT_DOUBLE_EQ(mcd.domainFreqGHz(static_cast<DomainId>(d),
+                                           mcd.adaptive),
+                         1.0);
+    }
+}
+
+TEST(MachineConfig, AdaptiveConfigPrinting)
+{
+    AdaptiveConfig c{1, 2, 3, 0};
+    EXPECT_EQ(c.str(), "I1 D2 Qi3 Qf0");
+    EXPECT_EQ(c, (AdaptiveConfig{1, 2, 3, 0}));
+    EXPECT_FALSE((c == AdaptiveConfig{}));
+}

@@ -1,0 +1,124 @@
+/** @file Unit tests for the deterministic Pcg32 generator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+
+using namespace gals;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Pcg32 a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, StreamsAreIndependent)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BoundedStaysInBounds)
+{
+    Pcg32 rng(7);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Random, BoundedIsRoughlyUniform)
+{
+    Pcg32 rng(11);
+    int counts[8] = {0};
+    const int n = 80'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 8 - n / 80);
+        EXPECT_LT(c, n / 8 + n / 80);
+    }
+}
+
+TEST(Random, RangeInclusive)
+{
+    Pcg32 rng(3);
+    bool lo_seen = false, hi_seen = false;
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        lo_seen |= v == -2;
+        hi_seen |= v == 2;
+    }
+    EXPECT_TRUE(lo_seen);
+    EXPECT_TRUE(hi_seen);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Pcg32 rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Random, ChanceMatchesProbability)
+{
+    Pcg32 rng(13);
+    int hits = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Pcg32 rng(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.nextGaussian(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}

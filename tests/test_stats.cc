@@ -1,0 +1,104 @@
+/** @file Unit tests for counters, distributions and table rendering. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace gals;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("ops");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.name(), "ops");
+}
+
+TEST(Average, Moments)
+{
+    Average a("lat");
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsAndOverflow)
+{
+    Distribution d("d", 0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(0.0);
+    d.sample(1.9);
+    d.sample(2.0);
+    d.sample(9.99);
+    d.sample(10.0);
+    d.sample(100.0, 2);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 3u);
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(1), 1u);
+    EXPECT_EQ(d.bucketCount(4), 1u);
+    EXPECT_EQ(d.samples(), 8u);
+    EXPECT_FALSE(d.toString().empty());
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(StatGroup, RegisterFindDump)
+{
+    StatGroup g("core");
+    Counter &a = g.addCounter("fetches");
+    Counter &b = g.addCounter("retires");
+    a.inc(5);
+    b.inc(3);
+    EXPECT_EQ(g.findCounter("fetches")->value(), 5u);
+    EXPECT_EQ(g.findCounter("missing"), nullptr);
+    std::string dump = g.dump();
+    EXPECT_NE(dump.find("core.fetches 5"), std::string::npos);
+    EXPECT_NE(dump.find("core.retires 3"), std::string::npos);
+    g.resetAll();
+    EXPECT_EQ(g.findCounter("fetches")->value(), 0u);
+}
+
+TEST(TextTable, AlignedRendering)
+{
+    TextTable t("Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRule();
+    t.addRow({"long-name", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("| a "), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    // Every data line must have the same width.
+    size_t first = s.find("\n+");
+    ASSERT_NE(first, std::string::npos);
+}
+
+TEST(BarChart, ScalesAndLabels)
+{
+    std::string s = renderBarChart("chart", {"x", "yy"}, {1.0, 2.0},
+                                   2.0, 10, "u");
+    EXPECT_NE(s.find("chart"), std::string::npos);
+    EXPECT_NE(s.find("##########"), std::string::npos); // full bar.
+    EXPECT_NE(s.find("2.000u"), std::string::npos);
+}
+
+TEST(Logging, Csprintf)
+{
+    EXPECT_EQ(csprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(csprintf("%05.1f", 2.25), "002.2");
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the analytical timing models: CACTI-lite, the Palacharla
+ * issue-queue model, the frequency tables (Tables 1-3, Figures 2-4),
+ * and the Table 4 gate-cost estimator. The calibration assertions
+ * pin the frequency ratios the paper quotes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/cacti_model.hh"
+#include "timing/frequency_model.hh"
+#include "timing/gate_cost.hh"
+#include "timing/palacharla_model.hh"
+
+using namespace gals;
+
+namespace
+{
+constexpr std::uint64_t KB = 1024;
+}
+
+// ---------------------------------------------------------------------
+// CACTI-lite.
+// ---------------------------------------------------------------------
+
+TEST(Cacti, MonotoneInCapacity)
+{
+    const CactiModel &m = CactiModel::dataCache();
+    double prev = 0.0;
+    for (std::uint64_t kb : {8, 16, 32, 64, 128, 256, 512}) {
+        double t = m.accessNs(SramOrg{kb * KB, 1, 8, 64});
+        EXPECT_GT(t, prev) << kb << "KB";
+        prev = t;
+    }
+}
+
+TEST(Cacti, MonotoneInAssociativity)
+{
+    const CactiModel &m = CactiModel::dataCache();
+    double dm = m.accessNs(SramOrg{64 * KB, 1, 8, 64});
+    double prev = dm;
+    for (int assoc : {2, 4, 8}) {
+        double t = m.accessNs(SramOrg{64 * KB, assoc, 8, 64});
+        EXPECT_GT(t, prev) << assoc << "-way";
+        prev = t;
+    }
+}
+
+TEST(Cacti, MonotoneInSubbanks)
+{
+    const CactiModel &m = CactiModel::instCache();
+    double prev = 0.0;
+    for (int sb : {1, 2, 4, 8, 16, 32}) {
+        double t = m.accessNs(SramOrg{32 * KB, 2, sb, 64});
+        EXPECT_GT(t, prev) << sb << " sub-banks";
+        prev = t;
+    }
+}
+
+TEST(Cacti, DirectMappedAvoidsWaySelect)
+{
+    const CactiModel &m = CactiModel::instCache();
+    double dm = m.accessNs(SramOrg{32 * KB, 1, 32, 64});
+    double w2 = m.accessNs(SramOrg{32 * KB, 2, 32, 64});
+    // The assoc term is large for the I-cache class (31% frequency
+    // drop in the paper).
+    EXPECT_GT(w2 - dm, 0.3);
+}
+
+// ---------------------------------------------------------------------
+// Frequency tables (Tables 1-3, Figures 2-4).
+// ---------------------------------------------------------------------
+
+TEST(FrequencyModel, Table1Organizations)
+{
+    // Capacities double per config; adaptive sub-banking replicates
+    // the minimal way.
+    const std::uint64_t l1_kb[4] = {32, 64, 128, 256};
+    const std::uint64_t l2_kb[4] = {256, 512, 1024, 2048};
+    const int assoc[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+        const DCachePairConfig &c = dcachePairConfig(i);
+        EXPECT_EQ(c.l1_adapt.size_bytes, l1_kb[i] * KB);
+        EXPECT_EQ(c.l2_adapt.size_bytes, l2_kb[i] * KB);
+        EXPECT_EQ(c.l1_adapt.assoc, assoc[i]);
+        EXPECT_EQ(c.l2_adapt.assoc, assoc[i]);
+        EXPECT_EQ(c.l1_adapt.subbanks, 32);
+        EXPECT_EQ(c.l2_adapt.subbanks, 8);
+        EXPECT_EQ(c.l1_a_lat, 2);
+        EXPECT_EQ(c.l2_a_lat, 12);
+    }
+    // Table 5 B-partition latencies: 2/8, 2/5, 2/2, 2/-.
+    EXPECT_EQ(dcachePairConfig(0).l1_b_lat, 8);
+    EXPECT_EQ(dcachePairConfig(1).l1_b_lat, 5);
+    EXPECT_EQ(dcachePairConfig(2).l1_b_lat, 2);
+    EXPECT_LT(dcachePairConfig(3).l1_b_lat, 0);
+    EXPECT_EQ(dcachePairConfig(0).l2_b_lat, 43);
+    EXPECT_EQ(dcachePairConfig(1).l2_b_lat, 27);
+    EXPECT_EQ(dcachePairConfig(2).l2_b_lat, 12);
+    EXPECT_LT(dcachePairConfig(3).l2_b_lat, 0);
+}
+
+TEST(FrequencyModel, Figure2AdaptiveVsOptimalGap)
+{
+    // Minimal config identical; larger configs ~5% apart (paper §2.1).
+    EXPECT_DOUBLE_EQ(dcachePairConfig(0).freq_adaptive_ghz,
+                     dcachePairConfig(0).freq_optimal_ghz);
+    for (int i = 1; i < 4; ++i) {
+        const DCachePairConfig &c = dcachePairConfig(i);
+        double gap = c.freq_optimal_ghz / c.freq_adaptive_ghz - 1.0;
+        EXPECT_GT(gap, 0.015) << c.name;
+        EXPECT_LT(gap, 0.08) << c.name;
+    }
+}
+
+TEST(FrequencyModel, Figure2FrequenciesDescend)
+{
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_LT(dcachePairConfig(i).freq_adaptive_ghz,
+                  dcachePairConfig(i - 1).freq_adaptive_ghz);
+    }
+    // Absolute calibration: the base load/store domain runs at
+    // roughly 1.58 GHz (Fig. 2).
+    EXPECT_NEAR(dcachePairConfig(0).freq_adaptive_ghz, 1.58, 0.03);
+    EXPECT_NEAR(dcachePairConfig(3).freq_adaptive_ghz, 1.02, 0.03);
+}
+
+TEST(FrequencyModel, Figure3ICacheCliffAndDmAdvantage)
+{
+    // ~31% drop from direct-mapped to 2-way on the adaptive curve.
+    double drop = 1.0 - icacheConfig(1).freq_ghz /
+                            icacheConfig(0).freq_ghz;
+    EXPECT_NEAR(drop, 0.31, 0.035);
+
+    // Optimal 64KB direct-mapped ~27% faster than adaptive 64KB/4w.
+    double adv = optICacheConfig(4).freq_ghz /
+                     icacheConfig(3).freq_ghz - 1.0;
+    EXPECT_NEAR(adv, 0.27, 0.045);
+}
+
+TEST(FrequencyModel, Table2PredictorOrganizations)
+{
+    const int hg[4] = {14, 15, 15, 16};
+    const int hl[4] = {11, 12, 12, 13};
+    for (int i = 0; i < 4; ++i) {
+        const ICacheConfig &c = icacheConfig(i);
+        EXPECT_EQ(c.org.size_bytes, 16 * KB * (i + 1u));
+        EXPECT_EQ(c.org.assoc, i + 1);
+        EXPECT_EQ(c.predictor.gshare_hist_bits, hg[i]);
+        EXPECT_EQ(c.predictor.gshare_entries, 1 << hg[i]);
+        EXPECT_EQ(c.predictor.meta_entries, 1 << hg[i]);
+        EXPECT_EQ(c.predictor.local_hist_bits, hl[i]);
+        EXPECT_EQ(c.predictor.local_bht_entries, 1 << hl[i]);
+        EXPECT_EQ(c.predictor.local_pht_entries, 1024);
+    }
+}
+
+TEST(FrequencyModel, Table3SixteenOptions)
+{
+    // All 16 synchronous options exist with sane frequencies, and
+    // smaller direct-mapped caches are faster.
+    for (int i = 0; i < kNumOptICacheConfigs; ++i) {
+        const OptICacheConfig &c = optICacheConfig(i);
+        EXPECT_GT(c.freq_ghz, 0.8) << c.name;
+        EXPECT_LE(c.freq_ghz, kCoreLogicCapGHz) << c.name;
+    }
+    EXPECT_GT(optICacheConfig(2).freq_ghz,
+              optICacheConfig(4).freq_ghz); // 16k1W > 64k1W.
+    EXPECT_GT(optICacheConfig(4).freq_ghz,
+              optICacheConfig(9).freq_ghz); // 64k1W > 64k2W.
+}
+
+TEST(FrequencyModel, Figure4IssueQueueCliff)
+{
+    // 16 entries use a 2-level selection tree; 20..64 use 3 levels.
+    EXPECT_EQ(IssueQueueTiming::selectionLevels(16), 2);
+    EXPECT_EQ(IssueQueueTiming::selectionLevels(20), 3);
+    EXPECT_EQ(IssueQueueTiming::selectionLevels(64), 3);
+    EXPECT_EQ(IssueQueueTiming::selectionLevels(65), 4);
+
+    double f16 = issueQueueFreqGHz(0);
+    double f32 = issueQueueFreqGHz(1);
+    EXPECT_NEAR(f16, 1.52, 0.03);
+    // The 16->32 cliff costs more than 25% of frequency.
+    EXPECT_GT(f16 / f32, 1.25);
+    // Beyond the cliff the decline is gentle and monotone.
+    EXPECT_GT(issueQueueFreqGHz(1), issueQueueFreqGHz(2));
+    EXPECT_GT(issueQueueFreqGHz(2), issueQueueFreqGHz(3));
+    EXPECT_LT(issueQueueFreqGHz(1) / issueQueueFreqGHz(3), 1.2);
+}
+
+TEST(FrequencyModel, SynchronousFreqIsMinOverStructures)
+{
+    // The paper's best synchronous machine: 64KB DM I-cache limits
+    // the global clock.
+    double f = synchronousFreq(4, 0, 0, 0);
+    EXPECT_DOUBLE_EQ(f, optICacheConfig(4).freq_ghz);
+    // With a tiny I-cache, the issue queue becomes the limiter.
+    double f2 = synchronousFreq(0, 0, 0, 0);
+    EXPECT_DOUBLE_EQ(f2, issueQueueFreqGHz(0));
+    // Big caches + big queues drop the global clock further.
+    EXPECT_LT(synchronousFreq(15, 3, 3, 3), 1.0);
+}
+
+TEST(FrequencyModel, MemoryLineFill)
+{
+    // 80ns + 7 x 2ns = 94ns.
+    EXPECT_EQ(memoryLineFillPs(), 94'000u);
+}
+
+TEST(FrequencyModel, DomainFrequenciesMatchTables)
+{
+    EXPECT_DOUBLE_EQ(frontEndFreqAdaptive(2), icacheConfig(2).freq_ghz);
+    EXPECT_DOUBLE_EQ(loadStoreFreqAdaptive(1),
+                     dcachePairConfig(1).freq_adaptive_ghz);
+    EXPECT_DOUBLE_EQ(issueDomainFreqAdaptive(3), issueQueueFreqGHz(3));
+}
+
+// ---------------------------------------------------------------------
+// Table 4 gate-cost estimator.
+// ---------------------------------------------------------------------
+
+TEST(GateCost, Table4Total)
+{
+    GateCostModel m;
+    EXPECT_EQ(m.totalGates(), 4647);
+}
+
+TEST(GateCost, Table4Rows)
+{
+    GateCostModel m;
+    auto rows = m.rows();
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].equivalent_gates, 2520);
+    EXPECT_EQ(rows[1].equivalent_gates, 1155);
+    EXPECT_EQ(rows[2].equivalent_gates, 360);
+    EXPECT_EQ(rows[3].equivalent_gates, 252);
+    EXPECT_EQ(rows[4].equivalent_gates, 144);
+    EXPECT_EQ(rows[5].equivalent_gates, 216);
+}
+
+TEST(GateCost, DecisionCyclesMatchPaperEstimate)
+{
+    // "A complete reconfiguration decision requires approximately 32
+    // cycles" (paper §3.1).
+    EXPECT_EQ(GateCostModel().decisionCycles(), 32);
+}
