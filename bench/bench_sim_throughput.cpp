@@ -3,9 +3,20 @@
  * Host-side throughput of the simulator itself (committed
  * instructions per host second) for the three machine types. Useful
  * for budgeting sweep sizes; not a paper experiment.
+ *
+ * Besides the google-benchmark measurements, main() writes
+ * BENCH_sim_throughput.json with the same metric so the performance
+ * trajectory can be tracked across PRs. The file carries the frozen
+ * seed-kernel baseline measured on the reference container alongside
+ * the current numbers; the ratio column is the event-kernel speedup.
  */
 
 #include "bench_util.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
 
 #include "sim/simulation.hh"
 #include "workload/suite.hh"
@@ -15,12 +26,43 @@ using namespace gals;
 namespace
 {
 
-void
-BM_Simulate(benchmark::State &state, MachineConfig config)
+/**
+ * Seed-kernel committed-instructions/second measured with this very
+ * benchmark at the seed commit on the reference container (1 CPU).
+ * Frozen so later PRs can report speedup against the same origin.
+ */
+constexpr double kSeedBaseline[3] = {
+    1.62e6, // synchronous
+    1.36e6, // mcdProgram
+    1.37e6, // mcdPhaseAdaptive
+};
+
+const char *kConfigNames[3] = {"synchronous", "mcdProgram",
+                               "mcdPhaseAdaptive"};
+
+MachineConfig
+configFor(int i)
+{
+    switch (i) {
+      case 0:  return MachineConfig::bestSynchronous();
+      case 1:  return MachineConfig::mcdProgram({});
+      default: return MachineConfig::mcdPhaseAdaptive();
+    }
+}
+
+WorkloadParams
+benchWorkload()
 {
     WorkloadParams wl = findBenchmark("gzip");
     wl.sim_instrs = 50'000;
     wl.warmup_instrs = 5'000;
+    return wl;
+}
+
+void
+BM_Simulate(benchmark::State &state, MachineConfig config)
+{
+    WorkloadParams wl = benchWorkload();
     std::uint64_t instrs = 0;
     for (auto _ : state) {
         RunStats s = simulate(config, wl);
@@ -51,6 +93,68 @@ BM_McdPhaseAdaptive(benchmark::State &state)
 }
 BENCHMARK(BM_McdPhaseAdaptive);
 
+/** Process CPU seconds (immune to co-runner contention). */
+double
+cpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** items per CPU-second over ~1.2s for one machine type. */
+double
+measureItemsPerSec(const MachineConfig &config)
+{
+    WorkloadParams wl = benchWorkload();
+    simulate(config, wl); // warm caches and the thread arena.
+
+    std::uint64_t instrs = 0;
+    double elapsed = 0.0;
+    double t0 = cpuSeconds();
+    do {
+        RunStats s = simulate(config, wl);
+        benchmark::DoNotOptimize(s.time_ps);
+        instrs += 55'000;
+        elapsed = cpuSeconds() - t0;
+    } while (elapsed < 1.2);
+    return static_cast<double>(instrs) / elapsed;
+}
+
+void
+writeJson()
+{
+    std::FILE *f = std::fopen("BENCH_sim_throughput.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr,
+                     "warning: cannot write "
+                     "BENCH_sim_throughput.json\n");
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"sim_throughput\",\n");
+    std::fprintf(f,
+                 "  \"metric\": "
+                 "\"committed_instructions_per_host_second\",\n");
+    std::fprintf(f,
+                 "  \"workload\": \"gzip 50k+5k instructions\",\n");
+    std::fprintf(f, "  \"configs\": {\n");
+    for (int i = 0; i < 3; ++i) {
+        double now = measureItemsPerSec(configFor(i));
+        std::fprintf(f,
+                     "    \"%s\": {\"seed_baseline\": %.0f, "
+                     "\"current\": %.0f, \"speedup\": %.2f}%s\n",
+                     kConfigNames[i], kSeedBaseline[i], now,
+                     now / kSeedBaseline[i], i + 1 < 3 ? "," : "");
+        std::printf("JSON %-16s %8.0f items/s (seed %8.0f, %.2fx)\n",
+                    kConfigNames[i], now, kSeedBaseline[i],
+                    now / kSeedBaseline[i]);
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+}
+
 } // namespace
 
 int
@@ -59,5 +163,6 @@ main(int argc, char **argv)
     gals::benchBanner("Simulator host throughput",
                       "infrastructure measurement (items == committed "
                       "instructions)");
+    writeJson();
     return runRegisteredBenchmarks(argc, argv);
 }

@@ -35,14 +35,16 @@ AccountingCache::AccountingCache(std::string name,
                     static_cast<std::uint64_t>(num_sets_)),
                 "set count must be a positive power of two");
 
-    sets_.resize(static_cast<size_t>(num_sets_));
-    for (Set &s : sets_) {
-        s.mru.resize(static_cast<size_t>(ways_));
+    size_t cells =
+        static_cast<size_t>(num_sets_) * static_cast<size_t>(ways_);
+    mru_.resize(cells);
+    for (size_t i = 0; i < cells; i += static_cast<size_t>(ways_)) {
         for (int w = 0; w < ways_; ++w)
-            s.mru[static_cast<size_t>(w)] = w;
-        s.tag.assign(static_cast<size_t>(ways_), 0);
-        s.valid.assign(static_cast<size_t>(ways_), false);
+            mru_[i + static_cast<size_t>(w)] =
+                static_cast<std::int8_t>(w);
     }
+    tag_.assign(cells, 0);
+    valid_.assign(cells, 0);
     interval_.mru_hits.assign(static_cast<size_t>(ways_), 0);
 }
 
@@ -56,10 +58,14 @@ AccountingCache::setPartition(int a_ways, bool b_enabled)
     if (!b_enabled_) {
         // Without a B partition, blocks beyond the A ways are not
         // retained; drop them so they cannot produce phantom hits.
-        for (Set &s : sets_) {
-            for (int k = a_ways_; k < ways_; ++k)
-                s.valid[static_cast<size_t>(s.mru[
-                    static_cast<size_t>(k)])] = false;
+        for (int s = 0; s < num_sets_; ++s) {
+            size_t base = static_cast<size_t>(s) *
+                          static_cast<size_t>(ways_);
+            for (int k = a_ways_; k < ways_; ++k) {
+                valid_[base + static_cast<size_t>(
+                                  mru_[base + static_cast<size_t>(
+                                                  k)])] = 0;
+            }
         }
     }
 }
@@ -82,7 +88,11 @@ AccountingCache::tagOf(Addr addr) const
 AccessOutcome
 AccountingCache::access(Addr addr)
 {
-    Set &set = sets_[static_cast<size_t>(setIndex(addr))];
+    size_t base = static_cast<size_t>(setIndex(addr)) *
+                  static_cast<size_t>(ways_);
+    std::int8_t *mru = &mru_[base];
+    Addr *tags = &tag_[base];
+    std::uint8_t *valid = &valid_[base];
     Addr tag = tagOf(addr);
 
     ++interval_.accesses;
@@ -90,9 +100,8 @@ AccountingCache::access(Addr addr)
 
     int found_pos = -1;
     for (int k = 0; k < ways_; ++k) {
-        int w = set.mru[static_cast<size_t>(k)];
-        if (set.valid[static_cast<size_t>(w)] &&
-            set.tag[static_cast<size_t>(w)] == tag) {
+        int w = mru[k];
+        if (valid[w] && tags[w] == tag) {
             found_pos = k;
             break;
         }
@@ -116,11 +125,10 @@ AccountingCache::access(Addr addr)
 
         // Move to MRU position 0 (this is the A/B swap when the block
         // was in B: the LRU block of A becomes the MRU block of B).
-        int way = set.mru[static_cast<size_t>(found_pos)];
+        std::int8_t way = mru[found_pos];
         for (int k = found_pos; k > 0; --k)
-            set.mru[static_cast<size_t>(k)] =
-                set.mru[static_cast<size_t>(k - 1)];
-        set.mru[0] = way;
+            mru[k] = mru[k - 1];
+        mru[0] = way;
         return out;
     }
 
@@ -133,21 +141,19 @@ AccountingCache::access(Addr addr)
     // the A partition exists, so replace the LRU block *of A* and
     // leave the (invalid) B positions untouched.
     int victim_pos = b_enabled_ ? ways_ - 1 : a_ways_ - 1;
-    int way = set.mru[static_cast<size_t>(victim_pos)];
-    set.tag[static_cast<size_t>(way)] = tag;
-    set.valid[static_cast<size_t>(way)] = true;
+    std::int8_t way = mru[victim_pos];
+    tags[way] = tag;
+    valid[way] = 1;
     for (int k = victim_pos; k > 0; --k)
-        set.mru[static_cast<size_t>(k)] =
-            set.mru[static_cast<size_t>(k - 1)];
-    set.mru[0] = way;
+        mru[k] = mru[k - 1];
+    mru[0] = way;
     return out;
 }
 
 void
 AccountingCache::invalidateAll()
 {
-    for (Set &s : sets_)
-        std::fill(s.valid.begin(), s.valid.end(), false);
+    std::fill(valid_.begin(), valid_.end(), 0);
 }
 
 void

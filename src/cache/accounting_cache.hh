@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace gals
@@ -120,14 +122,6 @@ class AccountingCache
     reconstruct(const IntervalCounts &counts, int a_ways);
 
   private:
-    struct Set
-    {
-        /** mru[k] = way index of the block at MRU position k. */
-        std::vector<int> mru;
-        std::vector<Addr> tag;
-        std::vector<bool> valid;
-    };
-
     int setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
@@ -138,7 +132,14 @@ class AccountingCache
     int a_ways_;
     bool b_enabled_ = true;
 
-    std::vector<Set> sets_;
+    // Flat per-set state, stride = ways_. mru_[s*ways + k] is the way
+    // index of the block at MRU position k of set s. Flat storage
+    // keeps each set's metadata on one cache line and makes
+    // construction three bulk fills instead of 3*num_sets vector
+    // initializations per run.
+    ArenaVector<std::int8_t> mru_;
+    ArenaVector<Addr> tag_;
+    ArenaVector<std::uint8_t> valid_;
 
     IntervalCounts interval_;
     std::uint64_t total_accesses_ = 0;

@@ -18,45 +18,38 @@ Clock::Clock(Tick period_ps, Tick first_edge, double jitter_sigma_ps,
 }
 
 void
-Clock::advance()
+Clock::applyJitter()
 {
-    ++cycle_;
-
-    if (pending_period_ != 0 && nominal_next_ >= pending_when_) {
-        period_ps_ = pending_period_;
-        pending_period_ = 0;
-    }
-
-    // The nominal grid is jitter-free; each delivered edge wobbles
-    // around its nominal position by a bounded, zero-mean draw.
-    // Jitter therefore does not accumulate into the grid.
-    nominal_next_ += period_ps_;
-    next_edge_ = nominal_next_;
-    if (jitter_sigma_ps_ > 0.0) {
-        double j = rng_.nextGaussian(0.0, jitter_sigma_ps_);
-        double limit = 0.1 * static_cast<double>(period_ps_);
-        j = std::clamp(j, -limit, limit);
-        auto offset = static_cast<std::int64_t>(j >= 0 ? j + 0.5
-                                                       : j - 0.5);
-        if (offset < 0 &&
-            static_cast<Tick>(-offset) > nominal_next_) {
-            offset = 0;
-        }
-        next_edge_ = static_cast<Tick>(
-            static_cast<std::int64_t>(nominal_next_) + offset);
-    }
+    double j = rng_.nextGaussian(0.0, jitter_sigma_ps_);
+    double limit = 0.1 * static_cast<double>(period_ps_);
+    j = std::clamp(j, -limit, limit);
+    auto offset = static_cast<std::int64_t>(j >= 0 ? j + 0.5
+                                                   : j - 0.5);
+    if (offset < 0 && static_cast<Tick>(-offset) > nominal_next_)
+        offset = 0;
+    next_edge_ = static_cast<Tick>(
+        static_cast<std::int64_t>(nominal_next_) + offset);
 }
 
-Tick
-Clock::nextEdgeAfter(Tick t) const
+void
+Clock::advanceWhileBelow(Tick t)
 {
-    // Extrapolate on the nominal grid; the quarter-period settling
-    // margin applied by consumers absorbs per-edge jitter.
-    if (t < nominal_next_)
-        return nominal_next_;
-    Tick delta = t - nominal_next_;
-    Tick steps = delta / period_ps_ + 1;
-    return nominal_next_ + steps * period_ps_;
+    while (next_edge_ < t) {
+        if (jitter_sigma_ps_ == 0.0 && pending_period_ == 0) {
+            // Clean grid: every skipped edge is one period apart, so
+            // the whole stretch collapses to one jump. nominal_next_
+            // < t here, so delta >= 0 and k >= 1.
+            Tick delta = t - 1 - nominal_next_;
+            Tick k = delta / period_ps_ + 1;
+            cycle_ += k;
+            nominal_next_ += k * period_ps_;
+            next_edge_ = nominal_next_;
+            return;
+        }
+        // Jitter draws and the period-change edge must happen exactly
+        // as they would have without skipping.
+        advance();
+    }
 }
 
 void

@@ -13,6 +13,8 @@
 #ifndef GALS_CLOCK_CLOCK_HH
 #define GALS_CLOCK_CLOCK_HH
 
+#include <algorithm>
+
 #include "common/random.hh"
 #include "common/types.hh"
 
@@ -50,13 +52,54 @@ class Clock
      * Consume the pending edge: the domain has executed its cycle at
      * nextEdge(). Applies any pending period change and jitter.
      */
-    void advance();
+    void
+    advance()
+    {
+        ++cycle_;
+
+        if (pending_period_ != 0 && nominal_next_ >= pending_when_) {
+            period_ps_ = pending_period_;
+            pending_period_ = 0;
+            ++period_changes_;
+        }
+
+        // The nominal grid is jitter-free; each delivered edge
+        // wobbles around its nominal position by a bounded,
+        // zero-mean draw, so jitter never accumulates into the grid.
+        nominal_next_ += period_ps_;
+        next_edge_ = nominal_next_;
+        if (jitter_sigma_ps_ > 0.0)
+            applyJitter();
+    }
+
+    /**
+     * Consume every edge strictly before `t` without delivering them
+     * (the caller has proven the domain does nothing at those edges).
+     * Equivalent to calling advance() while nextEdge() < t, but jumps
+     * arithmetically when the grid is clean (no jitter, no pending
+     * period change); with jitter or a scheduled period change it
+     * steps edge by edge so the RNG stream and the change-application
+     * edge stay identical to the unskipped execution.
+     */
+    void advanceWhileBelow(Tick t);
 
     /**
      * First edge strictly after time t, extrapolated on the nominal
      * grid from the current edge position. Used by synchronizers.
+     * Hot path: most queries land on the current or next edge, so the
+     * division is skipped for them.
      */
-    Tick nextEdgeAfter(Tick t) const;
+    Tick
+    nextEdgeAfter(Tick t) const
+    {
+        if (t < nominal_next_)
+            return nominal_next_;
+        Tick delta = t - nominal_next_;
+        if (delta < period_ps_)
+            return nominal_next_ + period_ps_;
+        Tick steps = delta / period_ps_ + 1;
+        return nominal_next_ + steps * period_ps_;
+    }
 
     /**
      * Schedule a period change; it takes effect at the first edge at
@@ -67,7 +110,25 @@ class Clock
     /** True when a period change is scheduled but not yet applied. */
     bool changePending() const { return pending_period_ != 0; }
 
+    /**
+     * Earliest time the pending change can land (it applies at the
+     * first consumed edge whose nominal position is at or after
+     * this). Only meaningful while changePending().
+     */
+    Tick changeDue() const { return pending_when_; }
+
+    /**
+     * Number of period changes applied so far. Consumers that memoize
+     * grid extrapolations (nextEdgeAfter results) use this as an
+     * invalidation epoch: a memo is valid only while no clock's grid
+     * has changed.
+     */
+    std::uint64_t periodChanges() const { return period_changes_; }
+
   private:
+    /** Wobble next_edge_ around the nominal grid (cold path). */
+    void applyJitter();
+
     Tick period_ps_;
     /** Jitter-free edge grid; jitter wobbles each edge around it. */
     Tick nominal_next_;
@@ -76,6 +137,7 @@ class Clock
 
     Tick pending_period_ = 0;
     Tick pending_when_ = 0;
+    std::uint64_t period_changes_ = 0;
 
     double jitter_sigma_ps_;
     Pcg32 rng_;

@@ -6,13 +6,18 @@
  * consumer (computed with syncVisibleAt at push time). The consumer
  * pops entries only at edges at or after their visibility time, in
  * order. Branch flushes squash entries by predicate.
+ *
+ * Capacity is fixed at construction, so storage is a flat ring: no
+ * per-push allocation and O(1) head access with plain index
+ * arithmetic (unlike std::deque's block map).
  */
 
 #ifndef GALS_CLOCK_SYNC_FIFO_HH
 #define GALS_CLOCK_SYNC_FIFO_HH
 
-#include <deque>
+#include <utility>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -24,15 +29,17 @@ template <typename T>
 class SyncFifo
 {
   public:
-    explicit SyncFifo(size_t capacity) : capacity_(capacity) {}
+    explicit SyncFifo(size_t capacity)
+        : capacity_(capacity), slots_(capacity)
+    {}
 
     /** True when another entry can be accepted. */
-    bool canPush() const { return entries_.size() < capacity_; }
+    bool canPush() const { return count_ < capacity_; }
 
     /** Number of queued entries (visible or not). */
-    size_t size() const { return entries_.size(); }
+    size_t size() const { return count_; }
 
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return count_ == 0; }
 
     size_t capacity() const { return capacity_; }
 
@@ -41,26 +48,37 @@ class SyncFifo
     push(T value, Tick visible_at)
     {
         GALS_ASSERT(canPush(), "push into full SyncFifo");
-        entries_.push_back(Entry{visible_at, std::move(value)});
+        slots_[wrap(head_ + count_)] =
+            Entry{visible_at, std::move(value)};
+        ++count_;
     }
 
     /** True when the head entry exists and is visible at `now`. */
     bool
     frontReady(Tick now) const
     {
-        return !entries_.empty() && entries_.front().visible_at <= now;
+        return count_ != 0 && slots_[head_].visible_at <= now;
     }
 
-    /** Head entry; only valid when frontReady(). */
-    T &front() { return entries_.front().value; }
-    const T &front() const { return entries_.front().value; }
+    /** Head entry; only valid when !empty(). */
+    T &front() { return slots_[head_].value; }
+    const T &front() const { return slots_[head_].value; }
+
+    /**
+     * Visibility time of the head entry (the only gate the consumer
+     * waits on; later entries cannot be consumed before it). Only
+     * valid when !empty(). Used by the event kernel to compute how
+     * long the consuming domain may sleep.
+     */
+    Tick frontVisibleAt() const { return slots_[head_].visible_at; }
 
     /** Remove the head entry. */
     void
     pop()
     {
-        GALS_ASSERT(!entries_.empty(), "pop from empty SyncFifo");
-        entries_.pop_front();
+        GALS_ASSERT(count_ != 0, "pop from empty SyncFifo");
+        head_ = wrap(head_ + 1);
+        --count_;
     }
 
     /** Remove every entry matching the predicate (branch squash). */
@@ -69,29 +87,47 @@ class SyncFifo
     squash(Pred pred)
     {
         size_t removed = 0;
-        for (auto it = entries_.begin(); it != entries_.end();) {
-            if (pred(it->value)) {
-                it = entries_.erase(it);
+        size_t write = head_;
+        size_t n = count_;
+        for (size_t i = 0; i < n; ++i) {
+            size_t read = wrap(head_ + i);
+            if (pred(slots_[read].value)) {
                 ++removed;
-            } else {
-                ++it;
+                continue;
             }
+            if (write != read)
+                slots_[write] = std::move(slots_[read]);
+            write = wrap(write + 1);
         }
+        count_ -= removed;
         return removed;
     }
 
     /** Drop everything. */
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
 
   private:
     struct Entry
     {
-        Tick visible_at;
-        T value;
+        Tick visible_at = 0;
+        T value{};
     };
 
+    size_t
+    wrap(size_t pos) const
+    {
+        return pos >= capacity_ ? pos - capacity_ : pos;
+    }
+
     size_t capacity_;
-    std::deque<Entry> entries_;
+    ArenaVector<Entry> slots_;
+    size_t head_ = 0;
+    size_t count_ = 0;
 };
 
 } // namespace gals

@@ -11,6 +11,8 @@
 #ifndef GALS_CLOCK_SYNCHRONIZER_HH
 #define GALS_CLOCK_SYNCHRONIZER_HH
 
+#include <algorithm>
+
 #include "clock/clock.hh"
 #include "common/types.hh"
 
@@ -31,8 +33,51 @@ constexpr double kSyncGuardFraction = 0.30;
  *                    (fully synchronous mode or intra-domain queues);
  *                    then only the next-edge latch applies.
  */
-Tick syncVisibleAt(Tick produced_at, const Clock &producer,
-                   const Clock &consumer, bool same_domain);
+inline Tick
+syncVisibleAt(Tick produced_at, const Clock &producer,
+              const Clock &consumer, bool same_domain)
+{
+    Tick edge = consumer.nextEdgeAfter(produced_at);
+    Tick margin = consumer.period() / 4;
+    if (same_domain)
+        return edge - std::min(margin, edge);
+
+    Tick faster = std::min(producer.period(), consumer.period());
+    Tick guard = static_cast<Tick>(kSyncGuardFraction *
+                                   static_cast<double>(faster));
+    if (edge - produced_at < guard)
+        edge += consumer.period();
+    // Report visibility a quarter period before the edge: consumer
+    // edges carry bounded jitter, and an edge arriving a few ps
+    // before the nominal grid must still be able to consume the data
+    // (otherwise every such wobble costs a spurious full cycle).
+    return edge - std::min(margin, edge);
+}
+
+/**
+ * Visibility of a value bypassed within one clock domain: usable at
+ * the first consumer edge at or after production, reported a quarter
+ * period early to absorb bounded edge jitter (the anti-wobble margin).
+ *
+ * The margin never rewinds past the previous consumer edge; in
+ * particular an early first edge (edge < period) reports the edge
+ * itself rather than tick 0, which would have made the value
+ * consumable a full cycle before it was produced.
+ */
+inline Tick
+bypassVisibleAt(Tick produced, const Clock &consumer)
+{
+    if (produced == 0)
+        return 0;
+    Tick edge = consumer.nextEdgeAfter(produced - 1);
+    Tick margin = consumer.period() / 4;
+    // Clamp the rewind at the previous edge: an edge earlier than one
+    // period has no predecessor, so it gets no margin at all instead
+    // of collapsing to tick 0.
+    Tick prev = edge >= consumer.period() ? edge - consumer.period()
+                                          : edge;
+    return edge - std::min(margin, edge - prev);
+}
 
 } // namespace gals
 

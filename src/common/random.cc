@@ -16,17 +16,6 @@ Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
 }
 
 std::uint32_t
-Pcg32::next()
-{
-    std::uint64_t old = state_;
-    state_ = old * 6364136223846793005ULL + inc_;
-    std::uint32_t xorshifted =
-        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
-    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
-}
-
-std::uint32_t
 Pcg32::nextBounded(std::uint32_t bound)
 {
     GALS_ASSERT(bound > 0, "nextBounded requires bound > 0");
@@ -45,22 +34,6 @@ Pcg32::nextRange(int lo, int hi)
     GALS_ASSERT(lo <= hi, "nextRange lo=%d > hi=%d", lo, hi);
     std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
     return lo + static_cast<int>(nextBounded(span));
-}
-
-double
-Pcg32::nextDouble()
-{
-    return next() * (1.0 / 4294967296.0);
-}
-
-bool
-Pcg32::chance(double probability)
-{
-    if (probability <= 0.0)
-        return false;
-    if (probability >= 1.0)
-        return true;
-    return nextDouble() < probability;
 }
 
 double

@@ -28,7 +28,16 @@ class Pcg32
                    std::uint64_t stream = 0xda3e39cb94b95bdbULL);
 
     /** @return the next raw 32-bit draw. */
-    std::uint32_t next();
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
 
     /** @return an unbiased draw in [0, bound). bound must be > 0. */
     std::uint32_t nextBounded(std::uint32_t bound);
@@ -37,10 +46,18 @@ class Pcg32
     int nextRange(int lo, int hi);
 
     /** @return a uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble() { return next() * (1.0 / 4294967296.0); }
 
     /** @return true with the given probability (clamped to [0,1]). */
-    bool chance(double probability);
+    bool
+    chance(double probability)
+    {
+        if (probability <= 0.0)
+            return false;
+        if (probability >= 1.0)
+            return true;
+        return nextDouble() < probability;
+    }
 
     /**
      * A normal draw via Box-Muller (no cached spare: deterministic

@@ -1,6 +1,8 @@
 #include "core/processor.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "clock/synchronizer.hh"
 #include "common/logging.hh"
@@ -76,6 +78,10 @@ Processor::Processor(const MachineConfig &config,
             Pll(cfg_.pll, cfg_.seed + 31 * static_cast<unsigned>(d));
     }
     buildCaches();
+    if (const char *env = std::getenv("GALS_KERNEL")) {
+        if (std::strcmp(env, "reference") == 0)
+            kernel_ = Kernel::Reference;
+    }
     if (wl_params_.warmup_instrs == 0) {
         measuring_ = true;
         snapshotBaselines(0);
@@ -90,6 +96,8 @@ Processor::buildCaches()
         l1i_ = std::make_unique<AccountingCache>("l1i", 64 * KB, 4);
         l1i_->setPartition(ic.org.assoc, cfg_.phase_adaptive);
         predictor_ = std::make_unique<HybridPredictor>(ic.predictor);
+        fetch_a_lat_ = ic.a_lat;
+        fetch_b_lat_ = ic.b_lat;
 
         const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
         l1d_ = std::make_unique<AccountingCache>("l1d", 256 * KB, 8);
@@ -126,30 +134,9 @@ Processor::visibleAt(Tick produced, DomainId prod, DomainId cons) const
         // Bypass within one clock: usable at the first edge at or
         // after production (with the same anti-wobble margin the
         // synchronizer applies; see clock/synchronizer.cc).
-        Tick edge = clock(cons).nextEdgeAfter(produced - 1);
-        Tick margin = clock(cons).period() / 4;
-        return edge - std::min(margin, edge);
+        return bypassVisibleAt(produced, clock(cons));
     }
     return syncVisibleAt(produced, clock(prod), clock(cons), false);
-}
-
-bool
-Processor::refVisible(PhysRef ref, DomainId dom, Tick now) const
-{
-    if (ref.index < 0)
-        return true;
-    const PhysRegState &s = regs_.state(ref);
-    if (s.pending)
-        return false;
-    return visibleAt(s.ready_at, s.producer, dom) <= now;
-}
-
-bool
-Processor::sourcesVisible(const InFlightOp &op, DomainId dom,
-                          Tick now) const
-{
-    return refVisible(op.psrc1, dom, now) &&
-           refVisible(op.psrc2, dom, now);
 }
 
 // ---------------------------------------------------------------------
@@ -199,18 +186,12 @@ Processor::doFetch(Tick now)
     }
 
     Tick fe_period = clock(DomainId::FrontEnd).period();
-    int a_lat;
-    int b_lat;
-    if (cfg_.mode == ClockingMode::MCD) {
-        const ICacheConfig &ic = icacheConfig(cur_cfg_.icache);
-        a_lat = ic.a_lat;
-        b_lat = ic.b_lat;
-    } else {
-        a_lat = 2;
-        b_lat = -1;
-    }
+    int a_lat = fetch_a_lat_;
+    int b_lat = fetch_b_lat_;
 
     int line_bytes = l1i_->lineBytes();
+    Tick fe_ready =
+        now + static_cast<Tick>(cfg_.feDepth()) * fe_period;
     int fetched = 0;
     while (fetched < cfg_.fetch_width && fetch_queue_.canPush()) {
         if (!staged_op_)
@@ -254,8 +235,7 @@ Processor::doFetch(Tick now)
             predictor_->update(f.uop.pc, f.pred, f.uop.taken);
             f.mispredict = f.pred.taken != f.uop.taken;
         }
-        fetch_queue_.push(
-            f, now + static_cast<Tick>(cfg_.feDepth()) * fe_period);
+        fetch_queue_.push(f, fe_ready);
         ++fetched;
 
         if (is_branch) {
@@ -276,6 +256,21 @@ Processor::doFetch(Tick now)
 void
 Processor::doRename(Tick now)
 {
+    // The synchronizer crossing time from the front end is the same
+    // for every op renamed at this edge; compute it once per target
+    // domain (indices 0..2 = Integer, FloatingPoint, LoadStore).
+    Tick cross[3];
+    bool cross_valid[3] = {false, false, false};
+    auto crossingTo = [&](DomainId dd, Tick now_) -> Tick {
+        size_t k = static_cast<size_t>(dd) - 1;
+        if (!cross_valid[k]) {
+            cross[k] = syncVisibleAt(now_, clock(DomainId::FrontEnd),
+                                     clock(dd), same_domain_);
+            cross_valid[k] = true;
+        }
+        return cross[k];
+    };
+
     auto srcRef = [&](std::int8_t logical) -> PhysRef {
         if (logical < 0)
             return PhysRef{-1, false};
@@ -348,19 +343,18 @@ Processor::doRename(Tick now)
         // this is the "+integer" half of the mispredict penalty).
         DomainId q_dom = is_mem ? DomainId::Integer : dom;
         Tick visible =
-            syncVisibleAt(now, clock(DomainId::FrontEnd),
-                          clock(q_dom), same_domain_) +
+            crossingTo(q_dom, now) +
             static_cast<Tick>(cfg_.dispatchDepth()) *
                 clock(q_dom).period();
         fifo.push(idx, visible);
+        wakeDomain(q_dom, visible);
         if (is_mem) {
             Tick ls_visible =
-                syncVisibleAt(now, clock(DomainId::FrontEnd),
-                              clock(DomainId::LoadStore),
-                              same_domain_) +
+                crossingTo(DomainId::LoadStore, now) +
                 static_cast<Tick>(cfg_.lsDispatchDepth()) *
                     clock(DomainId::LoadStore).period();
             disp_ls_.push(idx, ls_visible);
+            wakeDomain(DomainId::LoadStore, ls_visible);
         }
         fetch_queue_.pop();
         ++renamed;
@@ -386,14 +380,20 @@ Processor::doRetire(Tick now)
                 op.uop.mem_addr /
                     static_cast<unsigned>(l1d_->lineBytes()),
                 now);
+            wakeDomain(DomainId::LoadStore, now);
             lsq_.popFront();
+            ls_events_ += 2; // SB push + store left the LSQ.
         } else {
             if (!op.completed())
                 break;
-            if (visibleAt(op.complete_at, op.domain,
-                          DomainId::FrontEnd) > now) {
-                break;
+            if (op.fe_vis == kTickMax ||
+                op.fe_vis_epoch != clock_epoch_) {
+                op.fe_vis = visibleAt(op.complete_at, op.domain,
+                                      DomainId::FrontEnd);
+                op.fe_vis_epoch = clock_epoch_;
             }
+            if (op.fe_vis > now)
+                break;
             if (op.is_mem)
                 lsq_.popFront();
         }
@@ -443,53 +443,174 @@ Processor::stepIssueDomain(DomainId dom, Tick now)
     SyncFifo<size_t> &fifo =
         dom == DomainId::Integer ? disp_int_ : disp_fp_;
     FuPool &fu = dom == DomainId::Integer ? fu_int_ : fu_fp_;
+    ScanSummary &ss =
+        dom == DomainId::Integer ? scan_int_ : scan_fp_;
     Tick period = clock(dom).period();
 
+    bool transferred = false;
     while (fifo.frontReady(now) && !iq.full()) {
         size_t idx = fifo.front();
         fifo.pop();
         InFlightOp &op = rob_[idx];
         op.issue_eligible = now;
         op.in_queue = true;
-        iq.push(idx);
+        IqSlot slot;
+        slot.rob_idx = static_cast<std::uint32_t>(idx);
+        slot.cls = op.uop.cls;
+        slot.is_mem = op.is_mem;
+        slot.mispredict = op.mispredict;
+        slot.psrc1 = op.psrc1;
+        slot.psrc2 = op.psrc2;
+        slot.pdst = op.pdst;
+        slot.issue_eligible = now;
+        iq.push(slot);
+        transferred = true;
+    }
+    if (transferred) {
+        // Rename may have been blocked on this dispatch FIFO.
+        wakeDomain(DomainId::FrontEnd, now);
+    }
+
+    // Scan-summary skip: the last full scan recorded exactly what
+    // every queued op is waiting for. If none of those conditions can
+    // have moved — no new arrivals, no timed hint due, no completion
+    // in any watched domain, no clock-grid change — the scan would
+    // issue nothing, so skip it.
+    if (!transferred && !ss.must_scan && now < ss.min_timed &&
+        ss.epoch_snap == clock_epoch_ &&
+        ss.dom_snap == domain_completes_) {
+        return;
     }
 
     fu.newCycle();
     int issued = 0;
     auto &entries = iq.entries();
-    for (size_t i = 0;
-         i < entries.size() && issued < cfg_.issue_width;) {
-        InFlightOp &op = rob_[entries[i]];
-        bool ready = op.issue_eligible <= now &&
-                     sourcesVisible(op, dom, now);
-        if (ready) {
+    bool need_every_edge = false;
+    Tick min_timed = kTickMax;
+    // One stable compaction pass replaces the per-issue mid-vector
+    // erase: issued entries are dropped, survivors keep age order.
+    // Waiting entries are skipped on their in-slot wakeup state
+    // alone, without touching the (much larger) ROB record.
+    size_t keep = 0;
+    const size_t n = entries.size();
+    for (size_t i = 0; i < n; ++i) {
+        IqSlot &slot = entries[i];
+        if (issued >= cfg_.issue_width) {
+            need_every_edge = true; // unevaluated: rescan next edge.
+            if (keep != i)
+                entries[keep] = slot;
+            ++keep;
+            continue;
+        }
+        // Register-wakeup skip: while every recorded source register
+        // is still scoreboard-pending, its producer has not issued
+        // and the op provably cannot be ready.
+        if (slot.n_wait != 0) {
+            bool still_pending = true;
+            for (int k = 0; k < slot.n_wait; ++k) {
+                if (!regs_.state(slot.wait_ref[static_cast<size_t>(k)])
+                         .pending) {
+                    still_pending = false;
+                    break;
+                }
+            }
+            if (still_pending) {
+                if (keep != i)
+                    entries[keep] = slot;
+                ++keep;
+                continue;
+            }
+            slot.n_wait = 0;
+        }
+        // Timed skip: a prior scan proved the op cannot be ready
+        // before ready_hint (exact, since all its producers had
+        // known completion times).
+        if (slot.ready_hint != 0 &&
+            slot.hint_epoch == clock_epoch_ &&
+            now < slot.ready_hint) {
+            min_timed = std::min(min_timed, slot.ready_hint);
+            if (keep != i)
+                entries[keep] = slot;
+            ++keep;
+            continue;
+        }
+        bool pending_src = false;
+        Tick ready_at = slot.issue_eligible;
+        auto fold = [&](PhysRef ref, size_t si) {
+            if (ref.index < 0)
+                return;
+            if (slot.src_vis[si] != kTickMax &&
+                slot.src_vis_epoch[si] == clock_epoch_) {
+                if (slot.src_vis[si] > ready_at)
+                    ready_at = slot.src_vis[si];
+                return;
+            }
+            const PhysRegState &s = regs_.state(ref);
+            if (s.pending) {
+                pending_src = true;
+                if (slot.n_wait < 2)
+                    slot.wait_ref[slot.n_wait++] = ref;
+                return;
+            }
+            Tick v = visibleAt(s.ready_at, s.producer, dom);
+            slot.src_vis[si] = v;
+            slot.src_vis_epoch[si] = clock_epoch_;
+            if (v > ready_at)
+                ready_at = v;
+        };
+        fold(slot.psrc1, 0);
+        fold(slot.psrc2, 1);
+        if (!pending_src && ready_at <= now) {
             // Memory ops in the integer queue are address-generation
             // uops: one ALU cycle, then the LSQ takes over.
-            bool agen = op.is_mem;
-            OpClass fu_cls = agen ? OpClass::IntAlu : op.uop.cls;
+            bool agen = slot.is_mem;
+            OpClass fu_cls = agen ? OpClass::IntAlu : slot.cls;
             Tick complete =
                 now + static_cast<Tick>(opLatency(fu_cls)) * period;
             if (fu.claim(fu_cls, now, complete)) {
+                InFlightOp &op = rob_[slot.rob_idx];
                 op.issued = true;
                 op.in_queue = false;
                 if (agen) {
                     op.agen_done = complete;
+                    ++agen_issues_;
+                    // The LSQ may now start this op's access.
+                    wakeDomain(DomainId::LoadStore, now);
                 } else {
                     op.complete_at = complete;
-                    regs_.complete(op.pdst, complete, dom);
+                    completeReg(slot.pdst, complete, dom, now);
                 }
-                if (op.uop.cls == OpClass::Branch && op.mispredict) {
+                if (slot.cls == OpClass::Branch && slot.mispredict) {
                     fetch_resume_ = visibleAt(complete, dom,
                                               DomainId::FrontEnd);
+                    wakeDomain(DomainId::FrontEnd, fetch_resume_);
                 }
-                entries.erase(entries.begin() +
-                              static_cast<std::ptrdiff_t>(i));
                 ++issued;
                 continue;
             }
+            // Structural stall: retry every edge.
+            slot.ready_hint = 0;
+            need_every_edge = true;
+        } else if (!pending_src) {
+            slot.ready_hint = ready_at;
+            slot.hint_epoch = clock_epoch_;
+            min_timed = std::min(min_timed, ready_at);
+        } else {
+            // A producer has not issued yet; its completion time is
+            // unknowable. The wait_dom/wait_snap records set above
+            // gate the recheck.
+            slot.ready_hint = 0;
         }
-        ++i;
+        if (keep != i)
+            entries[keep] = slot;
+        ++keep;
     }
+    entries.resize(keep);
+
+    ss.must_scan = need_every_edge;
+    ss.min_timed = min_timed;
+    ss.dom_snap = domain_completes_;
+    ss.epoch_snap = clock_epoch_;
 }
 
 // ---------------------------------------------------------------------
@@ -532,37 +653,51 @@ Processor::dataHierarchyTime(Addr addr, Tick now)
     for (Tick &slot : mshr_busy_) {
         if (slot <= now) {
             slot = done;
+            mshr_min_free_ = mshr_busy_[0];
+            for (Tick s : mshr_busy_)
+                mshr_min_free_ = std::min(mshr_min_free_, s);
+            ++ls_events_;
             return done;
         }
     }
     panic("dataHierarchyTime without a free MSHR");
 }
 
+/**
+ * Memoized load/store-domain visibility of an entry's address
+ * generation; false while the agen uop is unissued or not yet
+ * visible here.
+ */
 bool
+Processor::agenVisible(LsqEntry &entry, const InFlightOp &op, Tick now)
+{
+    if (op.agen_done == kTickMax)
+        return false;
+    if (entry.agen_vis == kTickMax ||
+        entry.agen_vis_epoch != clock_epoch_) {
+        entry.agen_vis = visibleAt(op.agen_done, DomainId::Integer,
+                                   DomainId::LoadStore);
+        entry.agen_vis_epoch = clock_epoch_;
+    }
+    return entry.agen_vis <= now;
+}
+
+Processor::LoadStart
 Processor::tryStartLoad(LsqEntry &entry, Tick now, int &ports_used)
 {
     InFlightOp &op = rob_[entry.rob_idx];
-    if (op.agen_done == kTickMax ||
-        visibleAt(op.agen_done, DomainId::Integer,
-                  DomainId::LoadStore) > now) {
-        return false;
-    }
 
     // Memory disambiguation against older stores (exact, since all
-    // addresses are known at rename).
-    bool forward = false;
-    for (const LsqEntry &older : lsq_.entries()) {
-        if (&older == &entry)
-            break;
-        if (older.is_store && older.line_addr == entry.line_addr) {
-            if (rob_[older.rob_idx].store_ready)
-                forward = true; // youngest ready older store wins.
-            else
-                return false;   // wait for the store's data.
-        }
-    }
-    if (!forward && store_buffer_.hasLine(entry.line_addr))
-        forward = true;
+    // addresses are known at rename): blocked while any older
+    // same-line store lacks its data; forward once all (at least one)
+    // have it. The per-line index replaces the seed's scan over every
+    // older queue entry.
+    Lsq::OlderStores older =
+        lsq_.olderStores(entry.line_addr, entry.id);
+    if (older == Lsq::OlderStores::Blocked)
+        return LoadStart::Blocked; // wait for the store's data.
+    bool forward = older == Lsq::OlderStores::AllReady ||
+                   store_buffer_.hasLine(entry.line_addr);
 
     Tick done;
     if (forward) {
@@ -570,23 +705,16 @@ Processor::tryStartLoad(LsqEntry &entry, Tick now, int &ports_used)
     } else {
         // Conservatively require a free MSHR before starting an
         // access that might miss.
-        bool mshr_free = false;
-        for (Tick slot : mshr_busy_) {
-            if (slot <= now) {
-                mshr_free = true;
-                break;
-            }
-        }
-        if (!mshr_free)
-            return false;
+        if (mshr_min_free_ > now)
+            return LoadStart::MshrBusy;
         done = dataHierarchyTime(op.uop.mem_addr, now);
     }
 
     entry.issued = true;
     op.complete_at = done;
-    regs_.complete(op.pdst, done, DomainId::LoadStore);
+    completeReg(op.pdst, done, DomainId::LoadStore, now);
     ++ports_used;
-    return true;
+    return LoadStart::Issued;
 }
 
 void
@@ -596,20 +724,16 @@ Processor::drainStoreBuffer(Tick now, int &ports_used, int max_ports)
         StoreWrite &w = store_buffer_.front();
         if (w.ready_at > now)
             break;
-        bool mshr_free = false;
-        for (Tick slot : mshr_busy_) {
-            if (slot <= now) {
-                mshr_free = true;
-                break;
-            }
-        }
-        if (!mshr_free)
+        if (mshr_min_free_ > now)
             break;
         dataHierarchyTime(w.line_addr *
                               static_cast<unsigned>(l1d_->lineBytes()),
                           now);
         store_buffer_.pop();
+        ++ls_events_;
         ++ports_used;
+        // Retirement may be blocked on a full store buffer.
+        wakeDomain(DomainId::FrontEnd, now);
     }
 }
 
@@ -618,25 +742,63 @@ Processor::stepLoadStore(Tick now)
 {
     applyPending(DomainId::LoadStore, now);
 
+    bool arrived_any = false;
     while (disp_ls_.frontReady(now)) {
         disp_ls_.pop();
         lsq_.markArrived(now);
+        arrived_any = true;
     }
+    if (arrived_any) {
+        // Rename may have been blocked on the load/store FIFO.
+        wakeDomain(DomainId::FrontEnd, now);
+    }
+
+    // Walk-summary skip: every LSQ entry's blocking condition was
+    // recorded by the last full walk. If none can have moved, only
+    // the post-commit store buffer may still drain.
+    if (!arrived_any && !ls_sum_.must_walk && now < ls_sum_.min_time &&
+        ls_sum_.agen_snap == agen_issues_ &&
+        ls_sum_.ev_snap == ls_events_ &&
+        ls_sum_.epoch_snap == clock_epoch_) {
+        if (!store_buffer_.empty() &&
+            store_buffer_.frontReadyAt() <= now &&
+            mshr_min_free_ <= now) {
+            int ports = 0;
+            drainStoreBuffer(now, ports, cfg_.mem_ports);
+        }
+        return;
+    }
+    bool need_every_edge = false;
+    Tick min_time = kTickMax;
 
     // Stores become ready once their address-generation uop (which
     // also captures the data register) completes and its result
     // crosses into this domain; the ROB then retires them into the
-    // store buffer.
-    for (LsqEntry &e : lsq_.entries()) {
-        if (!e.is_store)
+    // store buffer. Only stores still waiting for data are scanned.
+    for (Lsq::StoreRec &rec : lsq_.stores()) {
+        if (rec.ready)
             continue;
+        LsqEntry &e = lsq_.byId(rec.id);
+        if (e.wait_kind == 1 && e.wait_snap == agen_issues_)
+            continue; // agen still not issued.
+        e.wait_kind = 0;
         InFlightOp &op = rob_[e.rob_idx];
-        if (!op.store_ready && e.arrived_at <= now &&
-            op.agen_done != kTickMax &&
-            visibleAt(op.agen_done, DomainId::Integer,
-                      DomainId::LoadStore) <= now) {
+        if (op.agen_done == kTickMax) {
+            e.wait_kind = 1;
+            e.wait_snap = agen_issues_;
+            continue;
+        }
+        if (e.arrived_at <= now && agenVisible(e, op, now)) {
             op.store_ready = true;
             op.complete_at = now;
+            rec.ready = true;
+            ++ls_events_;
+            // May be the retire head the front end waits on.
+            wakeDomain(DomainId::FrontEnd, now);
+        } else if (e.arrived_at <= now) {
+            // Waiting on a known agen-visibility time (an unarrived
+            // entry resets the walk via the arrival flag instead).
+            min_time = std::min(min_time, e.agen_vis);
         }
     }
 
@@ -648,15 +810,70 @@ Processor::stepLoadStore(Tick now)
     if (sb_pressure)
         drainStoreBuffer(now, ports_used, 1);
 
-    for (LsqEntry &e : lsq_.entries()) {
-        if (ports_used >= cfg_.mem_ports)
-            break;
-        if (e.is_store || e.issued || e.arrived_at > now)
-            continue;
-        tryStartLoad(e, now, ports_used);
+    // Load issue walks only the not-yet-issued loads, oldest first.
+    // Each blocked load carries why it is blocked, so the walk skips
+    // it with a compare until the blocking condition can have moved.
+    {
+        auto &loads = lsq_.waitingLoads();
+        size_t keep = 0;
+        const size_t n = loads.size();
+        for (size_t i = 0; i < n; ++i) {
+            std::uint64_t id = loads[i];
+            if (ports_used >= cfg_.mem_ports) {
+                need_every_edge = true; // unevaluated loads remain.
+                loads[keep++] = id;
+                continue;
+            }
+            LsqEntry &e = lsq_.byId(id);
+            if (e.wait_kind == 1 && e.wait_snap == agen_issues_) {
+                loads[keep++] = id; // agen still not issued.
+                continue;
+            }
+            if (e.wait_kind == 2 && e.wait_snap == ls_events_ &&
+                now < e.wait_until) {
+                min_time = std::min(min_time, e.wait_until);
+                loads[keep++] = id; // same stores, same busy MSHRs.
+                continue;
+            }
+            e.wait_kind = 0;
+            if (e.arrived_at > now) {
+                loads[keep++] = id; // arrival resets the walk.
+                continue;
+            }
+            InFlightOp &op = rob_[e.rob_idx];
+            if (op.agen_done == kTickMax) {
+                e.wait_kind = 1;
+                e.wait_snap = agen_issues_;
+                loads[keep++] = id;
+                continue;
+            }
+            if (!agenVisible(e, op, now)) {
+                min_time = std::min(min_time, e.agen_vis);
+                loads[keep++] = id; // pure time wait: one compare.
+                continue;
+            }
+            std::uint32_t snap = ls_events_;
+            LoadStart r = tryStartLoad(e, now, ports_used);
+            if (r == LoadStart::Issued)
+                continue;
+            e.wait_kind = 2;
+            e.wait_snap = snap;
+            e.wait_until =
+                r == LoadStart::MshrBusy ? mshr_min_free_ : kTickMax;
+            if (r == LoadStart::MshrBusy)
+                min_time = std::min(min_time, e.wait_until);
+            loads[keep++] = id;
+        }
+        loads.resize(keep);
     }
 
     drainStoreBuffer(now, ports_used, cfg_.mem_ports);
+
+    ls_sum_.must_walk = need_every_edge;
+    ls_sum_.min_time = min_time;
+    ls_sum_.agen_snap = agen_issues_;
+    ls_sum_.ev_snap = ls_events_;
+    ls_sum_.epoch_snap = clock_epoch_;
 }
 
 // ---------------------------------------------------------------------
@@ -696,6 +913,8 @@ Processor::applyStructure(Structure s, int target, Tick)
         l1i_->setPartition(icacheConfig(target).org.assoc,
                            cfg_.phase_adaptive);
         predictor_->reconfigure(icacheConfig(target).predictor);
+        fetch_a_lat_ = icacheConfig(target).a_lat;
+        fetch_b_lat_ = icacheConfig(target).b_lat;
         break;
       case Structure::DCachePair: {
         cur_cfg_.dcache = target;
@@ -739,6 +958,11 @@ Processor::requestConfig(Structure s, int target, Tick now)
     Tick lock_done = pll.startRelock(now);
     clock(d).setPeriod(periodPsFromGHz(f_new), lock_done);
     trace_.record(committed_, s, cur, target);
+    // The re-clocked domain must consume the edge where the period
+    // change lands even if it is otherwise idle: other domains read
+    // its grid (nextEdgeAfter/period) for synchronizer timing, so a
+    // parked clock must not lag across the change.
+    wakeDomain(d, lock_done);
 
     if (f_new >= f_old) {
         // Speeding up: run the simpler configuration through the
@@ -919,12 +1143,202 @@ Processor::finalizeStats(RunStats &stats) const
     stats.trace = trace_;
 }
 
-RunStats
-Processor::run()
+void
+Processor::onClockEpochBump()
 {
-    const std::uint64_t target =
-        wl_params_.warmup_instrs + wl_params_.sim_instrs;
+    ++clock_epoch_;
+    // Every memoized grid extrapolation is now stale; domains
+    // sleeping on times or summaries built from them (including the
+    // front end's retire-visibility memo) must recheck.
+    wakeDomain(DomainId::FrontEnd, 0);
+    wakeDomain(DomainId::Integer, 0);
+    wakeDomain(DomainId::FloatingPoint, 0);
+    wakeDomain(DomainId::LoadStore, 0);
+}
 
+void
+Processor::advanceClock(int d)
+{
+    Clock &c = clocks_[static_cast<size_t>(d)];
+    if (!c.changePending()) {
+        c.advance();
+        return;
+    }
+    std::uint64_t before = c.periodChanges();
+    c.advance();
+    if (c.periodChanges() != before)
+        onClockEpochBump();
+}
+
+void
+Processor::advanceClockWhileBelow(int d, Tick t)
+{
+    Clock &c = clocks_[static_cast<size_t>(d)];
+    std::uint64_t before = c.periodChanges();
+    c.advanceWhileBelow(t);
+    if (c.periodChanges() != before)
+        onClockEpochBump();
+}
+
+void
+Processor::wakeDomain(DomainId dd, Tick t)
+{
+    size_t i = static_cast<size_t>(dd);
+    if (t >= wake_[i])
+        return;
+    wake_[i] = t;
+    if (kernel_ != Kernel::EventDriven)
+        return;
+    // Lazy key: the clock may sit on a stale (earlier) edge; the
+    // scheduler resolves the true first-edge-at-or-after-wake when
+    // the domain reaches the head of the calendar.
+    Tick key = std::max(clocks_[i].nextEdge(), t);
+    if (key < calendar_.key[i])
+        calendar_.set(static_cast<int>(i), key);
+}
+
+Tick
+Processor::domainWake(int d, Tick now) const
+{
+    Tick w = kTickMax;
+    const PendingApply &p = pending_[static_cast<size_t>(d)];
+    if (p.active)
+        w = p.apply_at;
+    // A scheduled period change must land on time (other domains
+    // consult this clock's grid), so never sleep past its due edge.
+    if (clocks_[static_cast<size_t>(d)].changePending()) {
+        w = std::min(
+            w, clocks_[static_cast<size_t>(d)].changeDue());
+    }
+
+    switch (static_cast<DomainId>(d)) {
+      case DomainId::FrontEnd: {
+        // Fast path: fetch can run at the next edge (the common case
+        // while streaming), so skip the full gate derivation.
+        if (!fetch_halted_ && fetch_line_ready_ <= now &&
+            fetch_queue_.canPush() && !p.active) {
+            return 0;
+        }
+        // Retire gate: mirror doRetire's head-of-ROB conditions.
+        if (!rob_.empty()) {
+            const InFlightOp &head = rob_[rob_.headIndex()];
+            if (head.uop.cls == OpClass::Store) {
+                if (head.store_ready && !store_buffer_.full())
+                    return 0; // retirable at the next edge.
+                // else: woken by the store-ready / SB-pop hooks.
+            } else if (head.completed()) {
+                if (head.fe_vis == kTickMax ||
+                    head.fe_vis_epoch != clock_epoch_) {
+                    return 0; // visibility unknown: evaluate in-step.
+                }
+                if (head.fe_vis <= now)
+                    return 0; // retirable at the next edge.
+                w = std::min(w, head.fe_vis);
+            }
+            // head not completed: woken by the completeReg hook.
+        }
+        // Rename gate: mirror doRename's break conditions for the
+        // head of the fetch queue (head-of-line blocking, so the
+        // first op decides whether rename makes any progress).
+        if (!fetch_queue_.empty()) {
+            if (fetch_queue_.frontVisibleAt() > now) {
+                w = std::min(w, fetch_queue_.frontVisibleAt());
+            } else {
+                const FetchedOp &f = fetch_queue_.front();
+                OpClass cls = f.uop.cls;
+                DomainId fdom = execDomain(cls);
+                bool needs_dst = f.uop.dst >= 0;
+                bool dst_fp =
+                    needs_dst && f.uop.dst >= kFirstFpReg;
+                bool is_mem = isMemOp(cls);
+                const SyncFifo<size_t> &fifo =
+                    fdom == DomainId::Integer || is_mem
+                        ? disp_int_
+                        : fdom == DomainId::FloatingPoint ? disp_fp_
+                                                          : disp_ls_;
+                bool blocked =
+                    rob_.full() ||
+                    (needs_dst && !regs_.canAlloc(dst_fp)) ||
+                    (is_mem && lsq_.full()) || !fifo.canPush() ||
+                    (is_mem && !disp_ls_.canPush());
+                if (!blocked)
+                    return 0; // rename progresses at the next edge.
+                // ROB/regs/LSQ free at retire (covered above); a
+                // full FIFO drains via the consumer-pop hooks.
+            }
+        }
+        // Fetch gate.
+        if (fetch_halted_) {
+            // fetch_resume_ is kTickMax until the mispredicted branch
+            // issues; stepIssueDomain wakes this domain then.
+            w = std::min(w, fetch_resume_);
+        } else if (!fetch_queue_.canPush()) {
+            // Unblocks via rename, which is covered above.
+        } else if (fetch_line_ready_ > now) {
+            w = std::min(w, fetch_line_ready_);
+        } else {
+            return 0; // fetch makes progress at the next edge.
+        }
+        return w;
+      }
+      case DomainId::Integer:
+      case DomainId::FloatingPoint: {
+        const IssueQueue &iq = static_cast<DomainId>(d) ==
+                                       DomainId::Integer
+                                   ? iq_int_
+                                   : iq_fp_;
+        const SyncFifo<size_t> &fifo =
+            static_cast<DomainId>(d) == DomainId::Integer ? disp_int_
+                                                          : disp_fp_;
+        if (iq.size() != 0) {
+            // A non-empty queue may still sleep when the last scan
+            // proved every entry is waiting: on a completion (the
+            // completeReg hook rechecks), on an exact future time
+            // (min_timed), or on a grid change (the epoch hook).
+            const ScanSummary &ss = static_cast<DomainId>(d) ==
+                                            DomainId::Integer
+                                        ? scan_int_
+                                        : scan_fp_;
+            if (ss.must_scan || ss.epoch_snap != clock_epoch_ ||
+                ss.dom_snap != domain_completes_) {
+                return 0;
+            }
+            w = std::min(w, ss.min_timed);
+        }
+        if (!fifo.empty())
+            w = std::min(w, fifo.frontVisibleAt());
+        return w;
+      }
+      case DomainId::LoadStore: {
+        if (!lsq_.empty()) {
+            // Same idea: sleep on the walk summary. Wake sources are
+            // the agen-issue hook, the ls-event hooks (store retire
+            // and store-buffer push), recorded future times, and the
+            // epoch hook.
+            if (ls_sum_.must_walk ||
+                ls_sum_.epoch_snap != clock_epoch_ ||
+                ls_sum_.agen_snap != agen_issues_ ||
+                ls_sum_.ev_snap != ls_events_) {
+                return 0;
+            }
+            w = std::min(w, ls_sum_.min_time);
+        }
+        if (!disp_ls_.empty())
+            w = std::min(w, disp_ls_.frontVisibleAt());
+        if (!store_buffer_.empty()) {
+            w = std::min(w, std::max(store_buffer_.frontReadyAt(),
+                                     mshr_min_free_));
+        }
+        return w;
+      }
+      default:
+        panic("bad domain %d", d);
+    }
+}
+
+void
+Processor::runReferenceLoop(std::uint64_t target)
+{
     std::uint64_t steps = 0;
     std::uint64_t last_committed = committed_;
     while (committed_ < target) {
@@ -938,7 +1352,7 @@ Processor::run()
             }
         }
         stepDomain(d, best);
-        clocks_[static_cast<size_t>(d)].advance();
+        advanceClock(d);
 
         if (++steps >= 8'000'000) {
             GALS_ASSERT(committed_ != last_committed,
@@ -950,6 +1364,81 @@ Processor::run()
             last_committed = committed_;
         }
     }
+}
+
+void
+Processor::runEventLoop(std::uint64_t target)
+{
+    calendar_ = EdgeCalendar{};
+    for (int d = 0; d < kNumDomains; ++d) {
+        wake_[static_cast<size_t>(d)] = 0;
+        calendar_.set(d, clocks_[static_cast<size_t>(d)].nextEdge());
+    }
+
+    std::uint64_t steps = 0;
+    std::uint64_t last_committed = committed_;
+    while (committed_ < target) {
+        int d = calendar_.head();
+        size_t di = static_cast<size_t>(d);
+        GALS_ASSERT(calendar_.key[di] != kTickMax,
+                    "event kernel: every domain parked at "
+                    "committed=%llu (missing wakeup hook)",
+                    static_cast<unsigned long long>(committed_));
+        Tick edge = clocks_[di].nextEdge();
+        if (wake_[di] > edge) {
+            // Proven-idle edges: consume them without stepping, then
+            // re-key on the first edge at or after the wake time.
+            advanceClockWhileBelow(d, wake_[di]);
+            calendar_.set(d, clocks_[di].nextEdge());
+            continue;
+        }
+        switch (static_cast<DomainId>(d)) {
+          case DomainId::FrontEnd:
+            applyPending(DomainId::FrontEnd, edge);
+            doRetire(edge);
+            doRename(edge);
+            doFetch(edge);
+            break;
+          case DomainId::Integer:
+            stepIssueDomain(DomainId::Integer, edge);
+            break;
+          case DomainId::FloatingPoint:
+            stepIssueDomain(DomainId::FloatingPoint, edge);
+            break;
+          default:
+            stepLoadStore(edge);
+            break;
+        }
+        advanceClock(d);
+        Tick w = domainWake(d, edge);
+        wake_[di] = w;
+        if (w == kTickMax)
+            calendar_.park(d);
+        else
+            calendar_.set(d, std::max(clocks_[di].nextEdge(), w));
+
+        if (++steps >= 8'000'000) {
+            GALS_ASSERT(committed_ != last_committed,
+                        "no commit in 8M domain steps: deadlock at "
+                        "t=%llu (committed=%llu)",
+                        static_cast<unsigned long long>(edge),
+                        static_cast<unsigned long long>(committed_));
+            steps = 0;
+            last_committed = committed_;
+        }
+    }
+}
+
+RunStats
+Processor::run()
+{
+    const std::uint64_t target =
+        wl_params_.warmup_instrs + wl_params_.sim_instrs;
+
+    if (kernel_ == Kernel::Reference)
+        runReferenceLoop(target);
+    else
+        runEventLoop(target);
 
     finalizeStats(stats_);
     return stats_;

@@ -44,10 +44,27 @@ namespace gals
 class Processor
 {
   public:
+    /** Which main-loop scheduler run() uses. */
+    enum class Kernel
+    {
+        /** Event-driven: idle domains skip edges (the default). */
+        EventDriven,
+        /**
+         * Step every domain at every edge, as the original simulator
+         * did. Kept as the bit-identical oracle for the event kernel
+         * (see docs/kernel.md); also selectable with
+         * GALS_KERNEL=reference.
+         */
+        Reference,
+    };
+
     Processor(const MachineConfig &config, const WorkloadParams &wl);
 
     /** Run warmup + measured window; return window statistics. */
     RunStats run();
+
+    /** Force a specific scheduler (tests; overrides GALS_KERNEL). */
+    void setKernel(Kernel k) { kernel_ = k; }
 
     /** Current structure configuration (changes in phase mode). */
     const AdaptiveConfig &currentConfig() const { return cur_cfg_; }
@@ -75,6 +92,27 @@ class Processor
 
     // Main loop.
     void stepDomain(int d, Tick now);
+    void runEventLoop(std::uint64_t target);
+    void runReferenceLoop(std::uint64_t target);
+
+    /**
+     * Earliest tick at which domain d could do observable work given
+     * its state right after stepping at `now`; kTickMax parks the
+     * domain until a cross-domain event (wakeDomain) re-arms it. Must
+     * be a lower bound: waking early is a wasted no-op step, waking
+     * late would diverge from the reference kernel.
+     */
+    Tick domainWake(int d, Tick now) const;
+
+    /** Cross-domain event hook: domain d may have work at `t`. */
+    void wakeDomain(DomainId d, Tick t);
+
+    /** advance() + epoch bump when a period change lands. */
+    void advanceClock(int d);
+    /** Invalidate grid memos and wake summary-sleeping domains. */
+    void onClockEpochBump();
+    /** Consume proven-idle edges of domain d strictly below `t`. */
+    void advanceClockWhileBelow(int d, Tick t);
 
     // Front-end stages.
     void doRetire(Tick now);
@@ -86,10 +124,38 @@ class Processor
 
     // Load/store domain.
     void stepLoadStore(Tick now);
-    bool tryStartLoad(LsqEntry &entry, Tick now, int &ports_used);
+    bool agenVisible(LsqEntry &entry, const InFlightOp &op, Tick now);
+    /** Outcome of a load-issue attempt (drives the wakeup index). */
+    enum class LoadStart
+    {
+        Issued,   //!< access started; entry leaves the waiting list.
+        Blocked,  //!< older same-line store lacks data: event-waited.
+        MshrBusy, //!< no free MSHR: time- and event-waited.
+    };
+    LoadStart tryStartLoad(LsqEntry &entry, Tick now, int &ports_used);
     void drainStoreBuffer(Tick now, int &ports_used, int max_ports);
     Tick dataHierarchyTime(Addr addr, Tick now);
     Tick icacheMissTime(Tick now);
+
+    /**
+     * regs_.complete + the per-domain completion counter bump. A
+     * completion is the only event that can make a pending-source op
+     * ready, so any issue domain sleeping on a non-empty queue is
+     * woken to recheck (`now` = the edge performing the completion).
+     */
+    void
+    completeReg(PhysRef ref, Tick when, DomainId producer, Tick now)
+    {
+        regs_.complete(ref, when, producer);
+        ++domain_completes_[static_cast<size_t>(producer)];
+        if (iq_int_.size() != 0)
+            wakeDomain(DomainId::Integer, now);
+        if (iq_fp_.size() != 0)
+            wakeDomain(DomainId::FloatingPoint, now);
+        // The completing op sits in the ROB; it may be (or unblock)
+        // the retire head the front end is waiting on.
+        wakeDomain(DomainId::FrontEnd, now);
+    }
 
     // Timing helpers.
     Clock &clock(DomainId d)
@@ -102,10 +168,6 @@ class Processor
     }
     /** When a value produced in `prod` is usable in `cons`. */
     Tick visibleAt(Tick produced, DomainId prod, DomainId cons) const;
-    /** Operand readiness for an op executing in `dom` at `now`. */
-    bool sourcesVisible(const InFlightOp &op, DomainId dom,
-                        Tick now) const;
-    bool refVisible(PhysRef ref, DomainId dom, Tick now) const;
 
     // Phase-adaptive control.
     void controlCaches(Tick now);
@@ -145,9 +207,14 @@ class Processor
     StoreBuffer store_buffer_;
     FuPool fu_int_;
     FuPool fu_fp_;
-    std::vector<Tick> mshr_busy_;
+    ArenaVector<Tick> mshr_busy_;
+    /** min(mshr_busy_): one compare decides "any MSHR free". */
+    Tick mshr_min_free_ = 0;
 
     // Fetch state.
+    /** L1I A/B latencies of the live config (hoisted off doFetch). */
+    int fetch_a_lat_ = 2;
+    int fetch_b_lat_ = -1;
     SyncFifo<FetchedOp> fetch_queue_;
     std::optional<MicroOp> staged_op_;
     Addr cur_fetch_line_ = ~0ULL;
@@ -207,6 +274,106 @@ class Processor
     Tick last_commit_time_ = 0;
     std::uint64_t flushes_ = 0;
     std::uint64_t fe_idle_cycles_ = 0;
+
+    // ------------------------------------------------------------------
+    // Event-driven scheduler (see docs/kernel.md).
+    // ------------------------------------------------------------------
+    /**
+     * Four-slot calendar keyed by each domain's next-possible-work
+     * tick. A parked domain's key is kTickMax, so it never reaches
+     * the head and costs nothing beyond one compare. Ties resolve to
+     * the lowest domain index, matching the reference kernel's scan
+     * order exactly.
+     */
+    struct EdgeCalendar
+    {
+        std::array<Tick, 4> key{kTickMax, kTickMax, kTickMax,
+                                kTickMax};
+
+        void set(int d, Tick k) { key[static_cast<size_t>(d)] = k; }
+        void park(int d) { key[static_cast<size_t>(d)] = kTickMax; }
+        bool active(int d) const
+        {
+            return key[static_cast<size_t>(d)] != kTickMax;
+        }
+
+        /** Earliest-keyed domain (lowest index on ties). */
+        int
+        head() const
+        {
+            int d = 0;
+            if (key[1] < key[0])
+                d = 1;
+            if (key[2] < key[static_cast<size_t>(d)])
+                d = 2;
+            if (key[3] < key[static_cast<size_t>(d)])
+                d = 3;
+            return d;
+        }
+
+        bool anyActive() const
+        {
+            return key[0] != kTickMax || key[1] != kTickMax ||
+                   key[2] != kTickMax || key[3] != kTickMax;
+        }
+    };
+
+    EdgeCalendar calendar_;
+
+    /**
+     * Scan summary for one issue queue: why the last full scan issued
+     * nothing, so the next edges can skip the scan entirely until one
+     * of the recorded conditions can have changed (see docs/kernel.md).
+     */
+    struct ScanSummary
+    {
+        /** Some entry needs a per-edge recheck (e.g. FU stall). */
+        bool must_scan = true;
+        /** Earliest exact ready time among timed entries. */
+        Tick min_timed = kTickMax;
+        /** domain_completes_ at the end of the last full scan. */
+        std::array<std::uint32_t, 4> dom_snap{};
+        std::uint32_t epoch_snap = 0;
+    };
+    ScanSummary scan_int_;
+    ScanSummary scan_fp_;
+
+    /** Same idea for the combined LSQ walks of the LS domain. */
+    struct LsSummary
+    {
+        bool must_walk = true;
+        /** Earliest agen-visibility / MSHR-free time among waiters. */
+        Tick min_time = kTickMax;
+        std::uint32_t agen_snap = 0;
+        std::uint32_t ev_snap = 0;
+        std::uint32_t epoch_snap = 0;
+    };
+    LsSummary ls_sum_;
+    /** Per-domain earliest-possible-work tick; kTickMax = parked. */
+    std::array<Tick, 4> wake_{};
+    /**
+     * Grid-change epoch: bumped whenever any domain clock applies a
+     * period change. Tags every memoized grid extrapolation
+     * (InFlightOp::ready_hint/fe_vis, LsqEntry::agen_vis).
+     */
+    std::uint32_t clock_epoch_ = 1;
+    Kernel kernel_ = Kernel::EventDriven;
+
+    // ------------------------------------------------------------------
+    // Wakeup-path counters. Each counts events that can unblock a
+    // class of waiters; waiters snapshot the counter and are skipped
+    // with a compare until it moves (see docs/kernel.md).
+    // ------------------------------------------------------------------
+    /** Completions recorded per producing domain (register wakeup). */
+    std::array<std::uint32_t, 4> domain_completes_{};
+    /** Address-generation uops issued (LSQ agen waiters). */
+    std::uint32_t agen_issues_ = 0;
+    /**
+     * Store/MSHR/store-buffer events: store data captured, store
+     * retired out of the LSQ, store-buffer push/pop, MSHR claimed.
+     * Guards memoized load-attempt failures.
+     */
+    std::uint32_t ls_events_ = 0;
 
     // Measurement window.
     bool measuring_ = false;

@@ -14,8 +14,9 @@
 #define GALS_CORE_REGFILE_HH
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "workload/uop.hh"
 
@@ -75,12 +76,12 @@ class RegisterFiles
     int freeFpRegs() const { return static_cast<int>(free_fp_.size()); }
 
   private:
-    std::vector<PhysRegState> int_state_;
-    std::vector<PhysRegState> fp_state_;
-    std::vector<std::int16_t> free_int_;
-    std::vector<std::int16_t> free_fp_;
+    ArenaVector<PhysRegState> int_state_;
+    ArenaVector<PhysRegState> fp_state_;
+    ArenaVector<std::int16_t> free_int_;
+    ArenaVector<std::int16_t> free_fp_;
     /** Logical (0..63) to physical map; index -1 for the zero regs. */
-    std::vector<PhysRef> map_;
+    ArenaVector<PhysRef> map_;
 };
 
 } // namespace gals

@@ -14,9 +14,9 @@
 #define GALS_CORE_STRUCTURES_HH
 
 #include <cstdint>
-#include <deque>
-#include <vector>
+#include <utility>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "core/regfile.hh"
@@ -88,6 +88,18 @@ struct InFlightOp
     BranchPrediction pred{};
     bool mispredict = false;
 
+    // ------------------------------------------------------------------
+    // Scheduler memos (pure caches; never change observable behavior).
+    // Epoch-tagged against Processor::clockEpoch() because the values
+    // extrapolate clock grids, which move when a PLL re-lock lands.
+    // ------------------------------------------------------------------
+    /**
+     * Memoized front-end visibility of complete_at (retire gate);
+     * kTickMax = not yet computed.
+     */
+    Tick fe_vis = kTickMax;
+    std::uint32_t fe_vis_epoch = 0;
+
     bool completed() const { return complete_at != kTickMax; }
 };
 
@@ -109,7 +121,8 @@ class Rob
     {
         GALS_ASSERT(!full(), "ROB overflow");
         size_t idx = tail_;
-        tail_ = (tail_ + 1) % slots_.size();
+        if (++tail_ == slots_.size())
+            tail_ = 0;
         ++count_;
         return idx;
     }
@@ -126,7 +139,8 @@ class Rob
     retireHead()
     {
         GALS_ASSERT(!empty(), "ROB underflow");
-        head_ = (head_ + 1) % slots_.size();
+        if (++head_ == slots_.size())
+            head_ = 0;
         --count_;
     }
 
@@ -137,10 +151,46 @@ class Rob
     }
 
   private:
-    std::vector<InFlightOp> slots_;
+    ArenaVector<InFlightOp> slots_;
     size_t head_ = 0;
     size_t tail_ = 0;
     size_t count_ = 0;
+};
+
+/**
+ * One issue-queue slot: the ROB index plus the wakeup state the
+ * per-edge scan needs. Keeping that state here (32 bytes, contiguous
+ * in age order) means a scan that skips every waiting op touches one
+ * sequential array instead of a 200-byte ROB record per entry.
+ */
+struct IqSlot
+{
+    std::uint32_t rob_idx = 0;
+    /** Mirrors of the immutable ROB fields the scan and issue
+     * selection need, so evaluating an entry is slot-local. */
+    OpClass cls = OpClass::IntAlu;
+    bool is_mem = false;
+    bool mispredict = false;
+    /** Register-wakeup index: physical registers whose producers have
+     * not issued. While every recorded register is still scoreboard-
+     * pending the op cannot possibly become ready, so the scan skips
+     * it after one or two loads of the (cache-resident) scoreboard —
+     * never touching the much larger ROB record. 0 = none recorded,
+     * evaluate fully. */
+    std::uint8_t n_wait = 0;
+    PhysRef psrc1;
+    PhysRef psrc2;
+    PhysRef pdst;
+    std::array<PhysRef, 2> wait_ref{};
+    /** Exact earliest issue tick once all producers are known; 0 =
+     * unknown. Epoch-tagged like every grid extrapolation. */
+    std::uint32_t hint_epoch = 0;
+    Tick ready_hint = 0;
+    Tick issue_eligible = 0;
+    /** Memoized consumer-domain visibility per source (kTickMax =
+     * not yet known): fixed grid extrapolations, computed once. */
+    std::array<Tick, 2> src_vis{kTickMax, kTickMax};
+    std::array<std::uint32_t, 2> src_vis_epoch{};
 };
 
 /** Resizable issue queue holding ROB indices in age order. */
@@ -163,18 +213,25 @@ class IssueQueue
     void setCapacity(int capacity) { capacity_ = capacity; }
 
     void
-    push(size_t rob_idx)
+    push(const IqSlot &slot)
     {
         GALS_ASSERT(!full(), "issue-queue overflow");
-        entries_.push_back(rob_idx);
+        entries_.push_back(slot);
     }
 
-    /** Age-ordered entries; the Processor selects and removes. */
-    std::vector<size_t> &entries() { return entries_; }
+    /** Convenience for tests: a slot with only the ROB index set. */
+    void
+    push(size_t rob_idx)
+    {
+        push(IqSlot{static_cast<std::uint32_t>(rob_idx)});
+    }
+
+    /** Age-ordered slots; the Processor selects and removes. */
+    ArenaVector<IqSlot> &entries() { return entries_; }
 
   private:
     int capacity_;
-    std::vector<size_t> entries_;
+    ArenaVector<IqSlot> entries_;
 };
 
 /** One load/store queue entry (program order). */
@@ -186,59 +243,180 @@ struct LsqEntry
     /** Arrival at the load/store domain; kTickMax until then. */
     Tick arrived_at = kTickMax;
     bool issued = false;
+    /** Monotone allocation id; doubles as the age order. */
+    std::uint64_t id = 0;
+    /**
+     * Memoized load/store-domain visibility of the entry's
+     * address-generation completion; kTickMax = not yet computed.
+     * Epoch-tagged like InFlightOp's memos.
+     */
+    Tick agen_vis = kTickMax;
+    std::uint32_t agen_vis_epoch = 0;
+    /**
+     * Wakeup index for the per-edge LSQ walks. What the entry is
+     * provably waiting for, so the walk can skip it with one or two
+     * compares:
+     *   0 — nothing recorded; evaluate fully.
+     *   1 — address generation not yet issued; recheck only after the
+     *       integer domain issues another agen uop (wait_snap vs the
+     *       processor's agen-issue counter).
+     *   2 — a failed load attempt; recheck only after a store/MSHR/
+     *       store-buffer event (wait_snap vs the ls-event counter) or
+     *       once `wait_until` (MSHR free time) passes.
+     */
+    std::uint8_t wait_kind = 0;
+    std::uint32_t wait_snap = 0;
+    Tick wait_until = kTickMax;
 };
 
-/** Program-ordered load/store queue. */
+/**
+ * Program-ordered load/store queue with indexed wakeup paths.
+ *
+ * Entries are addressed by a monotone allocation id (the deque only
+ * ever pops from the front, so id - firstId() is the position). Three
+ * side indexes keep the per-edge work proportional to the number of
+ * entries that can actually change state, not the queue occupancy:
+ *
+ *  - pendingStores(): ids of stores whose data is not yet captured
+ *    (the store-ready scan walks only these);
+ *  - waitingLoads(): ids of loads not yet issued to the cache;
+ *  - a per-line map of in-queue stores, replacing the O(n) per-load
+ *    (O(n^2) per edge) disambiguation scan with one lookup.
+ *
+ * The caller owns compaction of the two id lists (it knows which
+ * entries changed state while iterating); the per-line map is
+ * maintained here.
+ */
 class Lsq
 {
   public:
-    explicit Lsq(int entries) : capacity_(static_cast<size_t>(entries))
+    explicit Lsq(int entries)
+        : capacity_(static_cast<size_t>(entries)),
+          mask_((capacity_ & (capacity_ - 1)) == 0 ? capacity_ - 1
+                                                   : 0),
+          slots_(capacity_)
     {}
 
-    bool full() const { return entries_.size() >= capacity_; }
-    bool empty() const { return entries_.empty(); }
-    size_t size() const { return entries_.size(); }
+    bool full() const { return count_ >= capacity_; }
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
 
     void
     allocate(size_t rob_idx, bool is_store, Addr line_addr)
     {
         GALS_ASSERT(!full(), "LSQ overflow");
-        entries_.push_back(LsqEntry{rob_idx, is_store, line_addr,
-                                    kTickMax, false});
+        std::uint64_t id = next_id_++;
+        byId(id) = LsqEntry{rob_idx,  is_store, line_addr, kTickMax,
+                            false,    id,       kTickMax,  0,
+                            0,        0,        kTickMax};
+        ++count_;
+        if (is_store)
+            stores_.push_back(StoreRec{line_addr, id, false});
+        else
+            waiting_loads_.push_back(id);
     }
 
     /** Mark the oldest not-yet-arrived entry as arrived. */
     void
     markArrived(Tick when)
     {
-        for (LsqEntry &e : entries_) {
-            if (e.arrived_at == kTickMax) {
-                e.arrived_at = when;
-                return;
-            }
-        }
-        panic("LSQ arrival with no waiting entry");
+        GALS_ASSERT(next_arrival_id_ < next_id_,
+                    "LSQ arrival with no waiting entry");
+        byId(next_arrival_id_++).arrived_at = when;
     }
 
     /** Oldest entry (the one the ROB retires next among mem ops). */
     LsqEntry &front()
     {
         GALS_ASSERT(!empty(), "LSQ front of empty queue");
-        return entries_.front();
+        return byId(first_id_);
     }
 
     void
     popFront()
     {
         GALS_ASSERT(!empty(), "LSQ pop of empty queue");
-        entries_.pop_front();
+        const LsqEntry &e = front();
+        if (e.is_store) {
+            GALS_ASSERT(!stores_.empty() &&
+                            stores_.front().id == e.id,
+                        "LSQ store index out of sync at pop");
+            stores_.erase(stores_.begin());
+        }
+        ++first_id_;
+        --count_;
     }
 
-    std::deque<LsqEntry> &entries() { return entries_; }
+    /**
+     * Entry lookup by allocation id. Ids map to fixed ring slots, so
+     * this is one index operation, not a deque block-map walk.
+     */
+    LsqEntry &
+    byId(std::uint64_t id)
+    {
+        return slots_[mask_ != 0
+                          ? static_cast<size_t>(id) & mask_
+                          : static_cast<size_t>(id % capacity_)];
+    }
+
+    /** Positional access relative to the front (age order). */
+    LsqEntry &at(size_t pos) { return byId(first_id_ + pos); }
+
+    /** First id still in the queue (front()'s id). */
+    std::uint64_t firstId() const { return first_id_; }
+
+    /** Disambiguation state of the stores older than a load. */
+    enum class OlderStores
+    {
+        None,     //!< no older in-queue store to the line.
+        AllReady, //!< at least one, and every one has its data.
+        Blocked,  //!< some older store still lacks its data.
+    };
+
+    OlderStores
+    olderStores(Addr line_addr, std::uint64_t load_id) const
+    {
+        bool any = false;
+        for (const StoreRec &rec : stores_) {
+            if (rec.id >= load_id)
+                break; // ids ascend: the rest are younger.
+            if (rec.line != line_addr)
+                continue;
+            if (!rec.ready)
+                return OlderStores::Blocked;
+            any = true;
+        }
+        return any ? OlderStores::AllReady : OlderStores::None;
+    }
+
+    /** One in-queue store, in age order (flat: the disambiguation
+     * scan and the data-pending walk touch only this dense list). */
+    struct StoreRec
+    {
+        Addr line = 0;
+        std::uint64_t id = 0;
+        bool ready = false;
+    };
+
+    /** All in-queue stores, oldest first. */
+    ArenaVector<StoreRec> &stores() { return stores_; }
+
+    /** Ids of loads not yet issued to the cache, in age order. */
+    ArenaVector<std::uint64_t> &waitingLoads()
+    {
+        return waiting_loads_;
+    }
 
   private:
     size_t capacity_;
-    std::deque<LsqEntry> entries_;
+    size_t mask_;
+    ArenaVector<LsqEntry> slots_;
+    size_t count_ = 0;
+    std::uint64_t next_id_ = 0;
+    std::uint64_t first_id_ = 0;
+    std::uint64_t next_arrival_id_ = 0;
+    ArenaVector<StoreRec> stores_;
+    ArenaVector<std::uint64_t> waiting_loads_;
 };
 
 /** A committed store waiting to write the cache. */
@@ -248,43 +426,66 @@ struct StoreWrite
     Tick ready_at = 0;
 };
 
-/** Post-commit store buffer. */
+/** Post-commit store buffer with an O(1) line-occupancy index. */
 class StoreBuffer
 {
   public:
     explicit StoreBuffer(int entries)
-        : capacity_(static_cast<size_t>(entries))
+        : capacity_(static_cast<size_t>(entries)), slots_(capacity_)
     {}
 
-    bool full() const { return writes_.size() >= capacity_; }
-    bool empty() const { return writes_.empty(); }
-    size_t size() const { return writes_.size(); }
+    bool full() const { return count_ >= capacity_; }
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
     size_t capacity() const { return capacity_; }
 
     void
     push(Addr line_addr, Tick ready_at)
     {
         GALS_ASSERT(!full(), "store-buffer overflow");
-        writes_.push_back(StoreWrite{line_addr, ready_at});
+        slots_[wrap(head_ + count_)] = StoreWrite{line_addr, ready_at};
+        ++count_;
     }
 
-    StoreWrite &front() { return writes_.front(); }
-    void pop() { writes_.pop_front(); }
+    StoreWrite &front() { return slots_[head_]; }
 
-    /** True when a pending write matches the line (forwarding). */
+    /** Drain time of the head write; only valid when !empty(). */
+    Tick frontReadyAt() const { return slots_[head_].ready_at; }
+
+    void
+    pop()
+    {
+        GALS_ASSERT(!empty(), "store-buffer underflow");
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    /**
+     * True when a pending write matches the line (forwarding). The
+     * buffer holds at most a few entries in a flat ring, so a linear
+     * probe beats any index.
+     */
     bool
     hasLine(Addr line_addr) const
     {
-        for (const StoreWrite &w : writes_) {
-            if (w.line_addr == line_addr)
+        for (size_t i = 0; i < count_; ++i) {
+            if (slots_[wrap(head_ + i)].line_addr == line_addr)
                 return true;
         }
         return false;
     }
 
   private:
+    size_t
+    wrap(size_t pos) const
+    {
+        return pos >= capacity_ ? pos - capacity_ : pos;
+    }
+
     size_t capacity_;
-    std::deque<StoreWrite> writes_;
+    ArenaVector<StoreWrite> slots_;
+    size_t head_ = 0;
+    size_t count_ = 0;
 };
 
 /** Per-domain function units: N pipelined ALUs + 1 mult/div unit. */

@@ -20,13 +20,17 @@ namespace
  * of cold-starting every branch after a reconfiguration.
  */
 template <typename T>
-std::vector<T>
-resizeTable(const std::vector<T> &old, size_t new_size, T fallback)
+ArenaVector<T>
+resizeTable(const ArenaVector<T> &old, size_t new_size, T fallback)
 {
-    std::vector<T> fresh(new_size, fallback);
+    ArenaVector<T> fresh(new_size, fallback);
     if (!old.empty()) {
-        for (size_t i = 0; i < new_size; ++i)
-            fresh[i] = old[i % old.size()];
+        size_t j = 0;
+        for (size_t i = 0; i < new_size; ++i) {
+            fresh[i] = old[j];
+            if (++j == old.size())
+                j = 0;
+        }
     }
     return fresh;
 }

@@ -15,8 +15,8 @@
 #define GALS_WORKLOAD_GENERATOR_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.hh"
 #include "common/random.hh"
 #include "workload/params.hh"
 #include "workload/uop.hh"
@@ -99,14 +99,14 @@ class SyntheticWorkload
     void newLoopEpisode();
 
     // Dependence chains.
-    std::vector<Chain> chains_;
+    ArenaVector<Chain> chains_;
     size_t chain_idx_ = 0;
     int ops_in_segment_ = 0;
 
     // Per-branch-site iteration counters (indexed by hot line).
-    std::vector<std::uint32_t> site_counter_;
+    ArenaVector<std::uint32_t> site_counter_;
     /** Per-site behavior: 0 unset, 1 loop, 2 taken, 3 not-taken. */
-    std::vector<std::uint8_t> site_kind_;
+    ArenaVector<std::uint8_t> site_kind_;
 };
 
 } // namespace gals

@@ -220,3 +220,76 @@ TEST(SyncFifo, OrderPreservedAndSquash)
     f.clear();
     EXPECT_TRUE(f.empty());
 }
+
+// ---------------------------------------------------------------------
+// Event-kernel clock machinery.
+// ---------------------------------------------------------------------
+
+TEST(Clock, AdvanceWhileBelowMatchesSteppedAdvance)
+{
+    Clock fast(100, 100);
+    Clock stepped(100, 100);
+    fast.advanceWhileBelow(1'050);
+    while (stepped.nextEdge() < 1'050)
+        stepped.advance();
+    EXPECT_EQ(fast.nextEdge(), stepped.nextEdge());
+    EXPECT_EQ(fast.cycle(), stepped.cycle());
+
+    // Already at or past the bound: no edges consumed.
+    Tick before = fast.nextEdge();
+    fast.advanceWhileBelow(before);
+    EXPECT_EQ(fast.nextEdge(), before);
+}
+
+TEST(Clock, AdvanceWhileBelowHonorsPendingPeriodChange)
+{
+    // The period change must land on the same edge as edge-by-edge
+    // execution, so skipped stretches spanning a re-lock stay exact.
+    Clock fast(100, 100);
+    Clock stepped(100, 100);
+    fast.setPeriod(250, 550);
+    stepped.setPeriod(250, 550);
+    fast.advanceWhileBelow(3'000);
+    while (stepped.nextEdge() < 3'000)
+        stepped.advance();
+    EXPECT_EQ(fast.nextEdge(), stepped.nextEdge());
+    EXPECT_EQ(fast.cycle(), stepped.cycle());
+    EXPECT_EQ(fast.period(), 250u);
+    EXPECT_EQ(fast.periodChanges(), 1u);
+}
+
+TEST(Clock, AdvanceWhileBelowPreservesJitterStream)
+{
+    Clock fast(100, 100, 5.0, 99);
+    Clock stepped(100, 100, 5.0, 99);
+    fast.advanceWhileBelow(2'000);
+    while (stepped.nextEdge() < 2'000)
+        stepped.advance();
+    EXPECT_EQ(fast.nextEdge(), stepped.nextEdge());
+    EXPECT_EQ(fast.cycle(), stepped.cycle());
+}
+
+TEST(Synchronizer, BypassVisibleAtAppliesMargin)
+{
+    Clock c(100, 100);
+    // Production mid-cycle latches at the next edge, reported a
+    // quarter period early (the anti-wobble margin).
+    EXPECT_EQ(bypassVisibleAt(95, c), 100u - 25u);
+    EXPECT_EQ(bypassVisibleAt(101, c), 200u - 25u);
+    // On-edge production is consumable at that edge.
+    EXPECT_EQ(bypassVisibleAt(100, c), 100u - 25u);
+    // Production time zero is the "always ready" sentinel.
+    EXPECT_EQ(bypassVisibleAt(0, c), 0u);
+}
+
+TEST(Synchronizer, BypassVisibleAtClampsMarginAtEarlyEdges)
+{
+    // Seed bug: an edge earlier than the margin reported visibility
+    // at tick 0 — a full cycle before production. The margin may not
+    // rewind past the previous edge; a first edge earlier than one
+    // period has no predecessor and gets no rewind at all.
+    Clock early(100, 10);
+    EXPECT_EQ(bypassVisibleAt(5, early), 10u);
+    Clock tiny(100, 60);
+    EXPECT_EQ(bypassVisibleAt(50, tiny), 60u);
+}

@@ -39,7 +39,7 @@ TEST(IssueQueue, CapacityAndResize)
     iq.setCapacity(2);
     EXPECT_TRUE(iq.full());
     EXPECT_EQ(iq.entries().size(), 3u);
-    EXPECT_EQ(iq.entries()[0], 10u);
+    EXPECT_EQ(iq.entries()[0].rob_idx, 10u);
 }
 
 TEST(Lsq, ProgramOrderAndArrivals)
@@ -50,9 +50,9 @@ TEST(Lsq, ProgramOrderAndArrivals)
     lsq.allocate(2, false, 100);
     lsq.markArrived(50);
     lsq.markArrived(60);
-    EXPECT_EQ(lsq.entries()[0].arrived_at, 50u);
-    EXPECT_EQ(lsq.entries()[1].arrived_at, 60u);
-    EXPECT_EQ(lsq.entries()[2].arrived_at, kTickMax);
+    EXPECT_EQ(lsq.at(0).arrived_at, 50u);
+    EXPECT_EQ(lsq.at(1).arrived_at, 60u);
+    EXPECT_EQ(lsq.at(2).arrived_at, kTickMax);
     EXPECT_EQ(lsq.front().rob_idx, 0u);
     lsq.popFront();
     EXPECT_TRUE(lsq.front().is_store);

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Determinism and kernel-equivalence regression tests.
+ *
+ * The event-driven kernel must be *bit-identical* to the step-every-
+ * edge reference kernel: every paper table depends on exact RunStats.
+ * Three layers of protection:
+ *
+ *  1. Golden values captured from the seed simulator (before the
+ *     event kernel existed) — any divergence from the original
+ *     modeled behavior fails here, even if both kernels agree.
+ *  2. Event kernel vs. reference kernel on the same Processor
+ *     configuration, including jitter and phase-adaptive relocks
+ *     (the hard cases for idle-edge skipping).
+ *  3. Sweeps under GALS_THREADS=1 vs. multi-threaded: host thread
+ *     count must never leak into results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/simulation.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+RunStats
+runWithKernel(const MachineConfig &m, const WorkloadParams &wl,
+              Processor::Kernel k)
+{
+    Processor cpu(m, wl);
+    cpu.setKernel(k);
+    return cpu.run();
+}
+
+WorkloadParams
+goldenWorkload(const std::string &name)
+{
+    WorkloadParams wl = findBenchmark(name);
+    wl.sim_instrs = 12'000;
+    wl.warmup_instrs = 2'000;
+    return wl;
+}
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.time_ps, b.time_ps);
+    EXPECT_EQ(a.l1i_accesses, b.l1i_accesses);
+    EXPECT_EQ(a.l1i_misses, b.l1i_misses);
+    EXPECT_EQ(a.l1d_accesses, b.l1d_accesses);
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+    EXPECT_EQ(a.l2_misses, b.l2_misses);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.relocks, b.relocks);
+    EXPECT_EQ(a.icache_residency, b.icache_residency);
+    EXPECT_EQ(a.dcache_residency, b.dcache_residency);
+    EXPECT_EQ(a.iq_int_residency, b.iq_int_residency);
+    EXPECT_EQ(a.iq_fp_residency, b.iq_fp_residency);
+}
+
+/** One golden row captured from the seed simulator. */
+struct Golden
+{
+    const char *config;
+    const char *bench;
+    std::uint64_t committed, time_ps;
+    std::uint64_t l1i_misses, l1d_misses, l2_misses;
+    std::uint64_t branches, mispredicts, flushes, relocks;
+    std::uint64_t l1d_accesses;
+};
+
+MachineConfig
+goldenMachine(const std::string &tag)
+{
+    if (tag == "sync")
+        return MachineConfig::bestSynchronous();
+    if (tag == "mcd")
+        return MachineConfig::mcdProgram({});
+    if (tag == "mcd1230")
+        return MachineConfig::mcdProgram({1, 2, 3, 0});
+    return MachineConfig::mcdPhaseAdaptive();
+}
+
+// Captured from the seed simulator (commit "v0", original kernel),
+// 12k measured + 2k warmup instructions.
+const Golden kGolden[] = {
+    {"sync", "gzip", 12000u, 32315696u, 101u, 1191u, 946u, 750u, 186u,
+     186u, 0u, 3473u},
+    {"mcd", "gzip", 12000u, 31636656u, 101u, 1191u, 946u, 751u, 170u,
+     170u, 0u, 3460u},
+    {"mcd1230", "gzip", 12000u, 32794728u, 100u, 818u, 918u, 751u,
+     178u, 178u, 0u, 3471u},
+    {"phase", "gzip", 12000u, 34694927u, 100u, 818u, 918u, 751u, 189u,
+     189u, 3u, 3463u},
+    {"sync", "apsi", 12000u, 31219664u, 202u, 392u, 550u, 749u, 250u,
+     250u, 0u, 3475u},
+    {"mcd", "apsi", 12000u, 30426612u, 202u, 392u, 550u, 749u, 240u,
+     240u, 0u, 3473u},
+    {"phase", "apsi", 12000u, 33049404u, 202u, 348u, 550u, 749u, 240u,
+     240u, 1u, 3473u},
+    {"mcd", "art", 12000u, 67903986u, 82u, 1446u, 1440u, 756u, 187u,
+     187u, 0u, 3745u},
+    {"phase", "art", 12000u, 73995612u, 82u, 1352u, 1434u, 756u, 187u,
+     187u, 1u, 3709u},
+    {"mcd", "mst", 12000u, 27195708u, 31u, 1093u, 545u, 759u, 106u,
+     106u, 0u, 4062u},
+};
+
+} // namespace
+
+TEST(Determinism, MatchesSeedGoldenValues)
+{
+    for (const Golden &g : kGolden) {
+        SCOPED_TRACE(std::string(g.config) + "/" + g.bench);
+        RunStats s =
+            simulate(goldenMachine(g.config), goldenWorkload(g.bench));
+        EXPECT_EQ(s.committed, g.committed);
+        EXPECT_EQ(s.time_ps, g.time_ps);
+        EXPECT_EQ(s.l1i_misses, g.l1i_misses);
+        EXPECT_EQ(s.l1d_misses, g.l1d_misses);
+        EXPECT_EQ(s.l2_misses, g.l2_misses);
+        EXPECT_EQ(s.branches, g.branches);
+        EXPECT_EQ(s.mispredicts, g.mispredicts);
+        EXPECT_EQ(s.flushes, g.flushes);
+        EXPECT_EQ(s.relocks, g.relocks);
+        EXPECT_EQ(s.l1d_accesses, g.l1d_accesses);
+    }
+}
+
+TEST(Determinism, EventKernelMatchesReferenceKernel)
+{
+    const char *benches[] = {"gzip", "apsi", "art", "mst"};
+    for (const char *b : benches) {
+        WorkloadParams wl = goldenWorkload(b);
+        for (const char *cfg : {"sync", "mcd", "mcd1230", "phase"}) {
+            SCOPED_TRACE(std::string(cfg) + "/" + b);
+            MachineConfig m = goldenMachine(cfg);
+            expectSameStats(
+                runWithKernel(m, wl, Processor::Kernel::EventDriven),
+                runWithKernel(m, wl, Processor::Kernel::Reference));
+        }
+    }
+}
+
+TEST(Determinism, EventKernelMatchesReferenceWithJitter)
+{
+    // Jitter forces edge-by-edge skipping in advanceWhileBelow; the
+    // RNG draw sequence must survive idle-edge skipping exactly.
+    WorkloadParams wl = goldenWorkload("gzip");
+    MachineConfig m = MachineConfig::mcdProgram({});
+    m.jitter_sigma_ps = 20.0;
+    expectSameStats(
+        runWithKernel(m, wl, Processor::Kernel::EventDriven),
+        runWithKernel(m, wl, Processor::Kernel::Reference));
+}
+
+TEST(Determinism, RepeatRunsAreIdentical)
+{
+    WorkloadParams wl = goldenWorkload("gzip");
+    MachineConfig m = MachineConfig::mcdPhaseAdaptive();
+    expectSameStats(simulate(m, wl), simulate(m, wl));
+}
+
+TEST(Determinism, SweepIndependentOfThreadCount)
+{
+    WorkloadParams wl = findBenchmark("gzip");
+    wl.sim_instrs = 4'000;
+    wl.warmup_instrs = 1'000;
+
+    setenv("GALS_THREADS", "1", 1);
+    ProgramAdaptiveResult serial =
+        findBestAdaptive(wl, SweepMode::Staged);
+    setenv("GALS_THREADS", "4", 1);
+    ProgramAdaptiveResult threaded =
+        findBestAdaptive(wl, SweepMode::Staged);
+    unsetenv("GALS_THREADS");
+
+    EXPECT_EQ(serial.best, threaded.best);
+    EXPECT_EQ(serial.runs_performed, threaded.runs_performed);
+    expectSameStats(serial.best_stats, threaded.best_stats);
+}
+
+TEST(Determinism, EventKernelMatchesReferenceUnderFrequentRelocks)
+{
+    // Aggressive controller settings force many PLL re-locks across
+    // all four domains, including domains that are parked when their
+    // period change lands — the hard case for lazily-advanced clocks
+    // and epoch-tagged memos.
+    for (const char *bench : {"gzip", "apsi"}) {
+        SCOPED_TRACE(bench);
+        WorkloadParams wl = goldenWorkload(bench);
+        MachineConfig m = MachineConfig::mcdPhaseAdaptive();
+        m.cache_interval_instrs = 500;
+        m.cache_persistence = 1;
+        m.queue_persistence = 1;
+        m.cache_hysteresis = 0.0;
+        m.icache_hysteresis = 0.0;
+        m.queue_hysteresis = 0.0;
+        expectSameStats(
+            runWithKernel(m, wl, Processor::Kernel::EventDriven),
+            runWithKernel(m, wl, Processor::Kernel::Reference));
+    }
+}
