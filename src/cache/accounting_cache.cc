@@ -34,6 +34,12 @@ AccountingCache::AccountingCache(std::string name,
     GALS_ASSERT(num_sets_ > 0 && isPowerOfTwo(
                     static_cast<std::uint64_t>(num_sets_)),
                 "set count must be a positive power of two");
+    line_shift_ = 0;
+    while ((1 << line_shift_) < line_bytes_)
+        ++line_shift_;
+    set_shift_ = 0;
+    while ((1 << set_shift_) < num_sets_)
+        ++set_shift_;
 
     size_t cells =
         static_cast<size_t>(num_sets_) * static_cast<size_t>(ways_);
@@ -73,16 +79,14 @@ AccountingCache::setPartition(int a_ways, bool b_enabled)
 int
 AccountingCache::setIndex(Addr addr) const
 {
-    return static_cast<int>(
-        (addr / static_cast<unsigned>(line_bytes_)) &
-        static_cast<unsigned>(num_sets_ - 1));
+    return static_cast<int>((addr >> line_shift_) &
+                            static_cast<unsigned>(num_sets_ - 1));
 }
 
 Addr
 AccountingCache::tagOf(Addr addr) const
 {
-    return addr / static_cast<unsigned>(line_bytes_) /
-           static_cast<unsigned>(num_sets_);
+    return addr >> (line_shift_ + set_shift_);
 }
 
 AccessOutcome

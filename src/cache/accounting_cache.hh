@@ -91,6 +91,8 @@ class AccountingCache
 
     int numSets() const { return num_sets_; }
     int lineBytes() const { return line_bytes_; }
+    /** log2(lineBytes()): line numbers are addr >> lineShift(). */
+    int lineShift() const { return line_shift_; }
     const std::string &name() const { return name_; }
 
     /**
@@ -129,6 +131,10 @@ class AccountingCache
     int ways_;
     int line_bytes_;
     int num_sets_;
+    /** log2 of line_bytes_ / num_sets_ (both asserted powers of
+     * two): the per-access index math is shifts, not divisions. */
+    int line_shift_ = 6;
+    int set_shift_ = 0;
     int a_ways_;
     bool b_enabled_ = true;
 

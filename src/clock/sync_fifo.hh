@@ -36,6 +36,10 @@ class SyncFifo
     /** True when another entry can be accepted. */
     bool canPush() const { return count_ < capacity_; }
 
+    /** Entries that can still be accepted (batched producers hoist
+     * this once and count down locally). */
+    size_t freeSlots() const { return capacity_ - count_; }
+
     /** Number of queued entries (visible or not). */
     size_t size() const { return count_; }
 

@@ -172,6 +172,10 @@ Processor::icacheMissTime(Tick now)
         break;
       }
     }
+    // The ready time below extrapolates the front-end grid from this
+    // serve time; keep the serve time so a PLL re-lock landing while
+    // the fill is in flight can recompute the extrapolation.
+    fetch_line_fill_done_ = served;
     return syncVisibleAt(served, clock(DomainId::LoadStore),
                          clock(DomainId::FrontEnd), same_domain_);
 }
@@ -180,8 +184,23 @@ void
 Processor::doFetch(Tick now)
 {
     if (fetch_halted_) {
-        if (now < fetch_resume_)
+        // The resume tick extrapolates the resolving branch's
+        // completion across the grid; a re-lock landing while the
+        // halt is pending moves that grid, so recompute on epoch
+        // mismatch (only while still pending: past production times
+        // must not be re-extrapolated, see docs/kernel.md).
+        if (fetch_resume_ != kTickMax && fetch_resume_ > now &&
+            fetch_resume_epoch_ != clock_epoch_) {
+            fetch_resume_ = visibleAt(fetch_resume_src_,
+                                      fetch_resume_dom_,
+                                      DomainId::FrontEnd);
+            fetch_resume_epoch_ = clock_epoch_;
+        }
+        if (now < fetch_resume_) {
+            // kTickMax while unresolved: the issue hook wakes us.
+            feNote(fetch_resume_);
             return;
+        }
         fetch_halted_ = false;
     }
 
@@ -189,22 +208,41 @@ Processor::doFetch(Tick now)
     int a_lat = fetch_a_lat_;
     int b_lat = fetch_b_lat_;
 
-    int line_bytes = l1i_->lineBytes();
+    int line_shift = l1i_->lineShift();
     Tick fe_ready =
         now + static_cast<Tick>(cfg_.feDepth()) * fe_period;
+    // Whole-group bound, hoisted once: the queue only drains through
+    // rename, which ran earlier this step.
+    int space = static_cast<int>(
+        std::min(static_cast<size_t>(cfg_.fetch_width),
+                 fetch_queue_.freeOps()));
     int fetched = 0;
-    while (fetched < cfg_.fetch_width && fetch_queue_.canPush()) {
+    while (fetched < space) {
         if (!staged_op_)
             staged_op_ = workload_.next();
-        Addr line = staged_op_->pc / static_cast<unsigned>(line_bytes);
+        Addr line = staged_op_->pc >> line_shift;
 
         if (line == cur_fetch_line_) {
-            if (fetch_line_ready_ > now)
+            if (fetch_line_ready_ > now && fetch_line_is_fill_ &&
+                fetch_line_epoch_ != clock_epoch_) {
+                // Mid-fill re-lock: the ready time extrapolated a
+                // grid that has since moved; recompute it from the
+                // stored serve time.
+                fetch_line_ready_ = syncVisibleAt(
+                    fetch_line_fill_done_,
+                    clock(DomainId::LoadStore),
+                    clock(DomainId::FrontEnd), same_domain_);
+                fetch_line_epoch_ = clock_epoch_;
+            }
+            if (fetch_line_ready_ > now) {
+                feNote(fetch_line_ready_); // I-cache line fill gate.
                 break;
+            }
         } else {
             bool sequential = line == cur_fetch_line_ + 1;
             AccessOutcome out = l1i_->access(staged_op_->pc);
             Tick ready;
+            bool is_fill = false;
             switch (out.where) {
               case HitWhere::APartition:
                 ready = sequential
@@ -218,18 +256,28 @@ Processor::doFetch(Tick now)
                 break;
               default:
                 ready = icacheMissTime(now);
+                is_fill = true;
                 break;
             }
             cur_fetch_line_ = line;
             fetch_line_ready_ = ready;
-            if (ready > now)
+            fetch_line_is_fill_ = is_fill;
+            fetch_line_epoch_ = clock_epoch_;
+            if (ready > now) {
+                feNote(ready); // line fill / slow-hit gate.
                 break;
+            }
         }
 
         FetchedOp f;
         f.uop = *staged_op_;
         staged_op_.reset();
-        bool is_branch = f.uop.cls == OpClass::Branch;
+        OpClass cls = f.uop.cls;
+        f.dom = execDomain(cls);
+        f.is_mem = isMemOp(cls);
+        f.needs_dst = f.uop.dst >= 0;
+        f.dst_fp = f.needs_dst && f.uop.dst >= kFirstFpReg;
+        bool is_branch = cls == OpClass::Branch;
         if (is_branch) {
             f.pred = predictor_->predict(f.uop.pc);
             predictor_->update(f.uop.pc, f.pred, f.uop.taken);
@@ -244,18 +292,38 @@ Processor::doFetch(Tick now)
                 // domain; resume time is set at issue.
                 fetch_halted_ = true;
                 fetch_resume_ = kTickMax;
+                fetch_resume_src_ = kTickMax;
                 ++flushes_;
-                break;
+                return; // the resolution hook wakes the front end.
             }
-            if (f.uop.taken)
-                break; // taken-branch redirect ends the fetch group.
+            if (f.uop.taken) {
+                // Taken-branch redirect ends the fetch group; the
+                // next group starts at the next edge.
+                feNote(0);
+                return;
+            }
         }
+    }
+    if (fetched == space && fetch_queue_.canPush()) {
+        // Width-limited with queue space left: fetch continues at the
+        // very next edge. (A full queue instead drains via rename,
+        // whose own gates are already recorded.)
+        feNote(0);
     }
 }
 
 void
 Processor::doRename(Tick now)
 {
+    // Whole-group sizing: one walk over the (few) queued groups gives
+    // the consumable prefix, so the loop below runs without per-op
+    // visibility checks. One op beyond the decode width is enough to
+    // distinguish "width-limited" from "drained everything visible".
+    size_t avail = fetch_queue_.visibleOps(
+        now, static_cast<size_t>(cfg_.decode_width) + 1);
+    if (avail == 0)
+        return;
+
     // The synchronizer crossing time from the front end is the same
     // for every op renamed at this edge; compute it once per target
     // domain (indices 0..2 = Integer, FloatingPoint, LoadStore).
@@ -281,35 +349,47 @@ Processor::doRename(Tick now)
         return regs_.lookup(logical);
     };
 
-    int renamed = 0;
-    while (renamed < cfg_.decode_width && fetch_queue_.frontReady(now)) {
-        FetchedOp &f = fetch_queue_.front();
-        OpClass cls = f.uop.cls;
-        DomainId dom = execDomain(cls);
+    // Flattened resource bounds, hoisted once per group: nothing
+    // outside this loop consumes ROB/LSQ/register/FIFO space during
+    // the call, so local countdowns replace the per-op structure
+    // queries.
+    int rob_free = static_cast<int>(rob_.freeSlots());
+    int lsq_free = static_cast<int>(lsq_.freeSlots());
+    int free_int = regs_.freeIntRegs();
+    int free_fp = regs_.freeFpRegs();
+    int fifo_free[3] = {static_cast<int>(disp_int_.freeSlots()),
+                        static_cast<int>(disp_fp_.freeSlots()),
+                        static_cast<int>(disp_ls_.freeSlots())};
 
-        if (rob_.full())
+    const int budget = static_cast<int>(
+        std::min(static_cast<size_t>(cfg_.decode_width), avail));
+    int renamed = 0;
+    while (renamed < budget) {
+        FetchedOp &f = fetch_queue_.front();
+        const DomainId dom = f.dom;
+        const bool is_mem = f.is_mem;
+
+        if (rob_free == 0)
             break;
-        bool needs_dst = f.uop.dst >= 0;
-        bool dst_fp = needs_dst && f.uop.dst >= kFirstFpReg;
-        if (needs_dst && !regs_.canAlloc(dst_fp))
+        if (f.needs_dst && (f.dst_fp ? free_fp : free_int) == 0)
             break;
-        bool is_mem = isMemOp(cls);
-        if (is_mem && lsq_.full())
+        if (is_mem && lsq_free == 0)
             break;
         // Memory ops dispatch twice: an address-generation uop into
         // the integer queue (which therefore gates memory
         // parallelism, as in the 21264) and the access itself into
         // the LSQ.
-        SyncFifo<size_t> &fifo =
+        const size_t qi =
             dom == DomainId::Integer || is_mem
-                ? disp_int_
-                : dom == DomainId::FloatingPoint ? disp_fp_ : disp_ls_;
-        if (!fifo.canPush())
+                ? 0u
+                : dom == DomainId::FloatingPoint ? 1u : 2u;
+        if (fifo_free[qi] == 0)
             break;
-        if (is_mem && !disp_ls_.canPush())
+        if (is_mem && fifo_free[2] == 0)
             break;
 
         size_t idx = rob_.alloc();
+        --rob_free;
         InFlightOp &op = rob_[idx];
         op = InFlightOp{};
         op.uop = f.uop;
@@ -320,16 +400,17 @@ Processor::doRename(Tick now)
         op.mispredict = f.mispredict;
         op.psrc1 = srcRef(f.uop.src1);
         op.psrc2 = srcRef(f.uop.src2);
-        if (needs_dst) {
+        if (f.needs_dst) {
             auto [fresh, old] = regs_.renameDest(f.uop.dst);
             op.pdst = fresh;
             op.old_pdst = old;
             regs_.markPending(fresh);
+            --(f.dst_fp ? free_fp : free_int);
         }
         if (is_mem) {
-            lsq_.allocate(idx, cls == OpClass::Store,
-                          f.uop.mem_addr /
-                              static_cast<unsigned>(l1d_->lineBytes()));
+            lsq_.allocate(idx, f.uop.cls == OpClass::Store,
+                          f.uop.mem_addr >> l1d_->lineShift());
+            --lsq_free;
         }
 
         if (cfg_.phase_adaptive) {
@@ -346,7 +427,10 @@ Processor::doRename(Tick now)
             crossingTo(q_dom, now) +
             static_cast<Tick>(cfg_.dispatchDepth()) *
                 clock(q_dom).period();
+        SyncFifo<size_t> &fifo =
+            qi == 0 ? disp_int_ : qi == 1 ? disp_fp_ : disp_ls_;
         fifo.push(idx, visible);
+        --fifo_free[qi];
         wakeDomain(q_dom, visible);
         if (is_mem) {
             Tick ls_visible =
@@ -354,10 +438,19 @@ Processor::doRename(Tick now)
                 static_cast<Tick>(cfg_.lsDispatchDepth()) *
                     clock(DomainId::LoadStore).period();
             disp_ls_.push(idx, ls_visible);
+            --fifo_free[2];
             wakeDomain(DomainId::LoadStore, ls_visible);
         }
         fetch_queue_.pop();
         ++renamed;
+    }
+    if (renamed == budget && avail > static_cast<size_t>(budget)) {
+        // Width-limited with more visible ops queued: rename
+        // continues at the very next edge. (Structural breaks are
+        // covered by the retire and consumer-pop hooks; an invisible
+        // head group is covered by the group-boundary gate in
+        // stepFrontEnd.)
+        feNote(0);
     }
 }
 
@@ -366,34 +459,63 @@ Processor::doRetire(Tick now)
 {
     const std::uint64_t stop_at =
         wl_params_.warmup_instrs + wl_params_.sim_instrs;
+    const int width = cfg_.retire_width;
     int retired = 0;
-    while (retired < cfg_.retire_width && !rob_.empty() &&
-           committed_ < stop_at) {
+
+    // Residency statistics are batched per run of retirements under
+    // one live configuration: one set of increments per group instead
+    // of four counter updates per op. The batch flushes before any
+    // control decision that can change the configuration.
+    std::uint32_t run = 0;
+    auto flushResidency = [&]() {
+        if (run == 0)
+            return;
+        stats_.icache_residency[static_cast<size_t>(cur_cfg_.icache)] +=
+            run;
+        stats_.dcache_residency[static_cast<size_t>(cur_cfg_.dcache)] +=
+            run;
+        stats_.iq_int_residency[static_cast<size_t>(cur_cfg_.iq_int)] +=
+            run;
+        stats_.iq_fp_residency[static_cast<size_t>(cur_cfg_.iq_fp)] +=
+            run;
+        run = 0;
+    };
+
+    while (committed_ < stop_at) {
+        if (retired >= width) {
+            // Group-granular retire: the head run continues at the
+            // very next edge.
+            if (!rob_.empty())
+                feNote(0);
+            break;
+        }
+        if (rob_.empty())
+            break;
         InFlightOp &op = rob_[rob_.headIndex()];
 
         if (op.uop.cls == OpClass::Store) {
             if (!op.store_ready)
-                break;
+                break; // the store-ready hook wakes the front end.
             if (store_buffer_.full())
-                break;
-            store_buffer_.push(
-                op.uop.mem_addr /
-                    static_cast<unsigned>(l1d_->lineBytes()),
-                now);
+                break; // the store-buffer pop hook wakes us.
+            store_buffer_.push(op.uop.mem_addr >> l1d_->lineShift(),
+                               now);
             wakeDomain(DomainId::LoadStore, now);
             lsq_.popFront();
             ls_events_ += 2; // SB push + store left the LSQ.
         } else {
             if (!op.completed())
-                break;
+                break; // the completion hook wakes the front end.
             if (op.fe_vis == kTickMax ||
                 op.fe_vis_epoch != clock_epoch_) {
                 op.fe_vis = visibleAt(op.complete_at, op.domain,
                                       DomainId::FrontEnd);
                 op.fe_vis_epoch = clock_epoch_;
             }
-            if (op.fe_vis > now)
+            if (op.fe_vis > now) {
+                feNote(op.fe_vis); // exact retire-visibility gate.
                 break;
+            }
             if (op.is_mem)
                 lsq_.popFront();
         }
@@ -401,7 +523,6 @@ Processor::doRetire(Tick now)
         regs_.release(op.old_pdst);
         rob_.retireHead();
         ++committed_;
-        last_commit_time_ = now;
         ++retired;
 
         if (!measuring_ && committed_ >= wl_params_.warmup_instrs) {
@@ -410,23 +531,19 @@ Processor::doRetire(Tick now)
             measure_committed_base_ = committed_;
             snapshotBaselines(now);
         }
-        if (measuring_) {
-            ++stats_.icache_residency[static_cast<size_t>(
-                cur_cfg_.icache)];
-            ++stats_.dcache_residency[static_cast<size_t>(
-                cur_cfg_.dcache)];
-            ++stats_.iq_int_residency[static_cast<size_t>(
-                cur_cfg_.iq_int)];
-            ++stats_.iq_fp_residency[static_cast<size_t>(
-                cur_cfg_.iq_fp)];
-        }
+        if (measuring_)
+            ++run;
 
         if (cfg_.phase_adaptive &&
             ++interval_commits_ >= cfg_.cache_interval_instrs) {
             interval_commits_ = 0;
+            flushResidency(); // controlCaches may change the config.
             controlCaches(now);
         }
     }
+    flushResidency();
+    if (retired != 0)
+        last_commit_time_ = now;
 }
 
 // ---------------------------------------------------------------------
@@ -581,6 +698,9 @@ Processor::stepIssueDomain(DomainId dom, Tick now)
                     completeReg(slot.pdst, complete, dom, now);
                 }
                 if (slot.cls == OpClass::Branch && slot.mispredict) {
+                    fetch_resume_src_ = complete;
+                    fetch_resume_dom_ = dom;
+                    fetch_resume_epoch_ = clock_epoch_;
                     fetch_resume_ = visibleAt(complete, dom,
                                               DomainId::FrontEnd);
                     wakeDomain(DomainId::FrontEnd, fetch_resume_);
@@ -726,9 +846,7 @@ Processor::drainStoreBuffer(Tick now, int &ports_used, int max_ports)
             break;
         if (mshr_min_free_ > now)
             break;
-        dataHierarchyTime(w.line_addr *
-                              static_cast<unsigned>(l1d_->lineBytes()),
-                          now);
+        dataHierarchyTime(w.line_addr << l1d_->lineShift(), now);
         store_buffer_.pop();
         ++ls_events_;
         ++ports_used;
@@ -1062,14 +1180,37 @@ Processor::controlQueues(Tick now)
 // ---------------------------------------------------------------------
 
 void
+Processor::stepFrontEnd(Tick now)
+{
+    applyPending(DomainId::FrontEnd, now);
+    fe_next_ = kTickMax;
+    fe_next_epoch_ = clock_epoch_;
+    doRetire(now);
+    doRename(now);
+    doFetch(now);
+    // Group-boundary gate: queued ops (including ones fetch pushed
+    // this very edge, which rename ran too early to see) whose group
+    // becomes visible later wake rename exactly at that boundary. A
+    // visible-but-unconsumed head means rename was structurally
+    // blocked, which retire progress or consumer-pop events unblock —
+    // no timed wake.
+    if (!fetch_queue_.empty()) {
+        Tick v = fetch_queue_.frontVisibleAt();
+        if (v > now)
+            feNote(v);
+    }
+    if (inv_interval_ != 0 && --inv_countdown_ == 0) {
+        inv_countdown_ = inv_interval_;
+        validateInvariants();
+    }
+}
+
+void
 Processor::stepDomain(int d, Tick now)
 {
     switch (static_cast<DomainId>(d)) {
       case DomainId::FrontEnd:
-        applyPending(DomainId::FrontEnd, now);
-        doRetire(now);
-        doRename(now);
-        doFetch(now);
+        stepFrontEnd(now);
         break;
       case DomainId::Integer:
         stepIssueDomain(DomainId::Integer, now);
@@ -1144,16 +1285,25 @@ Processor::finalizeStats(RunStats &stats) const
 }
 
 void
-Processor::onClockEpochBump()
+Processor::onClockEpochBump(int changed, Tick landing)
 {
     ++clock_epoch_;
-    // Every memoized grid extrapolation is now stale; domains
-    // sleeping on times or summaries built from them (including the
-    // front end's retire-visibility memo) must recheck.
-    wakeDomain(DomainId::FrontEnd, 0);
-    wakeDomain(DomainId::Integer, 0);
-    wakeDomain(DomainId::FloatingPoint, 0);
-    wakeDomain(DomainId::LoadStore, 0);
+    // Every memoized grid extrapolation is now stale, so sleeping
+    // domains must re-derive their gates — but only from the first
+    // edge the reference kernel evaluates with the new epoch. The
+    // bump becomes visible once the re-clocked domain consumes its
+    // landing edge; on equal ticks the reference kernel steps lower
+    // domain indices first, so a lower-indexed sleeper re-evaluates
+    // strictly after the landing tick and a higher-indexed one from
+    // the landing tick itself. Waking earlier (e.g. at 0) would
+    // evaluate new-grid memos at stale edges the reference kernel
+    // provably idles through under the old memos.
+    for (int d = 0; d < kNumDomains; ++d) {
+        if (d == changed)
+            continue;
+        wakeDomain(static_cast<DomainId>(d),
+                   d < changed ? landing + 1 : landing);
+    }
 }
 
 void
@@ -1164,10 +1314,11 @@ Processor::advanceClock(int d)
         c.advance();
         return;
     }
+    Tick landing = c.nextEdge();
     std::uint64_t before = c.periodChanges();
     c.advance();
     if (c.periodChanges() != before)
-        onClockEpochBump();
+        onClockEpochBump(d, landing);
 }
 
 void
@@ -1176,8 +1327,11 @@ Processor::advanceClockWhileBelow(int d, Tick t)
     Clock &c = clocks_[static_cast<size_t>(d)];
     std::uint64_t before = c.periodChanges();
     c.advanceWhileBelow(t);
-    if (c.periodChanges() != before)
-        onClockEpochBump();
+    // A pending period change can never land inside a proven-idle
+    // skip: domainWake clamps every sleep to changeDue, so the
+    // landing edge is always delivered by a real step.
+    GALS_ASSERT(c.periodChanges() == before,
+                "period change landed inside a proven-idle skip");
 }
 
 void
@@ -1191,14 +1345,17 @@ Processor::wakeDomain(DomainId dd, Tick t)
         return;
     // Lazy key: the clock may sit on a stale (earlier) edge; the
     // scheduler resolves the true first-edge-at-or-after-wake when
-    // the domain reaches the head of the calendar.
+    // the domain reaches the head of the calendar. (Keying at the
+    // exact extrapolated edge here is a measured pessimization: the
+    // surfacing pass consumes the idle edges either way, so the
+    // extrapolation division would be pure added cost.)
     Tick key = std::max(clocks_[i].nextEdge(), t);
     if (key < calendar_.key[i])
         calendar_.set(static_cast<int>(i), key);
 }
 
 Tick
-Processor::domainWake(int d, Tick now) const
+Processor::domainWake(int d) const
 {
     Tick w = kTickMax;
     const PendingApply &p = pending_[static_cast<size_t>(d)];
@@ -1213,73 +1370,19 @@ Processor::domainWake(int d, Tick now) const
 
     switch (static_cast<DomainId>(d)) {
       case DomainId::FrontEnd: {
-        // Fast path: fetch can run at the next edge (the common case
-        // while streaming), so skip the full gate derivation.
-        if (!fetch_halted_ && fetch_line_ready_ <= now &&
-            fetch_queue_.canPush() && !p.active) {
+        // The stages recorded the exact next-progress tick while they
+        // ran (fe_next_, see stepFrontEnd): retire-visibility times,
+        // fetch-group visibility boundaries, I-cache line fills and
+        // redirect resumes. Everything else is blocked on a
+        // cross-domain event, all of which carry wakeDomain hooks.
+        //
+        // Epoch guard, like the scan/walk summaries: when this
+        // domain's own period change landed right after the step (in
+        // advanceClock), the recorded ticks extrapolate a grid that
+        // no longer exists — re-derive at the next edge.
+        if (fe_next_epoch_ != clock_epoch_)
             return 0;
-        }
-        // Retire gate: mirror doRetire's head-of-ROB conditions.
-        if (!rob_.empty()) {
-            const InFlightOp &head = rob_[rob_.headIndex()];
-            if (head.uop.cls == OpClass::Store) {
-                if (head.store_ready && !store_buffer_.full())
-                    return 0; // retirable at the next edge.
-                // else: woken by the store-ready / SB-pop hooks.
-            } else if (head.completed()) {
-                if (head.fe_vis == kTickMax ||
-                    head.fe_vis_epoch != clock_epoch_) {
-                    return 0; // visibility unknown: evaluate in-step.
-                }
-                if (head.fe_vis <= now)
-                    return 0; // retirable at the next edge.
-                w = std::min(w, head.fe_vis);
-            }
-            // head not completed: woken by the completeReg hook.
-        }
-        // Rename gate: mirror doRename's break conditions for the
-        // head of the fetch queue (head-of-line blocking, so the
-        // first op decides whether rename makes any progress).
-        if (!fetch_queue_.empty()) {
-            if (fetch_queue_.frontVisibleAt() > now) {
-                w = std::min(w, fetch_queue_.frontVisibleAt());
-            } else {
-                const FetchedOp &f = fetch_queue_.front();
-                OpClass cls = f.uop.cls;
-                DomainId fdom = execDomain(cls);
-                bool needs_dst = f.uop.dst >= 0;
-                bool dst_fp =
-                    needs_dst && f.uop.dst >= kFirstFpReg;
-                bool is_mem = isMemOp(cls);
-                const SyncFifo<size_t> &fifo =
-                    fdom == DomainId::Integer || is_mem
-                        ? disp_int_
-                        : fdom == DomainId::FloatingPoint ? disp_fp_
-                                                          : disp_ls_;
-                bool blocked =
-                    rob_.full() ||
-                    (needs_dst && !regs_.canAlloc(dst_fp)) ||
-                    (is_mem && lsq_.full()) || !fifo.canPush() ||
-                    (is_mem && !disp_ls_.canPush());
-                if (!blocked)
-                    return 0; // rename progresses at the next edge.
-                // ROB/regs/LSQ free at retire (covered above); a
-                // full FIFO drains via the consumer-pop hooks.
-            }
-        }
-        // Fetch gate.
-        if (fetch_halted_) {
-            // fetch_resume_ is kTickMax until the mispredicted branch
-            // issues; stepIssueDomain wakes this domain then.
-            w = std::min(w, fetch_resume_);
-        } else if (!fetch_queue_.canPush()) {
-            // Unblocks via rename, which is covered above.
-        } else if (fetch_line_ready_ > now) {
-            w = std::min(w, fetch_line_ready_);
-        } else {
-            return 0; // fetch makes progress at the next edge.
-        }
-        return w;
+        return std::min(w, fe_next_);
       }
       case DomainId::Integer:
       case DomainId::FloatingPoint: {
@@ -1394,10 +1497,7 @@ Processor::runEventLoop(std::uint64_t target)
         }
         switch (static_cast<DomainId>(d)) {
           case DomainId::FrontEnd:
-            applyPending(DomainId::FrontEnd, edge);
-            doRetire(edge);
-            doRename(edge);
-            doFetch(edge);
+            stepFrontEnd(edge);
             break;
           case DomainId::Integer:
             stepIssueDomain(DomainId::Integer, edge);
@@ -1410,7 +1510,7 @@ Processor::runEventLoop(std::uint64_t target)
             break;
         }
         advanceClock(d);
-        Tick w = domainWake(d, edge);
+        Tick w = domainWake(d);
         wake_[di] = w;
         if (w == kTickMax)
             calendar_.park(d);
@@ -1427,6 +1527,79 @@ Processor::runEventLoop(std::uint64_t target)
             last_committed = committed_;
         }
     }
+}
+
+void
+Processor::validateInvariants() const
+{
+    // Rename state: the map is a subset of the free-list complement.
+    GALS_ASSERT(regs_.checkConsistent(),
+                "rename map / free-list inconsistency");
+
+    // ROB: sequence numbers strictly ascend from head to tail.
+    const size_t n = rob_.size();
+    for (size_t i = 1; i < n; ++i) {
+        GALS_ASSERT(rob_[rob_.indexAt(i - 1)].seq <
+                        rob_[rob_.indexAt(i)].seq,
+                    "ROB age order violated at position %llu",
+                    static_cast<unsigned long long>(i));
+    }
+
+    // Fetch queue: group accounting matches occupancy and capacity.
+    GALS_ASSERT(fetch_queue_.checkConsistent(),
+                "fetch-group queue accounting inconsistent");
+
+    // LSQ: the store index and waiting-load list address only
+    // in-queue entries, in age order, with matching entry kinds.
+    const std::uint64_t first = lsq_.firstId();
+    const std::uint64_t past = first + lsq_.size();
+    std::uint64_t prev = 0;
+    bool have_prev = false;
+    for (const Lsq::StoreRec &rec : lsq_.stores()) {
+        GALS_ASSERT(rec.id >= first && rec.id < past,
+                    "LSQ store index references a popped entry");
+        GALS_ASSERT(!have_prev || rec.id > prev,
+                    "LSQ store index out of age order");
+        GALS_ASSERT(lsq_.byId(rec.id).is_store,
+                    "LSQ store index references a load");
+        prev = rec.id;
+        have_prev = true;
+    }
+    have_prev = false;
+    for (std::uint64_t id : lsq_.waitingLoads()) {
+        GALS_ASSERT(id >= first && id < past,
+                    "LSQ waiting-load list references a popped entry");
+        GALS_ASSERT(!have_prev || id > prev,
+                    "LSQ waiting-load list out of age order");
+        const LsqEntry &e = lsq_.byId(id);
+        GALS_ASSERT(!e.is_store && !e.issued,
+                    "LSQ waiting-load list references a non-waiting "
+                    "entry");
+        prev = id;
+        have_prev = true;
+    }
+
+    // Issue queues: every slot mirrors a ROB op that is actually
+    // marked in-queue (the slot-local wakeup state shadows the ROB
+    // record; a desync would scan stale registers).
+    for (const IssueQueue *iq : {&iq_int_, &iq_fp_}) {
+        for (const IqSlot &slot : iq->entries()) {
+            GALS_ASSERT(slot.rob_idx < rob_.capacity(),
+                        "issue-queue slot references an invalid ROB "
+                        "index");
+            GALS_ASSERT(rob_[slot.rob_idx].in_queue,
+                        "issue-queue slot references an op not "
+                        "marked in-queue");
+        }
+    }
+
+    // Dispatch and store-buffer occupancy bounds.
+    GALS_ASSERT(disp_int_.size() <= disp_int_.capacity() &&
+                    disp_fp_.size() <= disp_fp_.capacity() &&
+                    disp_ls_.size() <= disp_ls_.capacity(),
+                "dispatch FIFO over capacity");
+    GALS_ASSERT(store_buffer_.size() <= store_buffer_.capacity(),
+                "store buffer over capacity");
 }
 
 RunStats

@@ -31,6 +31,7 @@
 #include "control/ilp_tracker.hh"
 #include "control/queue_controller.hh"
 #include "control/reconfig_trace.hh"
+#include "core/fetch_group.hh"
 #include "core/machine_config.hh"
 #include "core/run_stats.hh"
 #include "core/structures.hh"
@@ -69,14 +70,22 @@ class Processor
     /** Current structure configuration (changes in phase mode). */
     const AdaptiveConfig &currentConfig() const { return cur_cfg_; }
 
-  private:
-    struct FetchedOp
+    /**
+     * Run deep structural invariant checks (rename map vs free lists,
+     * ROB age order, fetch-group accounting, LSQ index consistency)
+     * every `every` front-end steps; 0 disables (the default). The
+     * differential harness turns this on.
+     */
+    void setInvariantCheckInterval(std::uint32_t every)
     {
-        MicroOp uop;
-        BranchPrediction pred{};
-        bool mispredict = false;
-    };
+        inv_interval_ = every;
+        inv_countdown_ = every;
+    }
 
+    /** Panics with a description on any violated invariant. */
+    void validateInvariants() const;
+
+  private:
     /** A structure change waiting for PLL lock completion. */
     struct PendingApply
     {
@@ -97,27 +106,50 @@ class Processor
 
     /**
      * Earliest tick at which domain d could do observable work given
-     * its state right after stepping at `now`; kTickMax parks the
-     * domain until a cross-domain event (wakeDomain) re-arms it. Must
-     * be a lower bound: waking early is a wasted no-op step, waking
-     * late would diverge from the reference kernel.
+     * its state right after stepping (summaries recorded in-step);
+     * kTickMax parks the domain until a cross-domain event
+     * (wakeDomain) re-arms it. Must be a lower bound: waking early is
+     * a wasted no-op step, waking late would diverge from the
+     * reference kernel.
      */
-    Tick domainWake(int d, Tick now) const;
+    Tick domainWake(int d) const;
 
     /** Cross-domain event hook: domain d may have work at `t`. */
     void wakeDomain(DomainId d, Tick t);
 
     /** advance() + epoch bump when a period change lands. */
     void advanceClock(int d);
-    /** Invalidate grid memos and wake summary-sleeping domains. */
-    void onClockEpochBump();
+    /**
+     * Invalidate grid memos and wake sleeping domains from the first
+     * edge that observes the new epoch in reference order (`changed`
+     * re-clocked its grid at tick `landing`).
+     */
+    void onClockEpochBump(int changed, Tick landing);
     /** Consume proven-idle edges of domain d strictly below `t`. */
     void advanceClockWhileBelow(int d, Tick t);
 
-    // Front-end stages.
+    // Front-end stages. One front-end edge runs all three in
+    // program-flow order (retire frees resources rename needs; rename
+    // frees fetch-queue space) and accumulates the domain's exact
+    // next-progress tick in fe_next_ (see stepFrontEnd).
+    void stepFrontEnd(Tick now);
     void doRetire(Tick now);
     void doRename(Tick now);
     void doFetch(Tick now);
+
+    /**
+     * Record a next-progress bound discovered during the current
+     * front-end step: the earliest tick at which the recording stage
+     * could do more work. 0 = progress possible at the very next
+     * edge; anything a cross-domain event must provide is *not*
+     * recorded (the wakeDomain hooks cover it).
+     */
+    void
+    feNote(Tick t)
+    {
+        if (t < fe_next_)
+            fe_next_ = t;
+    }
 
     // Execution domains.
     void stepIssueDomain(DomainId dom, Tick now);
@@ -215,12 +247,32 @@ class Processor
     /** L1I A/B latencies of the live config (hoisted off doFetch). */
     int fetch_a_lat_ = 2;
     int fetch_b_lat_ = -1;
-    SyncFifo<FetchedOp> fetch_queue_;
+    FetchGroupQueue fetch_queue_;
     std::optional<MicroOp> staged_op_;
     Addr cur_fetch_line_ = ~0ULL;
     Tick fetch_line_ready_ = 0;
+    /**
+     * Provenance of fetch_line_ready_: true when it came from an
+     * L2/memory line fill, i.e. a cross-domain grid extrapolation of
+     * fetch_line_fill_done_ (the serve time in the load/store
+     * domain). A PLL re-lock moves the grid, so the memo is
+     * epoch-tagged and recomputed on mismatch while the fill is still
+     * pending. Hit-path ready times are short same-domain offsets and
+     * are not re-extrapolated.
+     */
+    bool fetch_line_is_fill_ = false;
+    Tick fetch_line_fill_done_ = 0;
+    std::uint32_t fetch_line_epoch_ = 0;
     bool fetch_halted_ = false;
     Tick fetch_resume_ = 0;
+    /**
+     * Resolution time and domain behind fetch_resume_ (same epoch
+     * rule: the resume tick is a grid extrapolation of the resolving
+     * branch's completion).
+     */
+    Tick fetch_resume_src_ = kTickMax;
+    DomainId fetch_resume_dom_ = DomainId::Integer;
+    std::uint32_t fetch_resume_epoch_ = 0;
 
     // Dispatch queues (front end -> each execution domain).
     SyncFifo<size_t> disp_int_;
@@ -349,6 +401,18 @@ class Processor
         std::uint32_t epoch_snap = 0;
     };
     LsSummary ls_sum_;
+    /**
+     * Front-end next-progress summary: the earliest tick at which any
+     * front-end stage can do more work, accumulated by the stages
+     * *during* the step (via feNote) instead of being re-derived
+     * afterwards. kTickMax = every stage is blocked on a cross-domain
+     * event, all of which are covered by wakeDomain hooks. Stages
+     * record exact ticks for group-visibility boundaries, I-cache
+     * line fills and redirect resumes.
+     */
+    Tick fe_next_ = 0;
+    /** Epoch fe_next_ was derived under (stale ticks re-derive). */
+    std::uint32_t fe_next_epoch_ = 0;
     /** Per-domain earliest-possible-work tick; kTickMax = parked. */
     std::array<Tick, 4> wake_{};
     /**
@@ -358,6 +422,10 @@ class Processor
      */
     std::uint32_t clock_epoch_ = 1;
     Kernel kernel_ = Kernel::EventDriven;
+
+    /** Invariant-check cadence in front-end steps; 0 = off. */
+    std::uint32_t inv_interval_ = 0;
+    std::uint32_t inv_countdown_ = 0;
 
     // ------------------------------------------------------------------
     // Wakeup-path counters. Each counts events that can unblock a

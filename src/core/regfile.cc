@@ -98,6 +98,37 @@ RegisterFiles::complete(PhysRef ref, Tick when, DomainId producer)
     s.producer = producer;
 }
 
+bool
+RegisterFiles::checkConsistent() const
+{
+    auto checkFile = [&](bool fp) {
+        const auto &state = fp ? fp_state_ : int_state_;
+        const auto &free_list = fp ? free_fp_ : free_int_;
+        if (free_list.size() > state.size())
+            return false;
+        // 0 = unseen, 1 = free-listed, 2 = mapped.
+        ArenaVector<std::uint8_t> seen(state.size(), 0);
+        for (std::int16_t idx : free_list) {
+            if (idx < 0 || static_cast<size_t>(idx) >= state.size())
+                return false;
+            if (seen[static_cast<size_t>(idx)] != 0)
+                return false; // double free.
+            seen[static_cast<size_t>(idx)] = 1;
+        }
+        for (const PhysRef &ref : map_) {
+            if (ref.fp != fp || ref.index < 0)
+                continue;
+            if (static_cast<size_t>(ref.index) >= state.size())
+                return false;
+            if (seen[static_cast<size_t>(ref.index)] != 0)
+                return false; // mapped twice, or mapped and free.
+            seen[static_cast<size_t>(ref.index)] = 2;
+        }
+        return true;
+    };
+    return checkFile(false) && checkFile(true);
+}
+
 const PhysRegState &
 RegisterFiles::state(PhysRef ref) const
 {

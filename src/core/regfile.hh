@@ -75,6 +75,15 @@ class RegisterFiles
     }
     int freeFpRegs() const { return static_cast<int>(free_fp_.size()); }
 
+    /**
+     * Structural consistency of the rename state (the differential
+     * harness's per-stage invariant): the rename map is a subset of
+     * the free-list complement — no mapped physical register appears
+     * in a free list, no register is mapped or freed twice, and
+     * occupancy stays within the physical file sizes.
+     */
+    bool checkConsistent() const;
+
   private:
     ArenaVector<PhysRegState> int_state_;
     ArenaVector<PhysRegState> fp_state_;

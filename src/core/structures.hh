@@ -114,6 +114,20 @@ class Rob
     bool full() const { return count_ == slots_.size(); }
     bool empty() const { return count_ == 0; }
     size_t size() const { return count_; }
+    size_t capacity() const { return slots_.size(); }
+    /** Slots still allocatable (rename hoists this per batch). */
+    size_t freeSlots() const { return slots_.size() - count_; }
+
+    /** Slot index of the op at age position `pos` (0 = oldest). */
+    size_t
+    indexAt(size_t pos) const
+    {
+        GALS_ASSERT(pos < count_, "ROB position out of range");
+        pos += head_;
+        if (pos >= slots_.size())
+            pos -= slots_.size();
+        return pos;
+    }
 
     /** Allocate the next slot (program order); returns its index. */
     size_t
@@ -228,6 +242,7 @@ class IssueQueue
 
     /** Age-ordered slots; the Processor selects and removes. */
     ArenaVector<IqSlot> &entries() { return entries_; }
+    const ArenaVector<IqSlot> &entries() const { return entries_; }
 
   private:
     int capacity_;
@@ -300,6 +315,9 @@ class Lsq
     bool full() const { return count_ >= capacity_; }
     bool empty() const { return count_ == 0; }
     size_t size() const { return count_; }
+    size_t capacity() const { return capacity_; }
+    /** Entries still allocatable (rename hoists this per batch). */
+    size_t freeSlots() const { return capacity_ - count_; }
 
     void
     allocate(size_t rob_idx, bool is_store, Addr line_addr)
@@ -351,13 +369,7 @@ class Lsq
      * Entry lookup by allocation id. Ids map to fixed ring slots, so
      * this is one index operation, not a deque block-map walk.
      */
-    LsqEntry &
-    byId(std::uint64_t id)
-    {
-        return slots_[mask_ != 0
-                          ? static_cast<size_t>(id) & mask_
-                          : static_cast<size_t>(id % capacity_)];
-    }
+    LsqEntry &byId(std::uint64_t id) { return slots_[slotOf(id)]; }
 
     /** Positional access relative to the front (age order). */
     LsqEntry &at(size_t pos) { return byId(first_id_ + pos); }
@@ -400,14 +412,31 @@ class Lsq
 
     /** All in-queue stores, oldest first. */
     ArenaVector<StoreRec> &stores() { return stores_; }
+    const ArenaVector<StoreRec> &stores() const { return stores_; }
 
     /** Ids of loads not yet issued to the cache, in age order. */
     ArenaVector<std::uint64_t> &waitingLoads()
     {
         return waiting_loads_;
     }
+    const ArenaVector<std::uint64_t> &waitingLoads() const
+    {
+        return waiting_loads_;
+    }
+
+    const LsqEntry &byId(std::uint64_t id) const
+    {
+        return slots_[slotOf(id)];
+    }
 
   private:
+    size_t
+    slotOf(std::uint64_t id) const
+    {
+        return mask_ != 0 ? static_cast<size_t>(id) & mask_
+                          : static_cast<size_t>(id % capacity_);
+    }
+
     size_t capacity_;
     size_t mask_;
     ArenaVector<LsqEntry> slots_;

@@ -10,6 +10,19 @@ simulate(const MachineConfig &machine, const WorkloadParams &workload)
     return cpu.run();
 }
 
+RunStats
+simulateWithKernel(const MachineConfig &machine,
+                   const WorkloadParams &workload,
+                   Processor::Kernel kernel,
+                   std::uint32_t invariant_interval)
+{
+    Processor cpu(machine, workload);
+    cpu.setKernel(kernel);
+    if (invariant_interval != 0)
+        cpu.setInvariantCheckInterval(invariant_interval);
+    return cpu.run();
+}
+
 double
 runtimeNs(const RunStats &stats)
 {

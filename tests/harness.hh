@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Shared differential-test harness.
+ *
+ * The event-driven kernel's contract is bit-identity with the
+ * step-every-edge reference oracle (GALS_KERNEL=reference): every
+ * paper table is a deterministic function of RunStats, so "close" is
+ * a bug. This header provides the pieces the test suite composes:
+ *
+ *  - expectSameStats: field-by-field RunStats equality;
+ *  - goldenMachine / goldenWorkload: the pinned golden-row setups;
+ *  - randomMachine / randomWorkload: a seeded generator over the
+ *    MachineConfig × workload × jitter space, biased toward the hard
+ *    cases (phase-adaptive control with aggressive re-lock settings,
+ *    jittered MCD grids, zero-warmup windows);
+ *  - expectKernelsAgree: run both kernels on one case, with optional
+ *    per-stage invariant checking, and assert identical RunStats.
+ *
+ * See docs/testing.md for the golden-update policy and how the
+ * randomized sweep is meant to grow with the simulator.
+ */
+
+#ifndef GALS_TESTS_HARNESS_HH
+#define GALS_TESTS_HARNESS_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.hh"
+#include "core/machine_config.hh"
+#include "core/run_stats.hh"
+#include "sim/simulation.hh"
+#include "workload/suite.hh"
+
+namespace gals::harness
+{
+
+/** Field-by-field equality of two measured-window stat blocks. */
+inline void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.time_ps, b.time_ps);
+    EXPECT_EQ(a.l1i_accesses, b.l1i_accesses);
+    EXPECT_EQ(a.l1i_misses, b.l1i_misses);
+    EXPECT_EQ(a.l1d_accesses, b.l1d_accesses);
+    EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+    EXPECT_EQ(a.l2_misses, b.l2_misses);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.relocks, b.relocks);
+    EXPECT_EQ(a.icache_residency, b.icache_residency);
+    EXPECT_EQ(a.dcache_residency, b.dcache_residency);
+    EXPECT_EQ(a.iq_int_residency, b.iq_int_residency);
+    EXPECT_EQ(a.iq_fp_residency, b.iq_fp_residency);
+}
+
+/** The golden-row window: 12k measured + 2k warmup instructions. */
+inline WorkloadParams
+goldenWorkload(const std::string &name)
+{
+    WorkloadParams wl = findBenchmark(name);
+    wl.sim_instrs = 12'000;
+    wl.warmup_instrs = 2'000;
+    return wl;
+}
+
+/** The golden-row machines, by tag. */
+inline MachineConfig
+goldenMachine(const std::string &tag)
+{
+    if (tag == "sync")
+        return MachineConfig::bestSynchronous();
+    if (tag == "mcd")
+        return MachineConfig::mcdProgram({});
+    if (tag == "mcd1230")
+        return MachineConfig::mcdProgram({1, 2, 3, 0});
+    return MachineConfig::mcdPhaseAdaptive();
+}
+
+/**
+ * A random machine over all three paper machine types. Phase-adaptive
+ * draws are usually given aggressive controller settings so PLL
+ * re-locks — the hard case for idle-edge skipping — actually happen
+ * inside the short differential windows.
+ */
+inline MachineConfig
+randomMachine(Pcg32 &rng)
+{
+    MachineConfig m;
+    switch (rng.nextRange(0, 2)) {
+      case 0:
+        m = MachineConfig::synchronous(
+            rng.nextRange(0, 15), rng.nextRange(0, 3),
+            rng.nextRange(0, 3), rng.nextRange(0, 3));
+        break;
+      case 1:
+        m = MachineConfig::mcdProgram(
+            {rng.nextRange(0, 3), rng.nextRange(0, 3),
+             rng.nextRange(0, 3), rng.nextRange(0, 3)});
+        break;
+      default:
+        m = MachineConfig::mcdPhaseAdaptive();
+        m.adaptive = {rng.nextRange(0, 3), rng.nextRange(0, 3),
+                      rng.nextRange(0, 3), rng.nextRange(0, 3)};
+        if (rng.chance(0.7)) {
+            m.cache_interval_instrs =
+                static_cast<std::uint64_t>(rng.nextRange(300, 1500));
+            m.cache_persistence = rng.nextRange(1, 2);
+            m.queue_persistence = rng.nextRange(1, 4);
+            m.cache_hysteresis = 0.0;
+            m.icache_hysteresis = 0.0;
+            m.queue_hysteresis = 0.0;
+        }
+        break;
+    }
+    if (m.mode == ClockingMode::MCD && rng.chance(0.4))
+        m.jitter_sigma_ps = static_cast<double>(rng.nextRange(1, 25));
+    m.seed = rng.next();
+    return m;
+}
+
+/** A random suite benchmark over a short differential window. */
+inline WorkloadParams
+randomWorkload(Pcg32 &rng)
+{
+    const std::vector<WorkloadParams> &suite = benchmarkSuite();
+    WorkloadParams wl = suite[rng.nextBounded(
+        static_cast<std::uint32_t>(suite.size()))];
+    wl.sim_instrs = 2'000 + rng.nextBounded(4'000);
+    wl.warmup_instrs = rng.nextBounded(1'500); // 0 = measure from t=0.
+    return wl;
+}
+
+/** One-line description of a case for SCOPED_TRACE. */
+inline std::string
+describe(const MachineConfig &m, const WorkloadParams &wl)
+{
+    std::string mode =
+        m.mode == ClockingMode::Synchronous
+            ? "sync"
+            : m.phase_adaptive ? "phase" : "mcd";
+    return mode + "(" + m.adaptive.str() + ") jitter=" +
+           std::to_string(m.jitter_sigma_ps) + " seed=" +
+           std::to_string(m.seed) + " " + wl.name + " sim=" +
+           std::to_string(wl.sim_instrs) + "+" +
+           std::to_string(wl.warmup_instrs);
+}
+
+/**
+ * Run one case under both kernels and assert bit-identical RunStats;
+ * a non-zero `invariant_interval` additionally runs the per-stage
+ * structural invariant checks every that many front-end steps in both
+ * runs.
+ */
+inline void
+expectKernelsAgree(const MachineConfig &m, const WorkloadParams &wl,
+                   std::uint32_t invariant_interval = 0)
+{
+    RunStats event = simulateWithKernel(
+        m, wl, Processor::Kernel::EventDriven, invariant_interval);
+    RunStats oracle = simulateWithKernel(
+        m, wl, Processor::Kernel::Reference, invariant_interval);
+    expectSameStats(event, oracle);
+}
+
+} // namespace gals::harness
+
+#endif // GALS_TESTS_HARNESS_HH

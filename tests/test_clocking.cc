@@ -206,6 +206,87 @@ TEST(SyncFifo, CapacityEnforced)
     EXPECT_TRUE(f.canPush());
 }
 
+TEST(SyncFifo, WrapAroundAtDomainPeriodBoundaries)
+{
+    // Steady producer/consumer cycling far past the ring capacity:
+    // the head index wraps repeatedly while per-entry visibility
+    // times (one domain period downstream) keep gating consumption.
+    const Tick period = 100;
+    SyncFifo<int> f(4);
+    int produced = 0;
+    int consumed = 0;
+    for (int cycle = 1; cycle <= 40; ++cycle) {
+        Tick now = static_cast<Tick>(cycle) * period;
+        // Consume everything visible at this edge, in order.
+        while (f.frontReady(now)) {
+            EXPECT_EQ(f.front(), consumed);
+            EXPECT_LE(f.frontVisibleAt(), now);
+            f.pop();
+            ++consumed;
+        }
+        // Refill; entries become visible exactly one period later.
+        while (f.canPush())
+            f.push(produced++, now + period);
+    }
+    // The ring wrapped many times and nothing was lost or reordered.
+    EXPECT_GT(produced, 4 * 10);
+    EXPECT_EQ(static_cast<size_t>(produced - consumed), f.size());
+}
+
+TEST(SyncFifo, WrapAroundBoundaryVisibility)
+{
+    // An entry pushed into the physical slot just before the wrap and
+    // one just after must keep distinct visibility times.
+    SyncFifo<int> f(3);
+    f.push(0, 10);
+    f.push(1, 20);
+    f.pop(); // head -> slot 1.
+    f.pop(); // head -> slot 2.
+    f.push(2, 30);  // slot 2 (last physical slot).
+    f.push(3, 40);  // slot 0 (wrapped).
+    f.push(4, 50);  // slot 1.
+    EXPECT_FALSE(f.canPush());
+    EXPECT_EQ(f.frontVisibleAt(), 30u);
+    EXPECT_FALSE(f.frontReady(29));
+    EXPECT_TRUE(f.frontReady(30));
+    f.pop();
+    EXPECT_EQ(f.front(), 3);
+    EXPECT_EQ(f.frontVisibleAt(), 40u);
+    f.pop();
+    EXPECT_EQ(f.front(), 4);
+    EXPECT_EQ(f.frontVisibleAt(), 50u);
+}
+
+TEST(SyncFifo, SquashAcrossWrapBoundary)
+{
+    SyncFifo<int> f(4);
+    f.push(0, 0);
+    f.push(1, 0);
+    f.pop();
+    f.pop(); // head at slot 2.
+    for (int v = 2; v <= 5; ++v)
+        f.push(v, 0); // occupies slots 2,3,0,1: wraps.
+    size_t removed = f.squash([](int v) { return v % 2 == 1; });
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_EQ(f.front(), 2);
+    f.pop();
+    EXPECT_EQ(f.front(), 4);
+    f.pop();
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(SyncFifo, FreeSlotsTracksOccupancy)
+{
+    SyncFifo<int> f(3);
+    EXPECT_EQ(f.freeSlots(), 3u);
+    f.push(1, 0);
+    f.push(2, 0);
+    EXPECT_EQ(f.freeSlots(), 1u);
+    f.pop();
+    EXPECT_EQ(f.freeSlots(), 2u);
+}
+
 TEST(SyncFifo, OrderPreservedAndSquash)
 {
     SyncFifo<int> f(8);

@@ -1,12 +1,123 @@
-/** @file Tests for ROB, issue queue, LSQ, store buffer, FUs, rename. */
+/** @file Tests for ROB, issue queue, LSQ, store buffer, FUs, rename,
+ * and the batched fetch-group queue. */
 
 #include <gtest/gtest.h>
 
+#include "core/fetch_group.hh"
 #include "core/machine_config.hh"
 #include "core/regfile.hh"
 #include "core/structures.hh"
 
 using namespace gals;
+
+namespace
+{
+
+FetchedOp
+opAt(Addr pc)
+{
+    FetchedOp f;
+    f.uop.pc = pc;
+    return f;
+}
+
+} // namespace
+
+TEST(FetchGroupQueue, GroupsSharePushTimeVisibility)
+{
+    FetchGroupQueue q(8);
+    EXPECT_TRUE(q.empty());
+    // One fetch group: three ops pushed with one visibility time.
+    q.push(opAt(1), 100);
+    q.push(opAt(2), 100);
+    q.push(opAt(3), 100);
+    // A later group at a later edge.
+    q.push(opAt(4), 200);
+    q.push(opAt(5), 200);
+    EXPECT_EQ(q.size(), 5u);
+    EXPECT_EQ(q.groupCount(), 2u);
+    EXPECT_TRUE(q.checkConsistent());
+
+    // Visibility gates per group, and the visible prefix counts whole
+    // groups only.
+    EXPECT_EQ(q.visibleOps(99, 100), 0u);
+    EXPECT_EQ(q.visibleOps(100, 100), 3u);
+    EXPECT_EQ(q.visibleOps(199, 100), 3u);
+    EXPECT_EQ(q.visibleOps(200, 100), 5u);
+    EXPECT_FALSE(q.frontReady(99));
+    EXPECT_TRUE(q.frontReady(100));
+
+    EXPECT_EQ(q.front().uop.pc, 1u);
+    q.pop();
+    q.pop();
+    q.pop();
+    EXPECT_EQ(q.groupCount(), 1u);
+    EXPECT_EQ(q.frontVisibleAt(), 200u);
+    EXPECT_EQ(q.front().uop.pc, 4u);
+    EXPECT_TRUE(q.checkConsistent());
+}
+
+TEST(FetchGroupQueue, WrapAroundKeepsGroupAccounting)
+{
+    FetchGroupQueue q(4);
+    Tick t = 100;
+    Addr pc = 0;
+    Addr expect = 0;
+    // Cycle far past capacity with two-op groups so both rings wrap.
+    for (int round = 0; round < 25; ++round) {
+        while (q.canPush())
+            q.push(opAt(pc++), t);
+        EXPECT_EQ(q.freeOps(), 0u);
+        ASSERT_TRUE(q.checkConsistent());
+        q.pop();
+        q.pop();
+        EXPECT_EQ(q.front().uop.pc, expect + 2);
+        expect += 2;
+        t += 100;
+    }
+    EXPECT_GT(pc, 4u * 10u);
+}
+
+TEST(FetchGroupQueue, CapacityEnforced)
+{
+    FetchGroupQueue q(2);
+    EXPECT_EQ(q.freeOps(), 2u);
+    q.push(opAt(1), 10);
+    q.push(opAt(2), 20); // separate group (different visibility).
+    EXPECT_FALSE(q.canPush());
+    EXPECT_EQ(q.groupCount(), 2u);
+    q.pop();
+    EXPECT_TRUE(q.canPush());
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.groupCount(), 0u);
+    EXPECT_TRUE(q.checkConsistent());
+}
+
+TEST(Rob, CapacityAndAgePositions)
+{
+    Rob rob(4);
+    EXPECT_EQ(rob.capacity(), 4u);
+    EXPECT_EQ(rob.freeSlots(), 4u);
+    size_t a = rob.alloc();
+    size_t b = rob.alloc();
+    rob[a].seq = 10;
+    rob[b].seq = 11;
+    EXPECT_EQ(rob.freeSlots(), 2u);
+    EXPECT_EQ(rob.indexAt(0), a);
+    EXPECT_EQ(rob.indexAt(1), b);
+    rob.retireHead();
+    // Wrap: allocate past the physical end of the ring.
+    size_t c = rob.alloc();
+    size_t d = rob.alloc();
+    size_t e = rob.alloc();
+    rob[c].seq = 12;
+    rob[d].seq = 13;
+    rob[e].seq = 14;
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.indexAt(0), b);
+    EXPECT_EQ(rob[rob.indexAt(3)].seq, 14u);
+}
 
 TEST(Rob, CircularAllocation)
 {
@@ -172,6 +283,25 @@ TEST(RegisterFiles, ScoreboardTracksCompletion)
     EXPECT_FALSE(rf.state(fresh).pending);
     EXPECT_EQ(rf.state(fresh).ready_at, 12345u);
     EXPECT_EQ(rf.state(fresh).producer, DomainId::LoadStore);
+}
+
+TEST(RegisterFiles, ConsistencyHoldsThroughRenameCycles)
+{
+    RegisterFiles rf(40, 40);
+    EXPECT_TRUE(rf.checkConsistent());
+    // Churn the map: rename the same logical registers repeatedly,
+    // releasing the displaced mappings as a retire would.
+    for (int round = 0; round < 100; ++round) {
+        int logical = 1 + round % 8;
+        if (!rf.canAlloc(false))
+            break;
+        auto [fresh, old] = rf.renameDest(logical);
+        rf.markPending(fresh);
+        rf.complete(fresh, static_cast<Tick>(round), DomainId::Integer);
+        rf.release(old);
+        ASSERT_TRUE(rf.checkConsistent()) << round;
+    }
+    EXPECT_TRUE(rf.checkConsistent());
 }
 
 TEST(RegisterFiles, ZeroRegistersAlwaysReady)
