@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_penalties.dir/bench/bench_ablation_penalties.cpp.o"
+  "CMakeFiles/bench_ablation_penalties.dir/bench/bench_ablation_penalties.cpp.o.d"
+  "bench_ablation_penalties"
+  "bench_ablation_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sync_cost.dir/bench/bench_ablation_sync_cost.cpp.o"
+  "CMakeFiles/bench_ablation_sync_cost.dir/bench/bench_ablation_sync_cost.cpp.o.d"
+  "bench_ablation_sync_cost"
+  "bench_ablation_sync_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sync_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_best_sync.dir/bench/bench_best_sync.cpp.o"
+  "CMakeFiles/bench_best_sync.dir/bench/bench_best_sync.cpp.o.d"
+  "bench_best_sync"
+  "bench_best_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_best_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_table9_performance.dir/bench/bench_fig6_table9_performance.cpp.o"
+  "CMakeFiles/bench_fig6_table9_performance.dir/bench/bench_fig6_table9_performance.cpp.o.d"
+  "bench_fig6_table9_performance"
+  "bench_fig6_table9_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_table9_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

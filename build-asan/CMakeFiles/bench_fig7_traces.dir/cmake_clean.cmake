@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_traces.dir/bench/bench_fig7_traces.cpp.o"
+  "CMakeFiles/bench_fig7_traces.dir/bench/bench_fig7_traces.cpp.o.d"
+  "bench_fig7_traces"
+  "bench_fig7_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fig2_dcache.dir/bench/bench_table1_fig2_dcache.cpp.o"
+  "CMakeFiles/bench_table1_fig2_dcache.dir/bench/bench_table1_fig2_dcache.cpp.o.d"
+  "bench_table1_fig2_dcache"
+  "bench_table1_fig2_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fig2_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hw_cost.dir/bench/bench_table4_hw_cost.cpp.o"
+  "CMakeFiles/bench_table4_hw_cost.dir/bench/bench_table4_hw_cost.cpp.o.d"
+  "bench_table4_hw_cost"
+  "bench_table4_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables2_3_fig3_icache.dir/bench/bench_tables2_3_fig3_icache.cpp.o"
+  "CMakeFiles/bench_tables2_3_fig3_icache.dir/bench/bench_tables2_3_fig3_icache.cpp.o.d"
+  "bench_tables2_3_fig3_icache"
+  "bench_tables2_3_fig3_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables2_3_fig3_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

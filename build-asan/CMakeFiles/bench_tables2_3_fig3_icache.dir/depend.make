@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tables2_3_fig3_icache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables6to8_workloads.dir/bench/bench_tables6to8_workloads.cpp.o"
+  "CMakeFiles/bench_tables6to8_workloads.dir/bench/bench_tables6to8_workloads.cpp.o.d"
+  "bench_tables6to8_workloads"
+  "bench_tables6to8_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables6to8_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/accounting_cache.cc" "CMakeFiles/gals.dir/src/cache/accounting_cache.cc.o" "gcc" "CMakeFiles/gals.dir/src/cache/accounting_cache.cc.o.d"
+  "/root/repo/src/cache/cache_cost.cc" "CMakeFiles/gals.dir/src/cache/cache_cost.cc.o" "gcc" "CMakeFiles/gals.dir/src/cache/cache_cost.cc.o.d"
+  "/root/repo/src/cache/main_memory.cc" "CMakeFiles/gals.dir/src/cache/main_memory.cc.o" "gcc" "CMakeFiles/gals.dir/src/cache/main_memory.cc.o.d"
+  "/root/repo/src/clock/clock.cc" "CMakeFiles/gals.dir/src/clock/clock.cc.o" "gcc" "CMakeFiles/gals.dir/src/clock/clock.cc.o.d"
+  "/root/repo/src/clock/pll.cc" "CMakeFiles/gals.dir/src/clock/pll.cc.o" "gcc" "CMakeFiles/gals.dir/src/clock/pll.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/gals.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/gals.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/gals.dir/src/common/random.cc.o" "gcc" "CMakeFiles/gals.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/gals.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/gals.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/gals.dir/src/common/table.cc.o" "gcc" "CMakeFiles/gals.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/types.cc" "CMakeFiles/gals.dir/src/common/types.cc.o" "gcc" "CMakeFiles/gals.dir/src/common/types.cc.o.d"
+  "/root/repo/src/control/cache_controller.cc" "CMakeFiles/gals.dir/src/control/cache_controller.cc.o" "gcc" "CMakeFiles/gals.dir/src/control/cache_controller.cc.o.d"
+  "/root/repo/src/control/ilp_tracker.cc" "CMakeFiles/gals.dir/src/control/ilp_tracker.cc.o" "gcc" "CMakeFiles/gals.dir/src/control/ilp_tracker.cc.o.d"
+  "/root/repo/src/control/queue_controller.cc" "CMakeFiles/gals.dir/src/control/queue_controller.cc.o" "gcc" "CMakeFiles/gals.dir/src/control/queue_controller.cc.o.d"
+  "/root/repo/src/control/reconfig_trace.cc" "CMakeFiles/gals.dir/src/control/reconfig_trace.cc.o" "gcc" "CMakeFiles/gals.dir/src/control/reconfig_trace.cc.o.d"
+  "/root/repo/src/core/machine_config.cc" "CMakeFiles/gals.dir/src/core/machine_config.cc.o" "gcc" "CMakeFiles/gals.dir/src/core/machine_config.cc.o.d"
+  "/root/repo/src/core/processor.cc" "CMakeFiles/gals.dir/src/core/processor.cc.o" "gcc" "CMakeFiles/gals.dir/src/core/processor.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "CMakeFiles/gals.dir/src/core/regfile.cc.o" "gcc" "CMakeFiles/gals.dir/src/core/regfile.cc.o.d"
+  "/root/repo/src/predictor/hybrid_predictor.cc" "CMakeFiles/gals.dir/src/predictor/hybrid_predictor.cc.o" "gcc" "CMakeFiles/gals.dir/src/predictor/hybrid_predictor.cc.o.d"
+  "/root/repo/src/sim/report.cc" "CMakeFiles/gals.dir/src/sim/report.cc.o" "gcc" "CMakeFiles/gals.dir/src/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "CMakeFiles/gals.dir/src/sim/simulation.cc.o" "gcc" "CMakeFiles/gals.dir/src/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/study.cc" "CMakeFiles/gals.dir/src/sim/study.cc.o" "gcc" "CMakeFiles/gals.dir/src/sim/study.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "CMakeFiles/gals.dir/src/sim/sweep.cc.o" "gcc" "CMakeFiles/gals.dir/src/sim/sweep.cc.o.d"
+  "/root/repo/src/timing/cacti_model.cc" "CMakeFiles/gals.dir/src/timing/cacti_model.cc.o" "gcc" "CMakeFiles/gals.dir/src/timing/cacti_model.cc.o.d"
+  "/root/repo/src/timing/frequency_model.cc" "CMakeFiles/gals.dir/src/timing/frequency_model.cc.o" "gcc" "CMakeFiles/gals.dir/src/timing/frequency_model.cc.o.d"
+  "/root/repo/src/timing/gate_cost.cc" "CMakeFiles/gals.dir/src/timing/gate_cost.cc.o" "gcc" "CMakeFiles/gals.dir/src/timing/gate_cost.cc.o.d"
+  "/root/repo/src/timing/palacharla_model.cc" "CMakeFiles/gals.dir/src/timing/palacharla_model.cc.o" "gcc" "CMakeFiles/gals.dir/src/timing/palacharla_model.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "CMakeFiles/gals.dir/src/workload/generator.cc.o" "gcc" "CMakeFiles/gals.dir/src/workload/generator.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "CMakeFiles/gals.dir/src/workload/suite.cc.o" "gcc" "CMakeFiles/gals.dir/src/workload/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

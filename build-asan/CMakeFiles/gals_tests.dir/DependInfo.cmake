@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accounting_cache.cc" "CMakeFiles/gals_tests.dir/tests/test_accounting_cache.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_accounting_cache.cc.o.d"
+  "/root/repo/tests/test_arena.cc" "CMakeFiles/gals_tests.dir/tests/test_arena.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_arena.cc.o.d"
+  "/root/repo/tests/test_cache_cost.cc" "CMakeFiles/gals_tests.dir/tests/test_cache_cost.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_cache_cost.cc.o.d"
+  "/root/repo/tests/test_clocking.cc" "CMakeFiles/gals_tests.dir/tests/test_clocking.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_clocking.cc.o.d"
+  "/root/repo/tests/test_control.cc" "CMakeFiles/gals_tests.dir/tests/test_control.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_control.cc.o.d"
+  "/root/repo/tests/test_core_structures.cc" "CMakeFiles/gals_tests.dir/tests/test_core_structures.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_core_structures.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "CMakeFiles/gals_tests.dir/tests/test_determinism.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_determinism.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "CMakeFiles/gals_tests.dir/tests/test_differential.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_differential.cc.o.d"
+  "/root/repo/tests/test_predictor.cc" "CMakeFiles/gals_tests.dir/tests/test_predictor.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_predictor.cc.o.d"
+  "/root/repo/tests/test_processor.cc" "CMakeFiles/gals_tests.dir/tests/test_processor.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_processor.cc.o.d"
+  "/root/repo/tests/test_random.cc" "CMakeFiles/gals_tests.dir/tests/test_random.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_random.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "CMakeFiles/gals_tests.dir/tests/test_sim.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "CMakeFiles/gals_tests.dir/tests/test_stats.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_stats.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "CMakeFiles/gals_tests.dir/tests/test_timing.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_timing.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "CMakeFiles/gals_tests.dir/tests/test_workload.cc.o" "gcc" "CMakeFiles/gals_tests.dir/tests/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/gals.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

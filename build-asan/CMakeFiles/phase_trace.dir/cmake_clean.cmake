@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_trace.dir/examples/phase_trace.cpp.o"
+  "CMakeFiles/phase_trace.dir/examples/phase_trace.cpp.o.d"
+  "phase_trace"
+  "phase_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_cost.dir/examples/sync_cost.cpp.o"
+  "CMakeFiles/sync_cost.dir/examples/sync_cost.cpp.o.d"
+  "sync_cost"
+  "sync_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
