@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sharded design-space sweep driver.
+ *
+ * One process computes one shard of a sweep and writes its rows as
+ * line-oriented JSON; `scripts/sweep_shard.py` fans N such processes
+ * out (across cores or hosts) and merges the outputs byte-exactly
+ * into what an unsharded run would have written (sim/shard.hh).
+ *
+ * Usage:
+ *   sweep_cli [--mode study|sync] [--shard i/n] [--out FILE]
+ *             [--benchmarks N] [--sim INSTRS] [--warmup INSTRS]
+ *             [--full] [--verbose]
+ *   sweep_cli --merge OUT IN1 IN2 ...
+ *
+ * `--shard` falls back to the GALS_SHARDS environment variable
+ * ("i/n"); unset means the whole sweep. `--benchmarks N` restricts
+ * the suite to its first N entries and `--sim/--warmup` shrink the
+ * measured window (defaults keep the suite's own windows) — both are
+ * deterministic, so sharded and unsharded runs stay comparable.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/shard.hh"
+#include "sim/study.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sweep_cli [--mode study|sync] [--shard i/n]\n"
+        "                 [--out FILE] [--benchmarks N]\n"
+        "                 [--sim INSTRS] [--warmup INSTRS] [--full]\n"
+        "                 [--verbose]\n"
+        "       sweep_cli --merge OUT IN1 IN2 ...\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        panic("cannot read '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        panic("cannot write '%s'", path.c_str());
+    out << text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode = "study";
+    std::string out_path;
+    ShardSpec shard = shardFromEnv();
+    size_t benchmarks = 0; // 0 = whole suite.
+    std::uint64_t sim_instrs = 0;
+    std::uint64_t warmup_instrs = ~0ULL;
+    bool full = false;
+    bool verbose = false;
+
+    for (int a = 1; a < argc; ++a) {
+        std::string arg = argv[a];
+        auto value = [&]() -> const char * {
+            if (a + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++a];
+        };
+        if (arg == "--merge") {
+            // --merge OUT IN1 IN2 ...
+            if (a + 2 >= argc)
+                return usage();
+            std::string merged_path = argv[a + 1];
+            std::vector<std::string> inputs;
+            for (int k = a + 2; k < argc; ++k)
+                inputs.push_back(readFile(argv[k]));
+            writeFile(merged_path, mergeShardJson(inputs));
+            std::printf("merged %zu shards into %s\n", inputs.size(),
+                        merged_path.c_str());
+            return 0;
+        } else if (arg == "--mode") {
+            mode = value();
+        } else if (arg == "--shard") {
+            if (!parseShard(value(), shard)) {
+                std::fprintf(stderr, "bad --shard (want i/n)\n");
+                return 2;
+            }
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--benchmarks") {
+            benchmarks = static_cast<size_t>(std::atoi(value()));
+        } else if (arg == "--sim") {
+            sim_instrs =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--warmup") {
+            warmup_instrs =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--full") {
+            full = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            return usage();
+        }
+    }
+
+    std::vector<WorkloadParams> suite = benchmarkSuite();
+    if (benchmarks != 0 && benchmarks < suite.size())
+        suite.resize(benchmarks);
+    for (WorkloadParams &wl : suite) {
+        if (sim_instrs != 0)
+            wl.sim_instrs = sim_instrs;
+        if (warmup_instrs != ~0ULL)
+            wl.warmup_instrs = warmup_instrs;
+    }
+
+    std::string json;
+    if (mode == "study") {
+        StudyResult study =
+            runStudy(suite, sweepModeFromEnv(), verbose, shard);
+        json = studyShardJson(study, shard);
+    } else if (mode == "sync") {
+        std::vector<SyncPointRuntimes> rows =
+            sweepSynchronousRaw(suite, full, shard);
+        json = syncSweepShardJson(rows, suite.size(), full, shard);
+    } else {
+        return usage();
+    }
+
+    if (out_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+    } else {
+        writeFile(out_path, json);
+        std::printf("shard %d/%d -> %s\n", shard.index, shard.count,
+                    out_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fail CI when simulator throughput regresses.
+
+Runs ``bench_sim_throughput`` (which measures committed instructions
+per host CPU-second with CLOCK_PROCESS_CPUTIME_ID and writes
+``BENCH_sim_throughput.json`` in the working directory) and compares
+the fresh ``current`` values against the ones committed to the repo.
+A config may not drop below ``--min-ratio`` (default 0.8, i.e. a >20%%
+regression fails). CI machines differ from the container the repo
+numbers were recorded on, so this is a smoke gate against large
+regressions, not a benchmark.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="path to bench_sim_throughput")
+    parser.add_argument("--ref", required=True,
+                        help="committed BENCH_sim_throughput.json")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="minimum measured/committed ratio "
+                             "(default 0.8)")
+    args = parser.parse_args()
+
+    bench = Path(args.bench).resolve()
+    ref = json.loads(Path(args.ref).read_text())
+
+    with tempfile.TemporaryDirectory(prefix="perf_smoke_") as tmp:
+        # --benchmark_filter=NONE skips the google-benchmark timings;
+        # the JSON measurement pass always runs first.
+        subprocess.run([str(bench), "--benchmark_filter=NONE"],
+                       cwd=tmp, check=True,
+                       stdout=subprocess.DEVNULL)
+        fresh = json.loads(
+            (Path(tmp) / "BENCH_sim_throughput.json").read_text())
+
+    failures = []
+    print(f"{'config':<18} {'committed':>12} {'measured':>12} "
+          f"{'ratio':>7}")
+    for name, row in ref["configs"].items():
+        committed = float(row["current"])
+        measured = float(fresh["configs"][name]["current"])
+        ratio = measured / committed
+        flag = "" if ratio >= args.min_ratio else "  << FAIL"
+        print(f"{name:<18} {committed:>12.0f} {measured:>12.0f} "
+              f"{ratio:>7.2f}{flag}")
+        if ratio < args.min_ratio:
+            failures.append(name)
+
+    if failures:
+        sys.exit(f"throughput dropped >{(1 - args.min_ratio):.0%} on: "
+                 f"{', '.join(failures)}")
+    print("perf smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Multi-process sweep driver: shard, run, merge.
+
+Runs a sweep binary (examples/sweep_cli.cpp) N times with
+``--shard i/N``, one process per shard, then merges the per-shard
+JSON outputs with the binary's own ``--merge`` implementation
+(sim/shard.cc) so there is exactly one merge code path and the merged
+file is byte-identical to an unsharded run.
+
+Examples:
+    # 4-way sharded mini study, merged into study.json:
+    scripts/sweep_shard.py --bin build/sweep_cli --shards 4 \\
+        --out study.json -- --mode study --benchmarks 8
+
+    # Prove byte-identity against the unsharded run:
+    scripts/sweep_shard.py --bin build/sweep_cli --shards 4 \\
+        --out study.json --check -- --mode study --benchmarks 8
+
+The ``--preserve-baselines`` option grafts any ``seed_baseline``
+values found in an existing JSON file into the merged output before
+writing (used when a sweep refresh must not touch a frozen baseline
+column, e.g. BENCH_sim_throughput.json-style trackers). It
+re-serializes through Python's json module, so it is mutually
+exclusive with byte-identity checking.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def graft_baselines(old, new):
+    """Copy every seed_baseline value from old into new, recursively."""
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key, value in old.items():
+            if key == "seed_baseline":
+                new[key] = value
+            elif key in new:
+                graft_baselines(value, new[key])
+    elif isinstance(old, list) and isinstance(new, list):
+        for a, b in zip(old, new):
+            graft_baselines(a, b)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--bin", required=True,
+                        help="sweep binary (build/sweep_cli)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of processes (default 4)")
+    parser.add_argument("--out", required=True,
+                        help="merged output JSON path")
+    parser.add_argument("--check", action="store_true",
+                        help="also run unsharded and require the "
+                             "merged output to be byte-identical")
+    parser.add_argument("--preserve-baselines", metavar="FILE",
+                        help="graft seed_baseline values from FILE "
+                             "into the merged output")
+    parser.add_argument("--threads-per-shard", type=int, default=0,
+                        help="GALS_THREADS for each shard process "
+                             "(default: cpu_count // shards, so "
+                             "concurrent shards on one host do not "
+                             "oversubscribe; 0 on a multi-host setup "
+                             "means pass -1 to leave it unset)")
+    parser.add_argument("extra", nargs="*",
+                        help="arguments passed through to the binary "
+                             "(after --)")
+    args = parser.parse_args()
+
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.check and args.preserve_baselines:
+        parser.error("--check and --preserve-baselines are mutually "
+                     "exclusive (grafting re-serializes the JSON)")
+
+    binary = Path(args.bin)
+    if not binary.exists():
+        parser.error(f"binary not found: {binary}")
+
+    # Each shard process spawns its own GALS_THREADS-capped pool;
+    # without a cap, N concurrent shards would each take the whole
+    # machine and oversubscribe it N-fold.
+    env = dict(os.environ)
+    threads = args.threads_per_shard
+    if threads == 0:
+        threads = max(1, (os.cpu_count() or 1) // args.shards)
+    if threads > 0:
+        env["GALS_THREADS"] = str(threads)
+
+    with tempfile.TemporaryDirectory(prefix="sweep_shard_") as tmp:
+        tmpdir = Path(tmp)
+        shard_files = []
+        procs = []
+        for i in range(args.shards):
+            out = tmpdir / f"shard_{i}.json"
+            shard_files.append(out)
+            cmd = [str(binary), *args.extra,
+                   "--shard", f"{i}/{args.shards}",
+                   "--out", str(out)]
+            procs.append((i, subprocess.Popen(cmd, env=env)))
+        failed = [i for i, p in procs if p.wait() != 0]
+        if failed:
+            sys.exit(f"shard process(es) failed: {failed}")
+
+        merge_cmd = [str(binary), "--merge", args.out,
+                     *(str(f) for f in shard_files)]
+        subprocess.run(merge_cmd, check=True)
+
+        if args.check:
+            ref = tmpdir / "unsharded.json"
+            subprocess.run(
+                [str(binary), *args.extra, "--shard", "0/1",
+                 "--out", str(ref)],
+                check=True)
+            merged_bytes = Path(args.out).read_bytes()
+            ref_bytes = ref.read_bytes()
+            if merged_bytes != ref_bytes:
+                sys.exit("FAIL: merged output differs from the "
+                         "unsharded run")
+            print(f"check OK: {args.out} is byte-identical to the "
+                  f"unsharded sweep ({len(merged_bytes)} bytes)")
+
+    if args.preserve_baselines:
+        old = json.loads(Path(args.preserve_baselines).read_text())
+        merged_path = Path(args.out)
+        new = json.loads(merged_path.read_text())
+        graft_baselines(old, new)
+        merged_path.write_text(json.dumps(new, indent=2) + "\n")
+        print(f"grafted seed_baseline values from "
+              f"{args.preserve_baselines}")
+
+
+if __name__ == "__main__":
+    main()

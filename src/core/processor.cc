@@ -73,6 +73,8 @@ Processor::Processor(const MachineConfig &config,
 {
     fu_int_.alus = cfg_.int_alus;
     fu_fp_.alus = cfg_.fp_alus;
+    iq_int_.initWaiterIndex(cfg_.phys_int_regs, cfg_.phys_fp_regs);
+    iq_fp_.initWaiterIndex(cfg_.phys_int_regs, cfg_.phys_fp_regs);
     for (int d = 0; d < kNumDomains; ++d) {
         plls_[static_cast<size_t>(d)] =
             Pll(cfg_.pll, cfg_.seed + 31 * static_cast<unsigned>(d));
@@ -408,8 +410,9 @@ Processor::doRename(Tick now)
             --(f.dst_fp ? free_fp : free_int);
         }
         if (is_mem) {
-            lsq_.allocate(idx, f.uop.cls == OpClass::Store,
-                          f.uop.mem_addr >> l1d_->lineShift());
+            op.lsq_id =
+                lsq_.allocate(idx, f.uop.cls == OpClass::Store,
+                              f.uop.mem_addr >> l1d_->lineShift());
             --lsq_free;
         }
 
@@ -459,8 +462,13 @@ Processor::doRetire(Tick now)
 {
     const std::uint64_t stop_at =
         wl_params_.warmup_instrs + wl_params_.sim_instrs;
-    const int width = cfg_.retire_width;
-    int retired = 0;
+    // Nothing to retire and no accounting to update: keep the
+    // no-progress front-end edge (the common case) cheap.
+    if (rob_.empty() || committed_ >= stop_at)
+        return;
+    std::uint64_t budget =
+        static_cast<std::uint64_t>(cfg_.retire_width);
+    std::uint64_t retired_total = 0;
 
     // Residency statistics are batched per run of retirements under
     // one live configuration: one set of increments per group instead
@@ -481,68 +489,103 @@ Processor::doRetire(Tick now)
         run = 0;
     };
 
-    while (committed_ < stop_at) {
-        if (retired >= width) {
-            // Group-granular retire: the head run continues at the
-            // very next edge.
-            if (!rob_.empty())
-                feNote(0);
-            break;
-        }
-        if (rob_.empty())
-            break;
-        InFlightOp &op = rob_[rob_.headIndex()];
+    // Group-granular retire: bounds that are constant across a run of
+    // retirements — width budget, window end, the measurement-start
+    // boundary and the control-interval boundary — are hoisted into
+    // one chunk size, so the per-op loop checks only the real
+    // head gates (completion, visibility, store-buffer space).
+    const int d_shift = l1d_->lineShift();
+    int sb_free = static_cast<int>(store_buffer_.freeSlots());
+    bool sb_pushed = false;
 
-        if (op.uop.cls == OpClass::Store) {
-            if (!op.store_ready)
-                break; // the store-ready hook wakes the front end.
-            if (store_buffer_.full())
-                break; // the store-buffer pop hook wakes us.
-            store_buffer_.push(op.uop.mem_addr >> l1d_->lineShift(),
-                               now);
-            wakeDomain(DomainId::LoadStore, now);
-            lsq_.popFront();
-            ls_events_ += 2; // SB push + store left the LSQ.
-        } else {
-            if (!op.completed())
-                break; // the completion hook wakes the front end.
-            if (op.fe_vis == kTickMax ||
-                op.fe_vis_epoch != clock_epoch_) {
-                op.fe_vis = visibleAt(op.complete_at, op.domain,
-                                      DomainId::FrontEnd);
-                op.fe_vis_epoch = clock_epoch_;
-            }
-            if (op.fe_vis > now) {
-                feNote(op.fe_vis); // exact retire-visibility gate.
+    while (committed_ < stop_at && budget != 0) {
+        std::uint64_t chunk =
+            std::min(budget, stop_at - committed_);
+        if (!measuring_) {
+            chunk = std::min(
+                chunk, wl_params_.warmup_instrs - committed_);
+        }
+        if (cfg_.phase_adaptive) {
+            chunk = std::min(chunk, cfg_.cache_interval_instrs -
+                                        interval_commits_);
+        }
+
+        std::uint64_t done = 0;
+        while (done < chunk) {
+            if (rob_.empty())
                 break;
-            }
-            if (op.is_mem)
+            InFlightOp &op = rob_[rob_.headIndex()];
+
+            if (op.uop.cls == OpClass::Store) {
+                if (!op.store_ready)
+                    break; // store-ready hook wakes the front end.
+                if (sb_free == 0)
+                    break; // the store-buffer pop hook wakes us.
+                store_buffer_.push(op.uop.mem_addr >> d_shift, now);
+                --sb_free;
+                sb_pushed = true;
                 lsq_.popFront();
+                ls_events_ += 2; // SB push + store left the LSQ.
+            } else {
+                if (!op.completed())
+                    break; // completion hook wakes the front end.
+                if (op.fe_vis == kTickMax ||
+                    op.fe_vis_epoch != clock_epoch_) {
+                    op.fe_vis = visibleAt(op.complete_at, op.domain,
+                                          DomainId::FrontEnd);
+                    op.fe_vis_epoch = clock_epoch_;
+                }
+                if (op.fe_vis > now) {
+                    feNote(op.fe_vis); // exact visibility gate.
+                    break;
+                }
+                if (op.is_mem)
+                    lsq_.popFront();
+            }
+
+            regs_.release(op.old_pdst);
+            rob_.retireHead();
+            ++done;
         }
 
-        regs_.release(op.old_pdst);
-        rob_.retireHead();
-        ++committed_;
-        ++retired;
+        committed_ += done;
+        budget -= done;
+        retired_total += done;
+        if (measuring_)
+            run += static_cast<std::uint32_t>(done);
+        if (cfg_.phase_adaptive)
+            interval_commits_ += done;
 
-        if (!measuring_ && committed_ >= wl_params_.warmup_instrs) {
+        if (!measuring_ &&
+            committed_ >= wl_params_.warmup_instrs) {
             measuring_ = true;
             measure_start_ = now;
             measure_committed_base_ = committed_;
             snapshotBaselines(now);
+            // The boundary op retires into the measured residency
+            // accounting (its commit count does not, matching the
+            // reference accounting order).
+            run += 1;
         }
-        if (measuring_)
-            ++run;
-
         if (cfg_.phase_adaptive &&
-            ++interval_commits_ >= cfg_.cache_interval_instrs) {
+            interval_commits_ >= cfg_.cache_interval_instrs) {
             interval_commits_ = 0;
             flushResidency(); // controlCaches may change the config.
             controlCaches(now);
         }
+
+        if (done < chunk)
+            break; // a head gate ended the run.
+    }
+    if (sb_pushed)
+        wakeDomain(DomainId::LoadStore, now);
+    if (budget == 0 && committed_ < stop_at && !rob_.empty()) {
+        // Width-limited: the head run continues at the very next
+        // edge.
+        feNote(0);
     }
     flushResidency();
-    if (retired != 0)
+    if (retired_total != 0)
         last_commit_time_ = now;
 }
 
@@ -560,10 +603,15 @@ Processor::stepIssueDomain(DomainId dom, Tick now)
     SyncFifo<size_t> &fifo =
         dom == DomainId::Integer ? disp_int_ : disp_fp_;
     FuPool &fu = dom == DomainId::Integer ? fu_int_ : fu_fp_;
-    ScanSummary &ss =
-        dom == DomainId::Integer ? scan_int_ : scan_fp_;
+    std::uint32_t &iq_epoch =
+        iq_epoch_[dom == DomainId::Integer ? 0 : 1];
     Tick period = clock(dom).period();
 
+    // Dispatch arrivals enter the ready ring as unevaluated
+    // candidates; their sources are folded in the select walk below,
+    // at this very edge — exactly where the reference scan first
+    // evaluates them.
+    bool fifo_was_full = fifo.freeSlots() == 0;
     bool transferred = false;
     while (fifo.frontReady(now) && !iq.full()) {
         size_t idx = fifo.front();
@@ -571,7 +619,8 @@ Processor::stepIssueDomain(DomainId dom, Tick now)
         InFlightOp &op = rob_[idx];
         op.issue_eligible = now;
         op.in_queue = true;
-        IqSlot slot;
+        std::int32_t id = iq.alloc();
+        IqSlot &slot = iq.slot(id);
         slot.rob_idx = static_cast<std::uint32_t>(idx);
         slot.cls = op.uop.cls;
         slot.is_mem = op.is_mem;
@@ -579,158 +628,128 @@ Processor::stepIssueDomain(DomainId dom, Tick now)
         slot.psrc1 = op.psrc1;
         slot.psrc2 = op.psrc2;
         slot.pdst = op.pdst;
+        slot.seq = op.seq;
         slot.issue_eligible = now;
-        iq.push(slot);
+        iq.pushCandidate(id, true);
         transferred = true;
     }
-    if (transferred) {
-        // Rename may have been blocked on this dispatch FIFO.
-        wakeDomain(DomainId::FrontEnd, now);
+    if (transferred && fifo_was_full) {
+        // Rename blocks only on a full dispatch FIFO; the pops above
+        // made space (consumable per the publication order rule).
+        wakeDomain(DomainId::FrontEnd,
+                   consumableAt(dom, DomainId::FrontEnd, now));
     }
 
-    // Scan-summary skip: the last full scan recorded exactly what
-    // every queued op is waiting for. If none of those conditions can
-    // have moved — no new arrivals, no timed hint due, no completion
-    // in any watched domain, no clock-grid change — the scan would
-    // issue nothing, so skip it.
-    if (!transferred && !ss.must_scan && now < ss.min_timed &&
-        ss.epoch_snap == clock_epoch_ &&
-        ss.dom_snap == domain_completes_) {
-        return;
+    // A landed period change staled every memoized ready time: timed
+    // and ready slots re-fold at this edge (chained waiters keep
+    // their lazily epoch-tagged memos, as the reference scan does).
+    if (iq_epoch != clock_epoch_) {
+        iq.invalidateTimes();
+        iq_epoch = clock_epoch_;
     }
+    iq.promoteDue(now);
+    if (!iq.hasCandidates())
+        return;
 
     fu.newCycle();
     int issued = 0;
-    auto &entries = iq.entries();
-    bool need_every_edge = false;
-    Tick min_timed = kTickMax;
-    // One stable compaction pass replaces the per-issue mid-vector
-    // erase: issued entries are dropped, survivors keep age order.
-    // Waiting entries are skipped on their in-slot wakeup state
-    // alone, without touching the (much larger) ROB record.
-    size_t keep = 0;
-    const size_t n = entries.size();
-    for (size_t i = 0; i < n; ++i) {
-        IqSlot &slot = entries[i];
-        if (issued >= cfg_.issue_width) {
-            need_every_edge = true; // unevaluated: rescan next edge.
-            if (keep != i)
-                entries[keep] = slot;
-            ++keep;
-            continue;
-        }
-        // Register-wakeup skip: while every recorded source register
-        // is still scoreboard-pending, its producer has not issued
-        // and the op provably cannot be ready.
-        if (slot.n_wait != 0) {
-            bool still_pending = true;
-            for (int k = 0; k < slot.n_wait; ++k) {
-                if (!regs_.state(slot.wait_ref[static_cast<size_t>(k)])
-                         .pending) {
-                    still_pending = false;
-                    break;
+    // Select walks the ready ring oldest-first, so issue order, the
+    // width cutoff and FU allocation match the reference scan's
+    // age-ordered walk exactly. Ops waking mid-walk (a completion
+    // this edge) are consumers of the issuing op and therefore
+    // younger: they join the ring past the walk position and are
+    // handed out after every older candidate, in age order.
+    iq.walkCandidates([&](std::int32_t id) {
+        if (issued >= cfg_.issue_width)
+            return IssueQueue::CandAction::Stop;
+        IqSlot &slot = iq.slot(id);
+        if (slot.needs_eval) {
+            slot.needs_eval = false;
+            bool pending_src = false;
+            Tick ready_at = slot.issue_eligible;
+            auto fold = [&](PhysRef ref, size_t si) {
+                if (ref.index < 0)
+                    return;
+                if (slot.src_vis[si] != kTickMax &&
+                    slot.src_vis_epoch[si] == clock_epoch_) {
+                    if (slot.src_vis[si] > ready_at)
+                        ready_at = slot.src_vis[si];
+                    return;
                 }
-            }
-            if (still_pending) {
-                if (keep != i)
-                    entries[keep] = slot;
-                ++keep;
-                continue;
-            }
-            slot.n_wait = 0;
-        }
-        // Timed skip: a prior scan proved the op cannot be ready
-        // before ready_hint (exact, since all its producers had
-        // known completion times).
-        if (slot.ready_hint != 0 &&
-            slot.hint_epoch == clock_epoch_ &&
-            now < slot.ready_hint) {
-            min_timed = std::min(min_timed, slot.ready_hint);
-            if (keep != i)
-                entries[keep] = slot;
-            ++keep;
-            continue;
-        }
-        bool pending_src = false;
-        Tick ready_at = slot.issue_eligible;
-        auto fold = [&](PhysRef ref, size_t si) {
-            if (ref.index < 0)
-                return;
-            if (slot.src_vis[si] != kTickMax &&
-                slot.src_vis_epoch[si] == clock_epoch_) {
-                if (slot.src_vis[si] > ready_at)
-                    ready_at = slot.src_vis[si];
-                return;
-            }
-            const PhysRegState &s = regs_.state(ref);
-            if (s.pending) {
-                pending_src = true;
-                if (slot.n_wait < 2)
-                    slot.wait_ref[slot.n_wait++] = ref;
-                return;
-            }
-            Tick v = visibleAt(s.ready_at, s.producer, dom);
-            slot.src_vis[si] = v;
-            slot.src_vis_epoch[si] = clock_epoch_;
-            if (v > ready_at)
-                ready_at = v;
-        };
-        fold(slot.psrc1, 0);
-        fold(slot.psrc2, 1);
-        if (!pending_src && ready_at <= now) {
-            // Memory ops in the integer queue are address-generation
-            // uops: one ALU cycle, then the LSQ takes over.
-            bool agen = slot.is_mem;
-            OpClass fu_cls = agen ? OpClass::IntAlu : slot.cls;
-            Tick complete =
-                now + static_cast<Tick>(opLatency(fu_cls)) * period;
-            if (fu.claim(fu_cls, now, complete)) {
-                InFlightOp &op = rob_[slot.rob_idx];
-                op.issued = true;
-                op.in_queue = false;
-                if (agen) {
-                    op.agen_done = complete;
-                    ++agen_issues_;
-                    // The LSQ may now start this op's access.
-                    wakeDomain(DomainId::LoadStore, now);
-                } else {
-                    op.complete_at = complete;
-                    completeReg(slot.pdst, complete, dom, now);
+                const PhysRegState &s = regs_.state(ref);
+                if (s.pending) {
+                    // Producer not issued: completion time is
+                    // unknowable. Park on the register's waiter
+                    // chain; its completion pushes the slot back
+                    // onto the ready ring.
+                    pending_src = true;
+                    iq.addWaiter(ref, id, static_cast<int>(si));
+                    return;
                 }
-                if (slot.cls == OpClass::Branch && slot.mispredict) {
-                    fetch_resume_src_ = complete;
-                    fetch_resume_dom_ = dom;
-                    fetch_resume_epoch_ = clock_epoch_;
-                    fetch_resume_ = visibleAt(complete, dom,
-                                              DomainId::FrontEnd);
-                    wakeDomain(DomainId::FrontEnd, fetch_resume_);
-                }
-                ++issued;
-                continue;
+                Tick v = visibleAt(s.ready_at, s.producer, dom);
+                slot.src_vis[si] = v;
+                slot.src_vis_epoch[si] = clock_epoch_;
+                if (v > ready_at)
+                    ready_at = v;
+            };
+            fold(slot.psrc1, 0);
+            fold(slot.psrc2, 1);
+            if (pending_src) {
+                // Parked on the waiter chains.
+                return IssueQueue::CandAction::Drop;
             }
-            // Structural stall: retry every edge.
-            slot.ready_hint = 0;
-            need_every_edge = true;
-        } else if (!pending_src) {
-            slot.ready_hint = ready_at;
-            slot.hint_epoch = clock_epoch_;
-            min_timed = std::min(min_timed, ready_at);
+            slot.ready_at = ready_at;
+            if (ready_at > now) {
+                iq.pushTimed(id); // exact future ready time.
+                return IssueQueue::CandAction::Drop;
+            }
+        }
+        // Ready now: attempt issue. Memory ops in the integer queue
+        // are address-generation uops: one ALU cycle, then the LSQ
+        // takes over.
+        bool agen = slot.is_mem;
+        OpClass fu_cls = agen ? OpClass::IntAlu : slot.cls;
+        Tick complete =
+            now + static_cast<Tick>(opLatency(fu_cls)) * period;
+        if (!fu.claim(fu_cls, now, complete)) {
+            // Structural stall: stays ready in place, retried every
+            // edge; select keeps walking younger candidates.
+            return IssueQueue::CandAction::Keep;
+        }
+        InFlightOp &op = rob_[slot.rob_idx];
+        op.issued = true;
+        op.in_queue = false;
+        if (agen) {
+            op.agen_done = complete;
+            ++agen_issues_;
+            // Push wakeup: clear the LSQ entry's agen wait directly,
+            // so the walk stops skipping exactly this entry (others
+            // keep their one-compare skip).
+            LsqEntry &le = lsq_.byId(op.lsq_id);
+            if (le.wait_kind == 1)
+                le.wait_kind = 0;
+            // The LSQ may now start this op's access.
+            wakeDomain(DomainId::LoadStore, now);
         } else {
-            // A producer has not issued yet; its completion time is
-            // unknowable. The wait_dom/wait_snap records set above
-            // gate the recheck.
-            slot.ready_hint = 0;
+            op.complete_at = complete;
+            completeReg(slot.pdst, complete, dom, slot.rob_idx, now);
         }
-        if (keep != i)
-            entries[keep] = slot;
-        ++keep;
-    }
-    entries.resize(keep);
-
-    ss.must_scan = need_every_edge;
-    ss.min_timed = min_timed;
-    ss.dom_snap = domain_completes_;
-    ss.epoch_snap = clock_epoch_;
+        if (slot.cls == OpClass::Branch && slot.mispredict) {
+            fetch_resume_src_ = complete;
+            fetch_resume_dom_ = dom;
+            fetch_resume_epoch_ = clock_epoch_;
+            fetch_resume_ = visibleAt(complete, dom,
+                                      DomainId::FrontEnd);
+            wakeDomain(DomainId::FrontEnd,
+                       std::max(fetch_resume_,
+                                consumableAt(dom,
+                                             DomainId::FrontEnd,
+                                             now)));
+        }
+        iq.freeSlot(id);
+        ++issued;
+        return IssueQueue::CandAction::Drop;
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -832,7 +851,8 @@ Processor::tryStartLoad(LsqEntry &entry, Tick now, int &ports_used)
 
     entry.issued = true;
     op.complete_at = done;
-    completeReg(op.pdst, done, DomainId::LoadStore, now);
+    completeReg(op.pdst, done, DomainId::LoadStore, entry.rob_idx,
+                now);
     ++ports_used;
     return LoadStart::Issued;
 }
@@ -846,12 +866,19 @@ Processor::drainStoreBuffer(Tick now, int &ports_used, int max_ports)
             break;
         if (mshr_min_free_ > now)
             break;
+        // Retirement blocks only on a *full* store buffer, so only
+        // the pop that frees the first slot needs to wake the front
+        // end.
+        bool was_full = store_buffer_.full();
         dataHierarchyTime(w.line_addr << l1d_->lineShift(), now);
         store_buffer_.pop();
         ++ls_events_;
         ++ports_used;
-        // Retirement may be blocked on a full store buffer.
-        wakeDomain(DomainId::FrontEnd, now);
+        if (was_full) {
+            wakeDomain(DomainId::FrontEnd,
+                       consumableAt(DomainId::LoadStore,
+                                    DomainId::FrontEnd, now));
+        }
     }
 }
 
@@ -860,15 +887,20 @@ Processor::stepLoadStore(Tick now)
 {
     applyPending(DomainId::LoadStore, now);
 
+    bool ls_fifo_was_full = disp_ls_.freeSlots() == 0;
     bool arrived_any = false;
     while (disp_ls_.frontReady(now)) {
         disp_ls_.pop();
         lsq_.markArrived(now);
         arrived_any = true;
     }
-    if (arrived_any) {
-        // Rename may have been blocked on the load/store FIFO.
-        wakeDomain(DomainId::FrontEnd, now);
+    if (arrived_any && ls_fifo_was_full) {
+        // Rename blocks only on a full load/store FIFO; the pops
+        // above made space (consumable per the publication order
+        // rule).
+        wakeDomain(DomainId::FrontEnd,
+                   consumableAt(DomainId::LoadStore,
+                                DomainId::FrontEnd, now));
     }
 
     // Walk-summary skip: every LSQ entry's blocking condition was
@@ -892,32 +924,53 @@ Processor::stepLoadStore(Tick now)
     // Stores become ready once their address-generation uop (which
     // also captures the data register) completes and its result
     // crosses into this domain; the ROB then retires them into the
-    // store buffer. Only stores still waiting for data are scanned.
-    for (Lsq::StoreRec &rec : lsq_.stores()) {
-        if (rec.ready)
-            continue;
-        LsqEntry &e = lsq_.byId(rec.id);
-        if (e.wait_kind == 1 && e.wait_snap == agen_issues_)
-            continue; // agen still not issued.
-        e.wait_kind = 0;
-        InFlightOp &op = rob_[e.rob_idx];
-        if (op.agen_done == kTickMax) {
-            e.wait_kind = 1;
-            e.wait_snap = agen_issues_;
-            continue;
+    // store buffer. Only stores still waiting for data are walked
+    // (their ids compacted in place, like the waiting loads).
+    {
+        auto &pending = lsq_.pendingStores();
+        size_t keep = 0;
+        const size_t n = pending.size();
+        for (size_t i = 0; i < n; ++i) {
+            std::uint64_t id = pending[i];
+            LsqEntry &e = lsq_.byId(id);
+            if (e.wait_kind == 1) {
+                pending[keep++] = id; // agen still not issued.
+                continue;
+            }
+            e.wait_kind = 0;
+            InFlightOp &op = rob_[e.rob_idx];
+            if (op.agen_done == kTickMax) {
+                e.wait_kind = 1; // cleared by the agen issue itself.
+                pending[keep++] = id;
+                continue;
+            }
+            if (e.arrived_at <= now && agenVisible(e, op, now)) {
+                op.store_ready = true;
+                op.complete_at = now;
+                e.data_ready = true; // leaves the pending walk.
+                ++ls_events_;
+                // Retire blocks only on the ROB head; a younger
+                // store becoming ready cannot unblock the front end.
+                // The head becomes retirable *at this very tick*,
+                // which the front end may first consume at its next
+                // edge (publication order rule).
+                if (e.rob_idx == rob_.headIndex()) {
+                    wakeDomain(DomainId::FrontEnd,
+                               consumableAt(DomainId::LoadStore,
+                                            DomainId::FrontEnd,
+                                            now));
+                }
+                continue;
+            }
+            if (e.arrived_at <= now) {
+                // Waiting on a known agen-visibility time (an
+                // unarrived entry resets the walk via the arrival
+                // flag instead).
+                min_time = std::min(min_time, e.agen_vis);
+            }
+            pending[keep++] = id;
         }
-        if (e.arrived_at <= now && agenVisible(e, op, now)) {
-            op.store_ready = true;
-            op.complete_at = now;
-            rec.ready = true;
-            ++ls_events_;
-            // May be the retire head the front end waits on.
-            wakeDomain(DomainId::FrontEnd, now);
-        } else if (e.arrived_at <= now) {
-            // Waiting on a known agen-visibility time (an unarrived
-            // entry resets the walk via the arrival flag instead).
-            min_time = std::min(min_time, e.agen_vis);
-        }
+        pending.resize(keep);
     }
 
     int ports_used = 0;
@@ -943,7 +996,7 @@ Processor::stepLoadStore(Tick now)
                 continue;
             }
             LsqEntry &e = lsq_.byId(id);
-            if (e.wait_kind == 1 && e.wait_snap == agen_issues_) {
+            if (e.wait_kind == 1) {
                 loads[keep++] = id; // agen still not issued.
                 continue;
             }
@@ -960,8 +1013,7 @@ Processor::stepLoadStore(Tick now)
             }
             InFlightOp &op = rob_[e.rob_idx];
             if (op.agen_done == kTickMax) {
-                e.wait_kind = 1;
-                e.wait_snap = agen_issues_;
+                e.wait_kind = 1; // cleared by the agen issue itself.
                 loads[keep++] = id;
                 continue;
             }
@@ -1386,27 +1438,21 @@ Processor::domainWake(int d) const
       }
       case DomainId::Integer:
       case DomainId::FloatingPoint: {
-        const IssueQueue &iq = static_cast<DomainId>(d) ==
-                                       DomainId::Integer
-                                   ? iq_int_
-                                   : iq_fp_;
-        const SyncFifo<size_t> &fifo =
-            static_cast<DomainId>(d) == DomainId::Integer ? disp_int_
-                                                          : disp_fp_;
+        const bool is_int = static_cast<DomainId>(d) ==
+                            DomainId::Integer;
+        const IssueQueue &iq = is_int ? iq_int_ : iq_fp_;
+        const SyncFifo<size_t> &fifo = is_int ? disp_int_ : disp_fp_;
         if (iq.size() != 0) {
-            // A non-empty queue may still sleep when the last scan
-            // proved every entry is waiting: on a completion (the
-            // completeReg hook rechecks), on an exact future time
-            // (min_timed), or on a grid change (the epoch hook).
-            const ScanSummary &ss = static_cast<DomainId>(d) ==
-                                            DomainId::Integer
-                                        ? scan_int_
-                                        : scan_fp_;
-            if (ss.must_scan || ss.epoch_snap != clock_epoch_ ||
-                ss.dom_snap != domain_completes_) {
+            // The ready list partitions the queue by what each op is
+            // provably waiting for: candidates need this domain's
+            // next edge, timed slots an exact future tick, chained
+            // waiters a completion (the completeReg chain walk wakes
+            // us), and a stale epoch a rebuild at the next edge.
+            if (iq.hasCandidates() ||
+                iq_epoch_[is_int ? 0 : 1] != clock_epoch_) {
                 return 0;
             }
-            w = std::min(w, ss.min_timed);
+            w = std::min(w, iq.minTimed());
         }
         if (!fifo.empty())
             w = std::min(w, fifo.frontVisibleAt());
@@ -1555,7 +1601,7 @@ Processor::validateInvariants() const
     const std::uint64_t past = first + lsq_.size();
     std::uint64_t prev = 0;
     bool have_prev = false;
-    for (const Lsq::StoreRec &rec : lsq_.stores()) {
+    lsq_.forEachStore([&](const Lsq::StoreRec &rec) {
         GALS_ASSERT(rec.id >= first && rec.id < past,
                     "LSQ store index references a popped entry");
         GALS_ASSERT(!have_prev || rec.id > prev,
@@ -1564,8 +1610,23 @@ Processor::validateInvariants() const
                     "LSQ store index references a load");
         prev = rec.id;
         have_prev = true;
+    });
+    have_prev = false;
+    for (std::uint64_t id : lsq_.pendingStores()) {
+        GALS_ASSERT(id >= first && id < past,
+                    "LSQ pending-store list references a popped "
+                    "entry");
+        GALS_ASSERT(!have_prev || id > prev,
+                    "LSQ pending-store list out of age order");
+        const LsqEntry &e = lsq_.byId(id);
+        GALS_ASSERT(e.is_store && !e.data_ready,
+                    "LSQ pending-store list references a non-pending "
+                    "entry");
+        prev = id;
+        have_prev = true;
     }
     have_prev = false;
+    prev = 0;
     for (std::uint64_t id : lsq_.waitingLoads()) {
         GALS_ASSERT(id >= first && id < past,
                     "LSQ waiting-load list references a popped entry");
@@ -1579,18 +1640,57 @@ Processor::validateInvariants() const
         have_prev = true;
     }
 
-    // Issue queues: every slot mirrors a ROB op that is actually
-    // marked in-queue (the slot-local wakeup state shadows the ROB
-    // record; a desync would scan stale registers).
+    // Issue queues: every live slot mirrors a ROB op that is actually
+    // marked in-queue (the slot-local ready-list state shadows the
+    // ROB record; a desync would evaluate stale registers), sits in
+    // exactly one wakeup structure, and every chained waiter really
+    // waits on a scoreboard-pending register.
     for (const IssueQueue *iq : {&iq_int_, &iq_fp_}) {
-        for (const IqSlot &slot : iq->entries()) {
+        size_t live = 0;
+        size_t chained = 0;
+        iq->forEachLive([&](std::int32_t, const IqSlot &slot) {
+            ++live;
             GALS_ASSERT(slot.rob_idx < rob_.capacity(),
                         "issue-queue slot references an invalid ROB "
                         "index");
-            GALS_ASSERT(rob_[slot.rob_idx].in_queue,
+            const InFlightOp &op = rob_[slot.rob_idx];
+            GALS_ASSERT(op.in_queue,
                         "issue-queue slot references an op not "
                         "marked in-queue");
-        }
+            GALS_ASSERT(op.seq == slot.seq,
+                        "issue-queue slot age desynced from its ROB "
+                        "op");
+            bool in_chain = slot.next_wait[0] != kIqNotChained ||
+                            slot.next_wait[1] != kIqNotChained;
+            if (in_chain)
+                ++chained;
+            GALS_ASSERT(slot.in_cand || slot.in_timed || in_chain,
+                        "issue-queue slot in no wakeup structure");
+            GALS_ASSERT(!(slot.in_cand && slot.in_timed),
+                        "issue-queue slot in both rings");
+        });
+        GALS_ASSERT(live == iq->size(),
+                    "issue-queue live count out of sync");
+        size_t chain_nodes = 0;
+        iq->forEachWaiter([&](bool fp, int reg, std::int32_t id,
+                              int si) {
+            ++chain_nodes;
+            const IqSlot &slot = iq->slot(id);
+            GALS_ASSERT(slot.live,
+                        "issue-queue waiter chain references a freed "
+                        "slot");
+            PhysRef src = si == 0 ? slot.psrc1 : slot.psrc2;
+            GALS_ASSERT(src.fp == fp && src.index == reg,
+                        "issue-queue waiter chained on the wrong "
+                        "register");
+            GALS_ASSERT(
+                regs_.state(PhysRef{static_cast<std::int16_t>(reg),
+                                    fp})
+                    .pending,
+                "issue-queue waiter on a completed register");
+        });
+        GALS_ASSERT(chain_nodes >= chained,
+                    "issue-queue chain membership undercounted");
     }
 
     // Dispatch and store-buffer occupancy bounds.

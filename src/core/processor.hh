@@ -170,23 +170,55 @@ class Processor
     Tick icacheMissTime(Tick now);
 
     /**
-     * regs_.complete + the per-domain completion counter bump. A
-     * completion is the only event that can make a pending-source op
-     * ready, so any issue domain sleeping on a non-empty queue is
-     * woken to recheck (`now` = the edge performing the completion).
+     * First tick at which a state change published by domain `src`'s
+     * step at `now` is consumable by domain `dst` (the publication
+     * order rule, see docs/kernel.md): on equal ticks the reference
+     * kernel steps lower domain indices first, so a lower-indexed
+     * consumer stepped *before* the publication and may first observe
+     * it strictly after `now`; a higher-indexed one steps at `now`
+     * itself. Waking a stale lower-indexed domain *at* `now` would
+     * make it step after the publisher and observe state the
+     * reference kernel's step at `now` provably did not see.
+     */
+    static Tick
+    consumableAt(DomainId src, DomainId dst, Tick now)
+    {
+        return static_cast<int>(dst) < static_cast<int>(src)
+                   ? now + 1
+                   : now;
+    }
+
+    /**
+     * regs_.complete + push-based wakeup. The waiter chains move
+     * exactly the ops waiting on this register onto their queue's
+     * ready ring; a domain with no waiter of `ref` keeps sleeping
+     * (`now` = the edge performing the completion, in the `producer`
+     * domain's step).
      */
     void
-    completeReg(PhysRef ref, Tick when, DomainId producer, Tick now)
+    completeReg(PhysRef ref, Tick when, DomainId producer,
+                size_t rob_idx, Tick now)
     {
         regs_.complete(ref, when, producer);
-        ++domain_completes_[static_cast<size_t>(producer)];
-        if (iq_int_.size() != 0)
-            wakeDomain(DomainId::Integer, now);
-        if (iq_fp_.size() != 0)
-            wakeDomain(DomainId::FloatingPoint, now);
-        // The completing op sits in the ROB; it may be (or unblock)
-        // the retire head the front end is waiting on.
-        wakeDomain(DomainId::FrontEnd, now);
+        if (iq_int_.wakeWaiters(ref)) {
+            wakeDomain(DomainId::Integer,
+                       consumableAt(producer, DomainId::Integer,
+                                    now));
+        }
+        if (iq_fp_.wakeWaiters(ref)) {
+            wakeDomain(DomainId::FloatingPoint,
+                       consumableAt(producer,
+                                    DomainId::FloatingPoint, now));
+        }
+        // Retire blocks only on the ROB head: a younger op's
+        // completion cannot unblock the front end, and once the head
+        // run reaches an already-completed op the same doRetire call
+        // evaluates it without a wake.
+        if (rob_idx == rob_.headIndex()) {
+            wakeDomain(DomainId::FrontEnd,
+                       consumableAt(producer, DomainId::FrontEnd,
+                                    now));
+        }
     }
 
     // Timing helpers.
@@ -373,24 +405,15 @@ class Processor
     EdgeCalendar calendar_;
 
     /**
-     * Scan summary for one issue queue: why the last full scan issued
-     * nothing, so the next edges can skip the scan entirely until one
-     * of the recorded conditions can have changed (see docs/kernel.md).
+     * Per-queue epoch tag of the ready-list timing state: ready_at
+     * values and the timer-ring order extrapolate clock grids, so a
+     * mismatch with clock_epoch_ forces invalidateTimes at the next
+     * step of the owning domain (the one O(queue) path left in the
+     * back end).
      */
-    struct ScanSummary
-    {
-        /** Some entry needs a per-edge recheck (e.g. FU stall). */
-        bool must_scan = true;
-        /** Earliest exact ready time among timed entries. */
-        Tick min_timed = kTickMax;
-        /** domain_completes_ at the end of the last full scan. */
-        std::array<std::uint32_t, 4> dom_snap{};
-        std::uint32_t epoch_snap = 0;
-    };
-    ScanSummary scan_int_;
-    ScanSummary scan_fp_;
+    std::array<std::uint32_t, 2> iq_epoch_{1, 1};
 
-    /** Same idea for the combined LSQ walks of the LS domain. */
+    /** Walk summary for the combined LSQ walks of the LS domain. */
     struct LsSummary
     {
         bool must_walk = true;
@@ -432,8 +455,6 @@ class Processor
     // class of waiters; waiters snapshot the counter and are skipped
     // with a compare until it moves (see docs/kernel.md).
     // ------------------------------------------------------------------
-    /** Completions recorded per producing domain (register wakeup). */
-    std::array<std::uint32_t, 4> domain_completes_{};
     /** Address-generation uops issued (LSQ agen waiters). */
     std::uint32_t agen_issues_ = 0;
     /**

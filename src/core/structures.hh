@@ -13,6 +13,7 @@
 #ifndef GALS_CORE_STRUCTURES_HH
 #define GALS_CORE_STRUCTURES_HH
 
+#include <array>
 #include <cstdint>
 #include <utility>
 
@@ -74,6 +75,8 @@ struct InFlightOp
 
     /** Memory ops: slot sequence in the LSQ. */
     bool is_mem = false;
+    /** Memory ops: LSQ allocation id (wakes the entry at agen issue). */
+    std::uint64_t lsq_id = 0;
     /**
      * Memory ops: completion time of the address-generation uop
      * issued from the integer queue (kTickMax until issued). The
@@ -171,53 +174,106 @@ class Rob
     size_t count_ = 0;
 };
 
+/** Waiter-chain link sentinel: slot not chained on this source. */
+constexpr std::int32_t kIqNotChained = -2;
+/** Waiter-chain link sentinel: end of a chain. */
+constexpr std::int32_t kIqChainEnd = -1;
+
 /**
- * One issue-queue slot: the ROB index plus the wakeup state the
- * per-edge scan needs. Keeping that state here (32 bytes, contiguous
- * in age order) means a scan that skips every waiting op touches one
- * sequential array instead of a 200-byte ROB record per entry.
+ * One issue-queue slot of the push-based ready list: the ROB index,
+ * mirrors of the immutable ROB fields selection needs (so evaluating
+ * an entry is slot-local), and the wakeup state that decides which of
+ * the queue's side structures the slot currently lives in:
+ *
+ *  - a *waiting* slot (some source register scoreboard-pending) sits
+ *    only on the waiter chains of those registers and costs nothing
+ *    until a completion walks the chain;
+ *  - a *candidate* slot sits in the age-ordered ready ring, either
+ *    needing (re-)evaluation of its source visibilities or already
+ *    proven ready;
+ *  - a *timed* slot has an exact future ready_at and sits in the
+ *    ready_at-ordered timer ring until that tick.
+ *
+ * Slots live in a stable pool (ids survive until issue), so the side
+ * structures hold 4-byte ids instead of moving slot records.
  */
 struct IqSlot
 {
     std::uint32_t rob_idx = 0;
-    /** Mirrors of the immutable ROB fields the scan and issue
-     * selection need, so evaluating an entry is slot-local. */
     OpClass cls = OpClass::IntAlu;
     bool is_mem = false;
     bool mispredict = false;
-    /** Register-wakeup index: physical registers whose producers have
-     * not issued. While every recorded register is still scoreboard-
-     * pending the op cannot possibly become ready, so the scan skips
-     * it after one or two loads of the (cache-resident) scoreboard —
-     * never touching the much larger ROB record. 0 = none recorded,
-     * evaluate fully. */
-    std::uint8_t n_wait = 0;
     PhysRef psrc1;
     PhysRef psrc2;
     PhysRef pdst;
-    std::array<PhysRef, 2> wait_ref{};
-    /** Exact earliest issue tick once all producers are known; 0 =
-     * unknown. Epoch-tagged like every grid extrapolation. */
-    std::uint32_t hint_epoch = 0;
-    Tick ready_hint = 0;
+    /** Program-order age: the selection key of the ready ring. */
+    SeqNum seq = 0;
     Tick issue_eligible = 0;
+    /**
+     * Exact earliest issue tick; valid once needs_eval is false.
+     * A grid extrapolation, so it is invalidated wholesale on epoch
+     * bumps (IssueQueue::invalidateTimes).
+     */
+    Tick ready_at = 0;
     /** Memoized consumer-domain visibility per source (kTickMax =
-     * not yet known): fixed grid extrapolations, computed once. */
+     * not yet known): fixed grid extrapolations, computed once and
+     * epoch-tagged. */
     std::array<Tick, 2> src_vis{kTickMax, kTickMax};
     std::array<std::uint32_t, 2> src_vis_epoch{};
+    /** Waiter-chain links, one per source; kIqNotChained while the
+     * source is not registered as waiting. Encoded nodes: id * 2 +
+     * source index. */
+    std::array<std::int32_t, 2> next_wait{kIqNotChained, kIqNotChained};
+    /** Candidate needs its sources (re-)folded before selection. */
+    bool needs_eval = false;
+    bool in_cand = false;
+    bool in_timed = false;
+    bool live = false;
 };
 
-/** Resizable issue queue holding ROB indices in age order. */
+/**
+ * Resizable issue queue with a push-based ready list.
+ *
+ * The queue never scans its occupancy per edge. Instead the wakeup
+ * paths push slot ids directly onto the structure that matches what
+ * each slot is provably waiting for:
+ *
+ *  - per-physical-register *waiter chains* (intrusive, heads in
+ *    wait_heads_): a completion wakes exactly the ops waiting on that
+ *    register (wakeWaiters) and nothing else;
+ *  - the *candidate ring* cand_: age-ordered (min-heap on seq) ids
+ *    that select pops oldest-first, at most issue-width successful
+ *    issues per edge;
+ *  - the *timer ring* timed_: ready_at-ordered (min-heap) ids with an
+ *    exact future ready time; promoteDue moves matured ids to the
+ *    candidate ring.
+ *
+ * The owner (Processor) performs source evaluation — it needs the
+ * scoreboard and the clock grids — and drives the transitions; this
+ * class owns the data structures and their invariants. The O(queue)
+ * rebuild path exists only for clock-epoch bumps (invalidateTimes),
+ * which stale every memoized grid extrapolation at once.
+ */
 class IssueQueue
 {
   public:
     explicit IssueQueue(int capacity) : capacity_(capacity) {}
 
+    /** Size the waiter-chain index (one head per physical register).
+     * Must be called before addWaiter/wakeWaiters are used. */
+    void
+    initWaiterIndex(int phys_int, int phys_fp)
+    {
+        phys_int_ = phys_int;
+        wait_heads_.assign(static_cast<size_t>(phys_int + phys_fp),
+                           kIqChainEnd);
+    }
+
     bool full() const
     {
-        return entries_.size() >= static_cast<size_t>(capacity_);
+        return live_ >= static_cast<size_t>(capacity_);
     }
-    size_t size() const { return entries_.size(); }
+    size_t size() const { return live_; }
     int capacity() const { return capacity_; }
 
     /**
@@ -226,27 +282,324 @@ class IssueQueue
      */
     void setCapacity(int capacity) { capacity_ = capacity; }
 
-    void
-    push(const IqSlot &slot)
+    IqSlot &slot(std::int32_t id)
+    {
+        return slots_[static_cast<size_t>(id)];
+    }
+    const IqSlot &slot(std::int32_t id) const
+    {
+        return slots_[static_cast<size_t>(id)];
+    }
+
+    /**
+     * Allocate a pool slot (stable until freeSlot). Recycled slots
+     * come back structurally clean — freeSlot asserts no ring or
+     * chain membership — so only the source memos and liveness are
+     * reset here; the caller fills every identity field (rob_idx,
+     * cls, flags, sources, seq, issue_eligible) before pushing the
+     * slot anywhere.
+     */
+    std::int32_t
+    alloc()
     {
         GALS_ASSERT(!full(), "issue-queue overflow");
-        entries_.push_back(slot);
+        std::int32_t id;
+        if (!free_.empty()) {
+            id = free_.back();
+            free_.pop_back();
+        } else {
+            id = static_cast<std::int32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        IqSlot &s = slot(id);
+        s.src_vis = {kTickMax, kTickMax};
+        s.live = true;
+        ++live_;
+        return id;
     }
 
-    /** Convenience for tests: a slot with only the ROB index set. */
+    /** Return an issued slot to the pool. Must not be a member of any
+     * side structure (select pops it from the ready ring first). */
     void
-    push(size_t rob_idx)
+    freeSlot(std::int32_t id)
     {
-        push(IqSlot{static_cast<std::uint32_t>(rob_idx)});
+        IqSlot &s = slot(id);
+        GALS_ASSERT(s.live && !s.in_cand && !s.in_timed &&
+                        s.next_wait[0] == kIqNotChained &&
+                        s.next_wait[1] == kIqNotChained,
+                    "issue-queue free of a referenced slot");
+        s.live = false;
+        free_.push_back(id);
+        --live_;
     }
 
-    /** Age-ordered slots; the Processor selects and removes. */
-    ArenaVector<IqSlot> &entries() { return entries_; }
-    const ArenaVector<IqSlot> &entries() const { return entries_; }
+    // ------------------------------------------------------------------
+    // Candidate ring: slot ids in ascending age (seq) order, walked
+    // in place by select. Arrivals append at the tail (dispatch and
+    // mid-walk wakes are youngest); the rare out-of-order insert
+    // (a timed slot maturing among younger candidates, an old waiter
+    // waking) backs in from the tail. The seq key is cached next to
+    // the id so ordering never touches the slot pool.
+    // ------------------------------------------------------------------
+    bool hasCandidates() const { return !cand_.empty(); }
+    size_t candCount() const { return cand_.size(); }
+
+    void
+    pushCandidate(std::int32_t id, bool needs_eval)
+    {
+        IqSlot &s = slot(id);
+        if (needs_eval)
+            s.needs_eval = true;
+        if (s.in_cand)
+            return;
+        s.in_cand = true;
+        CandEntry e{s.seq, id};
+        size_t pos = cand_.size();
+        cand_.push_back(e);
+        while (pos > 0 && cand_[pos - 1].seq > e.seq) {
+            cand_[pos] = cand_[pos - 1];
+            --pos;
+        }
+        cand_[pos] = e;
+    }
+
+    /** Select outcome for one walked candidate. */
+    enum class CandAction
+    {
+        Drop, //!< left the ring (issued or parked elsewhere).
+        Keep, //!< stays (FU-stalled ready op): retried next edge.
+        Stop, //!< issue width exhausted: keep this and all younger.
+    };
+
+    /**
+     * Walk candidates oldest-first, applying f(id) -> CandAction in
+     * place (the reference scan's age order, restricted to the slots
+     * that can actually act). f may push new candidates (register
+     * wakes of ops younger than the one being walked) and frees
+     * issued slots itself; the walk hands each slot to f with its
+     * ring membership already cleared and restores it on Keep/Stop.
+     */
+    template <typename F>
+    void
+    walkCandidates(F f)
+    {
+        for (size_t i = 0; i < cand_.size(); ++i) {
+            std::int32_t id = cand_[i].id;
+            slot(id).in_cand = false;
+            CandAction a = f(id);
+            if (a == CandAction::Drop) {
+                cand_[i].id = -1;
+                continue;
+            }
+            slot(id).in_cand = true;
+            if (a == CandAction::Stop)
+                break;
+        }
+        // Compact the survivors (dropped entries tombstoned above;
+        // everything from the stop position on is kept wholesale).
+        size_t write = 0;
+        for (size_t r = 0; r < cand_.size(); ++r) {
+            if (cand_[r].id != -1)
+                cand_[write++] = cand_[r];
+        }
+        cand_.resize(write);
+    }
+
+    // ------------------------------------------------------------------
+    // Timer ring (ready_at-ordered min-heap; the deadline is cached
+    // next to the id so sifting never touches the slot pool).
+    // ------------------------------------------------------------------
+    size_t timedCount() const { return timed_.size(); }
+
+    void
+    pushTimed(std::int32_t id)
+    {
+        IqSlot &s = slot(id);
+        GALS_ASSERT(!s.in_cand && !s.in_timed,
+                    "timed push of a candidate slot");
+        s.in_timed = true;
+        timed_.push_back(TimedEntry{s.ready_at, id});
+        size_t i = timed_.size() - 1;
+        while (i != 0) {
+            size_t parent = (i - 1) / 2;
+            if (timed_[parent].at <= timed_[i].at)
+                break;
+            std::swap(timed_[parent], timed_[i]);
+            i = parent;
+        }
+    }
+
+    /** Earliest exact ready time among timed slots (kTickMax: none). */
+    Tick
+    minTimed() const
+    {
+        return timed_.empty() ? kTickMax : timed_.front().at;
+    }
+
+    /** Move every timed slot due at `now` into the candidate ring. */
+    void
+    promoteDue(Tick now)
+    {
+        while (!timed_.empty() && timed_.front().at <= now) {
+            std::int32_t id = timed_.front().id;
+            timed_.front() = timed_.back();
+            timed_.pop_back();
+            if (!timed_.empty())
+                siftDownTimed();
+            slot(id).in_timed = false;
+            pushCandidate(id, false);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Waiter chains (register wakeup).
+    // ------------------------------------------------------------------
+    /** Record that slot `id`'s source `si` waits on register `ref`. */
+    void
+    addWaiter(PhysRef ref, std::int32_t id, int si)
+    {
+        IqSlot &s = slot(id);
+        size_t k = static_cast<size_t>(si);
+        if (s.next_wait[k] != kIqNotChained)
+            return; // already recorded by an earlier evaluation.
+        size_t w = waitIndex(ref);
+        s.next_wait[k] = wait_heads_[w];
+        wait_heads_[w] =
+            id * 2 + static_cast<std::int32_t>(k);
+    }
+
+    /**
+     * A producer of `ref` issued: move every op waiting on it to the
+     * candidate ring for re-evaluation at this domain's next step.
+     * Returns true when any waiter moved (the caller wakes the
+     * domain); false means no op here cared about this completion.
+     */
+    bool
+    wakeWaiters(PhysRef ref)
+    {
+        if (ref.index < 0 || wait_heads_.empty())
+            return false;
+        size_t w = waitIndex(ref);
+        std::int32_t node = wait_heads_[w];
+        if (node == kIqChainEnd)
+            return false;
+        wait_heads_[w] = kIqChainEnd;
+        while (node != kIqChainEnd) {
+            std::int32_t id = node / 2;
+            size_t si = static_cast<size_t>(node % 2);
+            IqSlot &s = slot(id);
+            node = s.next_wait[si];
+            s.next_wait[si] = kIqNotChained;
+            pushCandidate(id, true);
+        }
+        return true;
+    }
+
+    /**
+     * A clock-grid change landed: every memoized ready time is stale.
+     * Timed and candidate slots re-evaluate at this edge — exactly
+     * where the reference scan recomputes its per-slot memos — while
+     * chained waiters keep their lazily epoch-checked source memos
+     * (their pendingness is not a grid extrapolation).
+     */
+    void
+    invalidateTimes()
+    {
+        while (!timed_.empty()) {
+            std::int32_t id = timed_.back().id;
+            timed_.pop_back();
+            slot(id).in_timed = false;
+            pushCandidate(id, true);
+        }
+        for (const CandEntry &e : cand_)
+            slot(e.id).needs_eval = true;
+    }
+
+    /** Invoke f(id, slot) for every live slot (pool order). */
+    template <typename F>
+    void
+    forEachLive(F f) const
+    {
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].live)
+                f(static_cast<std::int32_t>(i), slots_[i]);
+        }
+    }
+
+    /** Invoke f(fp, reg_index, id, si) for every chained waiter. */
+    template <typename F>
+    void
+    forEachWaiter(F f) const
+    {
+        for (size_t w = 0; w < wait_heads_.size(); ++w) {
+            bool fp = static_cast<int>(w) >= phys_int_;
+            int reg = static_cast<int>(w) -
+                      (fp ? phys_int_ : 0);
+            std::int32_t node = wait_heads_[w];
+            while (node != kIqChainEnd) {
+                std::int32_t id = node / 2;
+                size_t si = static_cast<size_t>(node % 2);
+                f(fp, reg, id, static_cast<int>(si));
+                node = slots_[static_cast<size_t>(id)].next_wait[si];
+            }
+        }
+    }
 
   private:
+    size_t
+    waitIndex(PhysRef ref) const
+    {
+        GALS_ASSERT(ref.index >= 0 && !wait_heads_.empty(),
+                    "waiter index for an always-ready register");
+        size_t w = static_cast<size_t>(ref.index) +
+                   (ref.fp ? static_cast<size_t>(phys_int_) : 0);
+        GALS_ASSERT(w < wait_heads_.size(),
+                    "waiter index out of range");
+        return w;
+    }
+
+    /** Candidate-ring entry: the age key cached next to the id. */
+    struct CandEntry
+    {
+        SeqNum seq;
+        std::int32_t id;
+    };
+    /** Timer-ring entry: the deadline cached next to the id. */
+    struct TimedEntry
+    {
+        Tick at;
+        std::int32_t id;
+    };
+
+    /** Restore the heap property after replacing the root. */
+    void
+    siftDownTimed()
+    {
+        const size_t n = timed_.size();
+        size_t i = 0;
+        for (;;) {
+            size_t best = i;
+            size_t l = 2 * i + 1;
+            size_t r = 2 * i + 2;
+            if (l < n && timed_[l].at < timed_[best].at)
+                best = l;
+            if (r < n && timed_[r].at < timed_[best].at)
+                best = r;
+            if (best == i)
+                return;
+            std::swap(timed_[i], timed_[best]);
+            i = best;
+        }
+    }
+
     int capacity_;
-    ArenaVector<IqSlot> entries_;
+    int phys_int_ = 0;
+    ArenaVector<IqSlot> slots_;
+    ArenaVector<std::int32_t> free_;
+    size_t live_ = 0;
+    ArenaVector<CandEntry> cand_;
+    ArenaVector<TimedEntry> timed_;
+    ArenaVector<std::int32_t> wait_heads_;
 };
 
 /** One load/store queue entry (program order). */
@@ -272,9 +625,10 @@ struct LsqEntry
      * provably waiting for, so the walk can skip it with one or two
      * compares:
      *   0 — nothing recorded; evaluate fully.
-     *   1 — address generation not yet issued; recheck only after the
-     *       integer domain issues another agen uop (wait_snap vs the
-     *       processor's agen-issue counter).
+     *   1 — this op's address generation has not issued; cleared
+     *       directly by the issue path when it does (push wakeup via
+     *       InFlightOp::lsq_id), so the walk skips it with one local
+     *       compare until then.
      *   2 — a failed load attempt; recheck only after a store/MSHR/
      *       store-buffer event (wait_snap vs the ls-event counter) or
      *       once `wait_until` (MSHR free time) passes.
@@ -282,6 +636,9 @@ struct LsqEntry
     std::uint8_t wait_kind = 0;
     std::uint32_t wait_snap = 0;
     Tick wait_until = kTickMax;
+    /** Stores: data captured (mirrors InFlightOp::store_ready; read
+     * by the per-load disambiguation scan). */
+    bool data_ready = false;
 };
 
 /**
@@ -319,19 +676,26 @@ class Lsq
     /** Entries still allocatable (rename hoists this per batch). */
     size_t freeSlots() const { return capacity_ - count_; }
 
-    void
+    /** Allocate the next entry; returns its allocation id. */
+    std::uint64_t
     allocate(size_t rob_idx, bool is_store, Addr line_addr)
     {
         GALS_ASSERT(!full(), "LSQ overflow");
         std::uint64_t id = next_id_++;
-        byId(id) = LsqEntry{rob_idx,  is_store, line_addr, kTickMax,
-                            false,    id,       kTickMax,  0,
-                            0,        0,        kTickMax};
+        LsqEntry &e = byId(id);
+        e = LsqEntry{};
+        e.rob_idx = rob_idx;
+        e.is_store = is_store;
+        e.line_addr = line_addr;
+        e.id = id;
         ++count_;
-        if (is_store)
-            stores_.push_back(StoreRec{line_addr, id, false});
-        else
+        if (is_store) {
+            stores_.push_back(StoreRec{line_addr, id});
+            pending_stores_.push_back(id);
+        } else {
             waiting_loads_.push_back(id);
+        }
+        return id;
     }
 
     /** Mark the oldest not-yet-arrived entry as arrived. */
@@ -356,10 +720,24 @@ class Lsq
         GALS_ASSERT(!empty(), "LSQ pop of empty queue");
         const LsqEntry &e = front();
         if (e.is_store) {
-            GALS_ASSERT(!stores_.empty() &&
-                            stores_.front().id == e.id,
+            GALS_ASSERT(stores_head_ < stores_.size() &&
+                            stores_[stores_head_].id == e.id,
                         "LSQ store index out of sync at pop");
-            stores_.erase(stores_.begin());
+            // Ring-style head advance (the seed erased the vector
+            // front, an O(#stores) move per store retire); the dead
+            // prefix is reclaimed in amortized O(1).
+            ++stores_head_;
+            if (stores_head_ == stores_.size()) {
+                stores_.clear();
+                stores_head_ = 0;
+            } else if (stores_head_ >= 16 &&
+                       stores_head_ * 2 >= stores_.size()) {
+                stores_.erase(stores_.begin(),
+                              stores_.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      stores_head_));
+                stores_head_ = 0;
+            }
         }
         ++first_id_;
         --count_;
@@ -389,12 +767,13 @@ class Lsq
     olderStores(Addr line_addr, std::uint64_t load_id) const
     {
         bool any = false;
-        for (const StoreRec &rec : stores_) {
+        for (size_t i = stores_head_; i < stores_.size(); ++i) {
+            const StoreRec &rec = stores_[i];
             if (rec.id >= load_id)
                 break; // ids ascend: the rest are younger.
             if (rec.line != line_addr)
                 continue;
-            if (!rec.ready)
+            if (!byId(rec.id).data_ready)
                 return OlderStores::Blocked;
             any = true;
         }
@@ -402,17 +781,38 @@ class Lsq
     }
 
     /** One in-queue store, in age order (flat: the disambiguation
-     * scan and the data-pending walk touch only this dense list). */
+     * scan touches only this dense list). */
     struct StoreRec
     {
         Addr line = 0;
         std::uint64_t id = 0;
-        bool ready = false;
     };
 
-    /** All in-queue stores, oldest first. */
-    ArenaVector<StoreRec> &stores() { return stores_; }
-    const ArenaVector<StoreRec> &stores() const { return stores_; }
+    /** Number of in-queue stores. */
+    size_t storeCount() const { return stores_.size() - stores_head_; }
+
+    /** Invoke f(rec) for every in-queue store, oldest first. */
+    template <typename F>
+    void
+    forEachStore(F f) const
+    {
+        for (size_t i = stores_head_; i < stores_.size(); ++i)
+            f(stores_[i]);
+    }
+
+    /**
+     * Ids of stores whose data is not yet captured, in age order (the
+     * store-ready walk touches only these; the caller compacts, as
+     * with the waiting loads).
+     */
+    ArenaVector<std::uint64_t> &pendingStores()
+    {
+        return pending_stores_;
+    }
+    const ArenaVector<std::uint64_t> &pendingStores() const
+    {
+        return pending_stores_;
+    }
 
     /** Ids of loads not yet issued to the cache, in age order. */
     ArenaVector<std::uint64_t> &waitingLoads()
@@ -445,6 +845,8 @@ class Lsq
     std::uint64_t first_id_ = 0;
     std::uint64_t next_arrival_id_ = 0;
     ArenaVector<StoreRec> stores_;
+    size_t stores_head_ = 0;
+    ArenaVector<std::uint64_t> pending_stores_;
     ArenaVector<std::uint64_t> waiting_loads_;
 };
 
@@ -467,6 +869,8 @@ class StoreBuffer
     bool empty() const { return count_ == 0; }
     size_t size() const { return count_; }
     size_t capacity() const { return capacity_; }
+    /** Slots still allocatable (retire hoists this per group). */
+    size_t freeSlots() const { return capacity_ - count_; }
 
     void
     push(Addr line_addr, Tick ready_at)

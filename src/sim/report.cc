@@ -8,6 +8,79 @@
 namespace gals
 {
 
+namespace
+{
+
+/** The shard header line shared by every sweep JSON document. */
+std::string
+shardLine(ShardSpec shard)
+{
+    return csprintf("  \"shard\": {\"index\": %d, \"count\": %d},\n",
+                    shard.index, shard.count);
+}
+
+} // namespace
+
+std::string
+studyShardJson(const StudyResult &study, ShardSpec shard)
+{
+    std::string out = "{\n";
+    out += "  \"sweep\": \"study\",\n";
+    out += csprintf("  \"mode\": \"%s\",\n",
+                    study.mode == SweepMode::Exhaustive ? "exhaustive"
+                                                        : "staged");
+    out += csprintf("  \"benchmarks\": %zu,\n",
+                    study.benchmarks.size());
+    out += shardLine(shard);
+    out += "  \"rows\": [\n";
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < study.benchmarks.size(); ++i) {
+        if (!shard.owns(i))
+            continue;
+        const BenchmarkResult &r = study.benchmarks[i];
+        lines.push_back(csprintf(
+            "    {\"index\": %zu, \"name\": \"%s\", \"suite\": "
+            "\"%s\", \"sync_ns\": %.17g, \"program_ns\": %.17g, "
+            "\"phase_ns\": %.17g, \"cfg\": \"%s\", \"runs\": %llu}",
+            i, r.name.c_str(), r.suite.c_str(), r.sync_ns,
+            r.program_ns, r.phase_ns, r.program_cfg.str().c_str(),
+            static_cast<unsigned long long>(r.runs)));
+    }
+    for (size_t k = 0; k < lines.size(); ++k) {
+        out += lines[k];
+        out += k + 1 < lines.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+syncSweepShardJson(const std::vector<SyncPointRuntimes> &rows,
+                   size_t suite_size, bool full, ShardSpec shard)
+{
+    std::string out = "{\n";
+    out += "  \"sweep\": \"synchronous\",\n";
+    out += csprintf("  \"full\": %s,\n", full ? "true" : "false");
+    out += csprintf("  \"benchmarks\": %zu,\n", suite_size);
+    out += shardLine(shard);
+    out += "  \"rows\": [\n";
+    for (size_t k = 0; k < rows.size(); ++k) {
+        const SyncPointRuntimes &r = rows[k];
+        out += csprintf("    {\"index\": %zu, \"icache_opt\": %d, "
+                        "\"dcache\": %d, \"iq_int\": %d, "
+                        "\"iq_fp\": %d, \"runtime_ns\": [",
+                        r.point_index, r.icache_opt, r.dcache,
+                        r.iq_int, r.iq_fp);
+        for (size_t b = 0; b < r.runtime_ns.size(); ++b) {
+            out += csprintf("%s%.17g", b == 0 ? "" : ", ",
+                            r.runtime_ns[b]);
+        }
+        out += k + 1 < rows.size() ? "]},\n" : "]}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
 std::string
 renderFigure6(const StudyResult &study)
 {

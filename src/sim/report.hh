@@ -32,6 +32,19 @@ std::string renderReconfigTrace(const std::string &title,
                                 std::uint64_t total_instrs,
                                 const std::vector<std::string> &labels);
 
+/**
+ * Line-oriented JSON for a (possibly shard-restricted) study run:
+ * one `"rows"` element per owned benchmark, tagged with its suite
+ * index. Shard documents with matching headers merge byte-exactly
+ * via mergeShardJson (sim/shard.hh).
+ */
+std::string studyShardJson(const StudyResult &study, ShardSpec shard);
+
+/** Same contract for the raw synchronous design-point sweep. */
+std::string syncSweepShardJson(
+    const std::vector<SyncPointRuntimes> &rows, size_t suite_size,
+    bool full, ShardSpec shard);
+
 } // namespace gals
 
 #endif // GALS_SIM_REPORT_HH

@@ -1,0 +1,179 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+bool
+parseShard(const char *text, ShardSpec &out)
+{
+    if (text == nullptr)
+        return false;
+    int index = 0;
+    int count = 0;
+    char tail = '\0';
+    if (std::sscanf(text, "%d/%d%c", &index, &count, &tail) != 2)
+        return false;
+    if (count < 1 || index < 0 || index >= count)
+        return false;
+    out = ShardSpec{index, count};
+    return true;
+}
+
+ShardSpec
+shardFromEnv()
+{
+    ShardSpec spec;
+    parseShard(std::getenv("GALS_SHARDS"), spec);
+    return spec;
+}
+
+namespace
+{
+
+/** Split into lines, discarding the trailing newline of each. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(pos));
+            break;
+        }
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+/** One parsed shard document. */
+struct ShardDoc
+{
+    std::vector<std::string> header; //!< lines before the shard line.
+    ShardSpec shard;
+    std::vector<std::pair<std::size_t, std::string>> rows;
+};
+
+constexpr const char *kShardPrefix = "  \"shard\": ";
+constexpr const char *kRowsOpen = "  \"rows\": [";
+
+ShardDoc
+parseDoc(const std::string &text)
+{
+    ShardDoc doc;
+    std::vector<std::string> lines = splitLines(text);
+    std::size_t i = 0;
+
+    // Header: verbatim lines up to (excluding) the shard line.
+    for (; i < lines.size(); ++i) {
+        if (lines[i].rfind(kShardPrefix, 0) == 0)
+            break;
+        doc.header.push_back(lines[i]);
+        GALS_ASSERT(i + 1 < lines.size(),
+                    "shard merge: document has no shard line");
+    }
+    int index = 0;
+    int count = 0;
+    GALS_ASSERT(std::sscanf(lines[i].c_str(),
+                            "  \"shard\": {\"index\": %d, "
+                            "\"count\": %d},",
+                            &index, &count) == 2,
+                "shard merge: malformed shard line '%s'",
+                lines[i].c_str());
+    doc.shard = ShardSpec{index, count};
+    ++i;
+
+    GALS_ASSERT(i < lines.size() && lines[i] == kRowsOpen,
+                "shard merge: expected '%s'", kRowsOpen);
+    ++i;
+
+    for (; i < lines.size() && lines[i] != "  ]"; ++i) {
+        std::string row = lines[i];
+        if (!row.empty() && row.back() == ',')
+            row.pop_back();
+        std::size_t idx = 0;
+        GALS_ASSERT(std::sscanf(row.c_str(), "    {\"index\": %zu,",
+                                &idx) == 1,
+                    "shard merge: malformed row line '%s'",
+                    row.c_str());
+        doc.rows.emplace_back(idx, row);
+    }
+    GALS_ASSERT(i < lines.size(), "shard merge: unterminated rows");
+    return doc;
+}
+
+} // namespace
+
+std::string
+mergeShardJson(const std::vector<std::string> &shards)
+{
+    GALS_ASSERT(!shards.empty(), "shard merge: no inputs");
+
+    std::vector<ShardDoc> docs;
+    docs.reserve(shards.size());
+    for (const std::string &text : shards)
+        docs.push_back(parseDoc(text));
+
+    const int count = docs.front().shard.count;
+    GALS_ASSERT(static_cast<std::size_t>(count) == docs.size(),
+                "shard merge: %zu inputs for %d shards", docs.size(),
+                count);
+    std::vector<bool> seen(static_cast<std::size_t>(count), false);
+    for (const ShardDoc &doc : docs) {
+        GALS_ASSERT(doc.shard.count == count,
+                    "shard merge: mismatched shard counts");
+        GALS_ASSERT(doc.header == docs.front().header,
+                    "shard merge: headers differ between shards");
+        std::size_t k = static_cast<std::size_t>(doc.shard.index);
+        GALS_ASSERT(!seen[k], "shard merge: duplicate shard %d",
+                    doc.shard.index);
+        seen[k] = true;
+    }
+
+    std::vector<std::pair<std::size_t, std::string>> rows;
+    for (ShardDoc &doc : docs) {
+        for (auto &row : doc.rows) {
+            GALS_ASSERT(
+                doc.shard.owns(row.first),
+                "shard merge: shard %d carries foreign row %zu",
+                doc.shard.index, row.first);
+            rows.push_back(std::move(row));
+        }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        GALS_ASSERT(rows[k].first == k,
+                    "shard merge: row indices not contiguous at %zu",
+                    k);
+    }
+
+    // Reassemble exactly as an unsharded run writes it: header
+    // verbatim, shard 0/1, verbatim row lines.
+    std::string out;
+    for (const std::string &line : docs.front().header) {
+        out += line;
+        out += '\n';
+    }
+    out += "  \"shard\": {\"index\": 0, \"count\": 1},\n";
+    out += kRowsOpen;
+    out += '\n';
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        out += rows[k].second;
+        out += k + 1 < rows.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace gals

@@ -72,6 +72,13 @@ StudyResult
 runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
          bool verbose)
 {
+    return runStudy(suite, mode, verbose, ShardSpec{});
+}
+
+StudyResult
+runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
+         bool verbose, ShardSpec shard)
+{
     StudyResult out;
     out.mode = mode;
     out.benchmarks.resize(suite.size());
@@ -79,10 +86,11 @@ runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
     MachineConfig sync = MachineConfig::bestSynchronous();
     MachineConfig phase = MachineConfig::mcdPhaseAdaptive();
 
-    std::vector<std::uint64_t> runs(suite.size(), 0);
-    // Parallel across benchmarks; the per-benchmark sweep inside
-    // findBestAdaptive stays serial to bound thread fan-out.
-    parallelFor(suite.size(), [&](size_t i) {
+    // Parallel across this shard's benchmarks; the per-benchmark
+    // sweep inside findBestAdaptive stays serial to bound thread
+    // fan-out. Each row is a deterministic function of its benchmark
+    // alone, so shard boundaries never change any value.
+    parallelForShard(suite.size(), shard, [&](size_t i) {
         const WorkloadParams &wl = suite[i];
         BenchmarkResult r;
         r.name = wl.name;
@@ -93,7 +101,7 @@ runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
         ProgramAdaptiveResult pa = findBestAdaptive(wl, mode);
         r.program_ns = runtimeNs(pa.best_stats);
         r.program_cfg = pa.best;
-        runs[i] = pa.runs_performed + 2;
+        r.runs = pa.runs_performed + 2;
 
         r.phase_stats = simulate(phase, wl);
         r.phase_ns = runtimeNs(r.phase_stats);
@@ -102,9 +110,11 @@ runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
     });
 
     for (size_t i = 0; i < suite.size(); ++i) {
-        out.total_runs += runs[i];
+        if (!shard.owns(i))
+            continue;
+        const BenchmarkResult &r = out.benchmarks[i];
+        out.total_runs += r.runs;
         if (verbose) {
-            const BenchmarkResult &r = out.benchmarks[i];
             inform("%-18s sync %9.0fns  program %9.0fns (%+5.1f%%, %s)"
                    "  phase %9.0fns (%+5.1f%%)",
                    r.name.c_str(), r.sync_ns, r.program_ns,

@@ -119,8 +119,9 @@ findBestAdaptive(const WorkloadParams &wl, SweepMode mode)
                                          : stagedSearch(wl);
 }
 
-std::vector<SyncDesignPoint>
-sweepSynchronous(const std::vector<WorkloadParams> &suite, bool full)
+std::vector<SyncPointRuntimes>
+sweepSynchronousRaw(const std::vector<WorkloadParams> &suite,
+                    bool full, ShardSpec shard)
 {
     GALS_ASSERT(!suite.empty(), "empty suite for synchronous sweep");
 
@@ -141,36 +142,56 @@ sweepSynchronous(const std::vector<WorkloadParams> &suite, bool full)
                 points.push_back(Point{ic, dc, 0, 0});
     }
 
-    // runtimes[point][bench]
-    std::vector<std::vector<double>> runtimes(
-        points.size(), std::vector<double>(suite.size(), 0.0));
+    // The design point is the shard unit: every benchmark of an
+    // owned point runs in this process.
+    std::vector<SyncPointRuntimes> out;
+    for (size_t p = 0; p < points.size(); ++p) {
+        if (!shard.owns(p))
+            continue;
+        out.push_back(SyncPointRuntimes{
+            p, points[p].ic, points[p].dc, points[p].qi,
+            points[p].qf, std::vector<double>(suite.size(), 0.0)});
+    }
 
-    size_t total = points.size() * suite.size();
-    parallelFor(total, [&](size_t k) {
-        size_t p = k / suite.size();
+    // Every (point, bench) run is deterministic and independent:
+    // neither the thread count nor the shard boundary changes any
+    // value, which is what makes merged shard output byte-identical
+    // to an unsharded sweep.
+    parallelFor(out.size() * suite.size(), [&](size_t k) {
+        size_t r = k / suite.size();
         size_t b = k % suite.size();
+        SyncPointRuntimes &row = out[r];
         MachineConfig mc = MachineConfig::synchronous(
-            points[p].ic, points[p].dc, points[p].qi, points[p].qf);
-        runtimes[p][b] = runtimeNs(simulate(mc, suite[b]));
+            row.icache_opt, row.dcache, row.iq_int, row.iq_fp);
+        row.runtime_ns[b] = runtimeNs(simulate(mc, suite[b]));
     });
+    return out;
+}
+
+std::vector<SyncDesignPoint>
+sweepSynchronous(const std::vector<WorkloadParams> &suite, bool full)
+{
+    std::vector<SyncPointRuntimes> raw =
+        sweepSynchronousRaw(suite, full, ShardSpec{});
 
     // Per-benchmark best for normalization.
     std::vector<double> best_per_bench(suite.size(), 0.0);
     for (size_t b = 0; b < suite.size(); ++b) {
-        double best = runtimes[0][b];
-        for (size_t p = 1; p < points.size(); ++p)
-            best = std::min(best, runtimes[p][b]);
+        double best = raw[0].runtime_ns[b];
+        for (size_t p = 1; p < raw.size(); ++p)
+            best = std::min(best, raw[p].runtime_ns[b]);
         best_per_bench[b] = best;
     }
 
     std::vector<SyncDesignPoint> out;
-    out.reserve(points.size());
-    for (size_t p = 0; p < points.size(); ++p) {
+    out.reserve(raw.size());
+    for (const SyncPointRuntimes &row : raw) {
         double log_sum = 0.0;
         for (size_t b = 0; b < suite.size(); ++b)
-            log_sum += std::log(runtimes[p][b] / best_per_bench[b]);
+            log_sum += std::log(row.runtime_ns[b] /
+                                best_per_bench[b]);
         out.push_back(SyncDesignPoint{
-            points[p].ic, points[p].dc, points[p].qi, points[p].qf,
+            row.icache_opt, row.dcache, row.iq_int, row.iq_fp,
             std::exp(log_sum / static_cast<double>(suite.size()))});
     }
     std::sort(out.begin(), out.end(),

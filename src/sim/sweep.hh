@@ -20,6 +20,7 @@
 
 #include "core/machine_config.hh"
 #include "core/run_stats.hh"
+#include "sim/shard.hh"
 #include "workload/params.hh"
 
 namespace gals
@@ -80,6 +81,33 @@ struct SyncDesignPoint
  */
 std::vector<SyncDesignPoint>
 sweepSynchronous(const std::vector<WorkloadParams> &suite, bool full);
+
+/**
+ * One synchronous design point with its raw per-benchmark runtimes —
+ * the shardable unit of the synchronous sweep. Normalization needs
+ * every point, so sharded runs exchange raw runtimes and the merge
+ * (or a post-pass over the merged rows) normalizes.
+ */
+struct SyncPointRuntimes
+{
+    std::size_t point_index = 0; //!< global sweep index (shard key).
+    int icache_opt = 0;
+    int dcache = 0;
+    int iq_int = 0;
+    int iq_fp = 0;
+    std::vector<double> runtime_ns; //!< one entry per suite bench.
+};
+
+/**
+ * The raw synchronous sweep, restricted to the design points owned
+ * by `shard` (round-robin on the point index). Rows come back in
+ * global point order and are byte-for-byte the rows the unsharded
+ * run computes: every simulation is deterministic per design point,
+ * so shard boundaries never change any value.
+ */
+std::vector<SyncPointRuntimes>
+sweepSynchronousRaw(const std::vector<WorkloadParams> &suite,
+                    bool full, ShardSpec shard = {});
 
 } // namespace gals
 

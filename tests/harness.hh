@@ -119,6 +119,17 @@ randomMachine(Pcg32 &rng)
     }
     if (m.mode == ClockingMode::MCD && rng.chance(0.4))
         m.jitter_sigma_ps = static_cast<double>(rng.nextRange(1, 25));
+    // Back-end shape knobs: the ready-list select engine's hard
+    // cases are narrow issue widths (age-ordered width cutoff),
+    // scarce FUs (ready ops deferred in place across edges), few
+    // memory ports, and narrow retire groups (chunked commit path).
+    if (rng.chance(0.5)) {
+        m.issue_width = rng.nextRange(2, 8);
+        m.int_alus = rng.nextRange(1, 4);
+        m.fp_alus = rng.nextRange(1, 4);
+        m.mem_ports = rng.nextRange(1, 3);
+        m.retire_width = rng.nextRange(2, 12);
+    }
     m.seed = rng.next();
     return m;
 }

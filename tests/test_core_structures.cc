@@ -137,20 +137,168 @@ TEST(Rob, CircularAllocation)
     EXPECT_TRUE(rob.full());
 }
 
+namespace
+{
+
+/** Allocate a candidate slot with the given age and ROB index. */
+std::int32_t
+allocCandidate(IssueQueue &iq, SeqNum seq, std::uint32_t rob_idx)
+{
+    std::int32_t id = iq.alloc();
+    iq.slot(id).seq = seq;
+    iq.slot(id).rob_idx = rob_idx;
+    iq.pushCandidate(id, true);
+    return id;
+}
+
+/** Take the oldest candidate off the ring (kept live in the pool). */
+std::int32_t
+popOldest(IssueQueue &iq)
+{
+    std::int32_t got = -1;
+    iq.walkCandidates([&](std::int32_t id) {
+        if (got != -1)
+            return IssueQueue::CandAction::Stop;
+        got = id;
+        return IssueQueue::CandAction::Drop;
+    });
+    return got;
+}
+
+} // namespace
+
 TEST(IssueQueue, CapacityAndResize)
 {
     IssueQueue iq(2);
-    iq.push(10);
-    iq.push(11);
+    allocCandidate(iq, 1, 10);
+    allocCandidate(iq, 2, 11);
     EXPECT_TRUE(iq.full());
     iq.setCapacity(4);
     EXPECT_FALSE(iq.full());
-    iq.push(12);
+    allocCandidate(iq, 3, 12);
     // Shrinking below occupancy is legal; it only blocks new pushes.
     iq.setCapacity(2);
     EXPECT_TRUE(iq.full());
-    EXPECT_EQ(iq.entries().size(), 3u);
-    EXPECT_EQ(iq.entries()[0].rob_idx, 10u);
+    EXPECT_EQ(iq.size(), 3u);
+    // Selection pops candidates oldest-first regardless of capacity.
+    std::int32_t id = popOldest(iq);
+    EXPECT_EQ(iq.slot(id).rob_idx, 10u);
+    iq.freeSlot(id);
+    EXPECT_EQ(iq.size(), 2u);
+    EXPECT_TRUE(iq.full()); // occupancy drained exactly to capacity.
+}
+
+TEST(IssueQueue, CandidatePopsFollowAgeOrder)
+{
+    IssueQueue iq(8);
+    // Push out of age order; pops must come back oldest-first.
+    allocCandidate(iq, 7, 107);
+    allocCandidate(iq, 3, 103);
+    allocCandidate(iq, 5, 105);
+    allocCandidate(iq, 1, 101);
+    SeqNum prev = 0;
+    while (iq.hasCandidates()) {
+        std::int32_t id = popOldest(iq);
+        EXPECT_GT(iq.slot(id).seq, prev);
+        prev = iq.slot(id).seq;
+        iq.freeSlot(id);
+    }
+    EXPECT_EQ(prev, 7u);
+    EXPECT_EQ(iq.size(), 0u);
+}
+
+TEST(IssueQueue, ReadyRingWrapAroundRecyclesSlots)
+{
+    // The slot pool and both rings must survive churn far past
+    // capacity: ids recycle through the free list while the heaps
+    // keep age order.
+    IssueQueue iq(4);
+    SeqNum seq = 1;
+    SeqNum expect_pop = 1;
+    for (int round = 0; round < 100; ++round) {
+        while (!iq.full())
+            allocCandidate(iq, seq++, 0);
+        // Retire the two oldest, keep the rest: pops must follow
+        // global age order across every wrap of the slot pool.
+        for (int k = 0; k < 2; ++k) {
+            ASSERT_TRUE(iq.hasCandidates());
+            std::int32_t id = popOldest(iq);
+            ASSERT_EQ(iq.slot(id).seq, expect_pop++);
+            iq.freeSlot(id);
+        }
+    }
+    EXPECT_EQ(iq.size(), 2u);
+    EXPECT_GT(seq, 100u);
+}
+
+TEST(IssueQueue, WaiterChainsWakeExactlyTheirRegister)
+{
+    IssueQueue iq(8);
+    iq.initWaiterIndex(96, 96);
+    std::int32_t a = iq.alloc();
+    iq.slot(a).seq = 1;
+    std::int32_t b = iq.alloc();
+    iq.slot(b).seq = 2;
+
+    PhysRef r5{5, false};
+    PhysRef r9{9, true};
+    iq.addWaiter(r5, a, 0);
+    iq.addWaiter(r9, a, 1); // a waits on both files.
+    iq.addWaiter(r5, b, 0);
+
+    // Completing an unrelated register wakes nobody.
+    EXPECT_FALSE(iq.wakeWaiters(PhysRef{6, false}));
+    EXPECT_FALSE(iq.hasCandidates());
+
+    // Completing r5 wakes both waiters; a stays chained on r9.
+    EXPECT_TRUE(iq.wakeWaiters(r5));
+    EXPECT_EQ(iq.candCount(), 2u);
+    EXPECT_NE(iq.slot(a).next_wait[1], kIqNotChained);
+    EXPECT_EQ(iq.slot(a).next_wait[0], kIqNotChained);
+
+    // A second completion of the same register is a no-op chain walk.
+    EXPECT_FALSE(iq.wakeWaiters(r5));
+
+    // The r9 chain still wakes a (dedup keeps it a single candidate).
+    EXPECT_TRUE(iq.wakeWaiters(r9));
+    EXPECT_EQ(iq.candCount(), 2u);
+    EXPECT_EQ(popOldest(iq), a);
+    EXPECT_EQ(popOldest(iq), b);
+}
+
+TEST(IssueQueue, TimedPromotionAndEpochInvalidation)
+{
+    IssueQueue iq(8);
+    std::int32_t a = iq.alloc();
+    iq.slot(a).seq = 1;
+    iq.slot(a).ready_at = 500;
+    std::int32_t b = iq.alloc();
+    iq.slot(b).seq = 2;
+    iq.slot(b).ready_at = 300;
+    iq.pushTimed(a);
+    iq.pushTimed(b);
+    EXPECT_EQ(iq.minTimed(), 300u);
+
+    // Nothing due yet: the ring is untouched.
+    iq.promoteDue(299);
+    EXPECT_FALSE(iq.hasCandidates());
+
+    // b matures first; it arrives as a no-reevaluation candidate.
+    iq.promoteDue(300);
+    EXPECT_EQ(iq.candCount(), 1u);
+    EXPECT_EQ(iq.minTimed(), 500u);
+    std::int32_t id = popOldest(iq);
+    EXPECT_EQ(id, b);
+    EXPECT_FALSE(iq.slot(b).needs_eval);
+    iq.pushCandidate(b, false);
+
+    // An epoch bump stales every memoized time: the timer ring
+    // drains into the candidate ring and everything re-evaluates.
+    iq.invalidateTimes();
+    EXPECT_EQ(iq.minTimed(), kTickMax);
+    EXPECT_EQ(iq.candCount(), 2u);
+    EXPECT_TRUE(iq.slot(a).needs_eval);
+    EXPECT_TRUE(iq.slot(b).needs_eval);
 }
 
 TEST(Lsq, ProgramOrderAndArrivals)

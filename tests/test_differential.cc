@@ -86,6 +86,46 @@ TEST(Differential, MidFillRelockRegression)
     harness::expectKernelsAgree(m, wl, 64);
 }
 
+TEST(Differential, ReadyListEpochBumpRegression)
+{
+    // Regression for the push-based ready list's epoch rule: PLL
+    // re-locks must drain the timer ring and re-fold every candidate
+    // at the first new-epoch edge (chained waiters keep their lazily
+    // epoch-tagged memos), exactly where the reference scan
+    // recomputes its per-slot memos. apsi keeps both issue queues and
+    // the timer rings populated (fp latencies put most ops on exact
+    // future ready times); the aggressive controller settings re-lock
+    // all four domains throughout the run; the narrow width and
+    // single mult/div unit exercise the width cutoff and the
+    // kept-in-place FU-stall path across bumps.
+    WorkloadParams wl = findBenchmark("apsi");
+    wl.sim_instrs = 10'000;
+    wl.warmup_instrs = 1'000;
+    MachineConfig m = MachineConfig::mcdPhaseAdaptive();
+    m.cache_interval_instrs = 400;
+    m.cache_persistence = 1;
+    m.queue_persistence = 1;
+    m.cache_hysteresis = 0.0;
+    m.icache_hysteresis = 0.0;
+    m.queue_hysteresis = 0.0;
+    m.issue_width = 2;
+    m.int_alus = 1;
+    m.fp_alus = 1;
+
+    RunStats event = simulateWithKernel(
+        m, wl, Processor::Kernel::EventDriven, 64);
+    RunStats oracle = simulateWithKernel(
+        m, wl, Processor::Kernel::Reference, 64);
+    harness::expectSameStats(event, oracle);
+    EXPECT_GT(event.relocks, 0u); // bumps actually happened.
+
+    // Jitter on top: every wake bound must stay exact on a wobbling
+    // edge grid.
+    m.jitter_sigma_ps = 12.0;
+    SCOPED_TRACE("jittered");
+    harness::expectKernelsAgree(m, wl, 64);
+}
+
 TEST(Differential, InvariantCheckerAcceptsLongRun)
 {
     // The invariant checker itself must not fire on a healthy long

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sharded-sweep tests: the round-robin partitioner, the shard JSON
+ * writers, and the merge. The contract under test is the one
+ * scripts/sweep_shard.py relies on: shards are disjoint, cover the
+ * full sweep, every shard's rows are byte-identical to the unsharded
+ * run's, and the merged document equals the unsharded document
+ * byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/shard.hh"
+#include "sim/study.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+/** A small, fast suite for end-to-end shard tests. */
+std::vector<WorkloadParams>
+tinySuite(size_t n)
+{
+    std::vector<WorkloadParams> suite = benchmarkSuite();
+    suite.resize(n);
+    for (WorkloadParams &wl : suite) {
+        wl.sim_instrs = 1'200;
+        wl.warmup_instrs = 200;
+    }
+    return suite;
+}
+
+} // namespace
+
+TEST(ShardSpec, ParseAcceptsOnlyValidSpecs)
+{
+    ShardSpec s;
+    EXPECT_TRUE(parseShard("0/1", s));
+    EXPECT_EQ(s, (ShardSpec{0, 1}));
+    EXPECT_TRUE(parseShard("3/4", s));
+    EXPECT_EQ(s, (ShardSpec{3, 4}));
+
+    ShardSpec untouched{3, 4};
+    for (const char *bad :
+         {"", "4/4", "-1/4", "1/0", "1", "a/b", "1/2x", "2/1"}) {
+        ShardSpec t = untouched;
+        EXPECT_FALSE(parseShard(bad, t)) << bad;
+        EXPECT_EQ(t, untouched) << bad;
+    }
+    EXPECT_FALSE(parseShard(nullptr, s));
+}
+
+TEST(ShardSpec, PartitionIsDisjointAndComplete)
+{
+    for (int count : {1, 2, 3, 4, 7}) {
+        for (size_t k = 0; k < 100; ++k) {
+            int owners = 0;
+            for (int i = 0; i < count; ++i) {
+                if ((ShardSpec{i, count}).owns(k))
+                    ++owners;
+            }
+            EXPECT_EQ(owners, 1)
+                << "item " << k << " with " << count << " shards";
+        }
+    }
+    // The default spec owns everything.
+    ShardSpec all;
+    EXPECT_FALSE(all.sharded());
+    for (size_t k = 0; k < 10; ++k)
+        EXPECT_TRUE(all.owns(k));
+}
+
+TEST(Shard, StudyRowsAreShardInvariant)
+{
+    std::vector<WorkloadParams> suite = tinySuite(3);
+    StudyResult whole =
+        runStudy(suite, SweepMode::Staged, false, ShardSpec{});
+    const int n = 2;
+    for (int i = 0; i < n; ++i) {
+        ShardSpec shard{i, n};
+        StudyResult part =
+            runStudy(suite, SweepMode::Staged, false, shard);
+        ASSERT_EQ(part.benchmarks.size(), whole.benchmarks.size());
+        for (size_t b = 0; b < suite.size(); ++b) {
+            if (!shard.owns(b))
+                continue;
+            SCOPED_TRACE(suite[b].name);
+            EXPECT_EQ(part.benchmarks[b].sync_ns,
+                      whole.benchmarks[b].sync_ns);
+            EXPECT_EQ(part.benchmarks[b].program_ns,
+                      whole.benchmarks[b].program_ns);
+            EXPECT_EQ(part.benchmarks[b].phase_ns,
+                      whole.benchmarks[b].phase_ns);
+            EXPECT_EQ(part.benchmarks[b].program_cfg,
+                      whole.benchmarks[b].program_cfg);
+            EXPECT_EQ(part.benchmarks[b].runs,
+                      whole.benchmarks[b].runs);
+        }
+    }
+}
+
+TEST(Shard, MergedStudyJsonIsByteIdenticalToUnsharded)
+{
+    std::vector<WorkloadParams> suite = tinySuite(4);
+    std::string whole = studyShardJson(
+        runStudy(suite, SweepMode::Staged, false, ShardSpec{}),
+        ShardSpec{});
+
+    const int n = 3; // does not divide 4: uneven shard sizes.
+    std::vector<std::string> parts;
+    for (int i = 0; i < n; ++i) {
+        ShardSpec shard{i, n};
+        parts.push_back(studyShardJson(
+            runStudy(suite, SweepMode::Staged, false, shard), shard));
+    }
+    EXPECT_EQ(mergeShardJson(parts), whole);
+
+    // Merge order must not matter.
+    std::swap(parts[0], parts[2]);
+    EXPECT_EQ(mergeShardJson(parts), whole);
+}
+
+TEST(Shard, MergedSyncSweepJsonIsByteIdenticalToUnsharded)
+{
+    std::vector<WorkloadParams> suite = tinySuite(2);
+    // Restrict to the quick 64-point cross (full=false).
+    std::vector<SyncPointRuntimes> whole_rows =
+        sweepSynchronousRaw(suite, false, ShardSpec{});
+    std::string whole = syncSweepShardJson(whole_rows, suite.size(),
+                                           false, ShardSpec{});
+
+    const int n = 4;
+    std::vector<std::string> parts;
+    size_t covered = 0;
+    for (int i = 0; i < n; ++i) {
+        ShardSpec shard{i, n};
+        std::vector<SyncPointRuntimes> rows =
+            sweepSynchronousRaw(suite, false, shard);
+        for (const SyncPointRuntimes &r : rows) {
+            EXPECT_TRUE(shard.owns(r.point_index));
+            // Shard rows must equal the unsharded run's rows.
+            EXPECT_EQ(r.runtime_ns,
+                      whole_rows[r.point_index].runtime_ns);
+        }
+        covered += rows.size();
+        parts.push_back(
+            syncSweepShardJson(rows, suite.size(), false, shard));
+    }
+    EXPECT_EQ(covered, whole_rows.size());
+    EXPECT_EQ(mergeShardJson(parts), whole);
+}
