@@ -8,10 +8,14 @@
  * into what an unsharded run would have written (sim/shard.hh).
  *
  * Usage:
- *   sweep_cli [--mode study|sync] [--shard i/n] [--out FILE]
- *             [--benchmarks N] [--sim INSTRS] [--warmup INSTRS]
- *             [--full] [--verbose]
+ *   sweep_cli [--mode study|sync|adaptive] [--shard i/n]
+ *             [--out FILE] [--benchmarks N] [--bench NAME]
+ *             [--sim INSTRS] [--warmup INSTRS] [--full] [--verbose]
  *   sweep_cli --merge OUT IN1 IN2 ...
+ *
+ * `--mode adaptive` runs the 256-point exhaustive Program-Adaptive
+ * sweep for one benchmark (`--bench`, default the suite's first),
+ * sharded over the configuration points.
  *
  * `--shard` falls back to the GALS_SHARDS environment variable
  * ("i/n"); unset means the whole sweep. `--benchmarks N` restricts
@@ -44,8 +48,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: sweep_cli [--mode study|sync] [--shard i/n]\n"
-        "                 [--out FILE] [--benchmarks N]\n"
+        "usage: sweep_cli [--mode study|sync|adaptive] [--shard i/n]\n"
+        "                 [--out FILE] [--benchmarks N] [--bench NAME]\n"
         "                 [--sim INSTRS] [--warmup INSTRS] [--full]\n"
         "                 [--verbose]\n"
         "       sweep_cli --merge OUT IN1 IN2 ...\n");
@@ -78,6 +82,7 @@ int
 main(int argc, char **argv)
 {
     std::string mode = "study";
+    std::string bench;
     std::string out_path;
     ShardSpec shard = shardFromEnv();
     size_t benchmarks = 0; // 0 = whole suite.
@@ -119,6 +124,8 @@ main(int argc, char **argv)
             out_path = value();
         } else if (arg == "--benchmarks") {
             benchmarks = static_cast<size_t>(std::atoi(value()));
+        } else if (arg == "--bench") {
+            bench = value();
         } else if (arg == "--sim") {
             sim_instrs =
                 static_cast<std::uint64_t>(std::atoll(value()));
@@ -153,6 +160,21 @@ main(int argc, char **argv)
         std::vector<SyncPointRuntimes> rows =
             sweepSynchronousRaw(suite, full, shard);
         json = syncSweepShardJson(rows, suite.size(), full, shard);
+    } else if (mode == "adaptive") {
+        // One benchmark, sharded over the 256 adaptive configuration
+        // points (the suite restrictions/window overrides above apply
+        // to it like to any other sweep).
+        WorkloadParams wl = suite.front();
+        if (!bench.empty()) {
+            wl = findBenchmark(bench);
+            if (sim_instrs != 0)
+                wl.sim_instrs = sim_instrs;
+            if (warmup_instrs != ~0ULL)
+                wl.warmup_instrs = warmup_instrs;
+        }
+        std::vector<AdaptivePointRuntime> rows =
+            sweepAdaptiveRaw(wl, shard);
+        json = adaptiveSweepShardJson(rows, wl.name, shard);
     } else {
         return usage();
     }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Port-layer confinement gate (registered with ctest): the
+# publication-order rule's entry points — consumableAt and the raw
+# domain-wake primitive — may appear only in the port layer
+# (src/core/ports.hh / ports.cc). Any other call site could publish
+# or wake around the rule, which is exactly the divergence class the
+# port layer exists to make unrepresentable.
+set -u
+
+src_root="${1:?usage: check_port_confinement.sh <repo root>}"
+
+violations=$(grep -rn --include='*.hh' --include='*.cc' \
+                  --include='*.cpp' -e 'wakeDomain' -e 'consumableAt' \
+                  -e 'wakeRaw' \
+                  "$src_root/src" "$src_root/tests" \
+                  "$src_root/bench" "$src_root/examples" 2>/dev/null |
+             grep -v '/src/core/ports\.hh:' |
+             grep -v '/src/core/ports\.cc:' || true)
+
+if [ -n "$violations" ]; then
+    echo "publication-order entry points used outside the port layer:"
+    echo "$violations"
+    exit 1
+fi
+echo "port confinement OK"

@@ -42,16 +42,26 @@ def main():
         fresh = json.loads(
             (Path(tmp) / "BENCH_sim_throughput.json").read_text())
 
+    # Per-config delta table: the job log shows, for every tracked
+    # config, where this build stands against both the committed
+    # `current` column (the gate) and the frozen seed baseline (the
+    # trajectory), not just a pass/fail verdict.
     failures = []
-    print(f"{'config':<18} {'committed':>12} {'measured':>12} "
-          f"{'ratio':>7}")
+    header = (f"{'config':<18} {'seed':>10} {'committed':>12} "
+              f"{'measured':>12} {'delta':>8} {'vs seed':>8}")
+    print(header)
+    print("-" * len(header))
     for name, row in ref["configs"].items():
+        seed = float(row["seed_baseline"])
         committed = float(row["current"])
         measured = float(fresh["configs"][name]["current"])
         ratio = measured / committed
+        delta = 100.0 * (ratio - 1.0)
+        speedup = measured / seed if seed > 0 else float("inf")
         flag = "" if ratio >= args.min_ratio else "  << FAIL"
-        print(f"{name:<18} {committed:>12.0f} {measured:>12.0f} "
-              f"{ratio:>7.2f}{flag}")
+        print(f"{name:<18} {seed:>10.0f} {committed:>12.0f} "
+              f"{measured:>12.0f} {delta:>+7.1f}% {speedup:>7.2f}x"
+              f"{flag}")
         if ratio < args.min_ratio:
             failures.append(name)
 

@@ -54,6 +54,21 @@ CacheDecision chooseICache(const IntervalCounts &l1i,
 /** Cycles the decision hardware needs (paper: ~32; Table 4). */
 int cacheDecisionCycles();
 
+/**
+ * True when a decision's best candidate beats the current
+ * configuration by more than the hysteresis margin (the shared
+ * act-on-it test of the per-domain cache controllers).
+ */
+inline bool
+cacheClearlyBetter(const CacheDecision &d, int cur, double hysteresis)
+{
+    double best = static_cast<double>(
+        d.cost_ps[static_cast<size_t>(d.best_index)]);
+    double cur_cost =
+        static_cast<double>(d.cost_ps[static_cast<size_t>(cur)]);
+    return best < cur_cost * (1.0 - hysteresis);
+}
+
 } // namespace gals
 
 #endif // GALS_CONTROL_CACHE_CONTROLLER_HH

@@ -1,0 +1,204 @@
+#include "core/issue_cluster.hh"
+
+#include "core/ports.hh"
+#include "core/reconfig.hh"
+
+namespace gals
+{
+
+IssueCluster::IssueCluster(DomainId id, const MachineConfig &cfg,
+                           CoreTiming &timing, Rob &rob,
+                           RegisterFiles &regs, const int &cur_index)
+    : Domain(id, timing), cfg_(cfg), rob_(rob), regs_(regs),
+      cur_index_(cur_index),
+      structure_(id == DomainId::Integer ? Structure::IntIssueQueue
+                                         : Structure::FpIssueQueue),
+      iq_(kIssueQueueSizes[cur_index]),
+      qctl_(id == DomainId::FloatingPoint)
+{
+    fu_.alus = id == DomainId::Integer ? cfg.int_alus : cfg.fp_alus;
+    iq_.initWaiterIndex(cfg.phys_int_regs, cfg.phys_fp_regs);
+}
+
+void
+IssueCluster::wire(CorePorts &ports, ReconfigUnit &reconfig)
+{
+    disp_ = id_ == DomainId::Integer ? &ports.disp_int
+                                     : &ports.disp_fp;
+    completion_ = &ports.completion;
+    redirect_ = &ports.redirect;
+    agen_ = &ports.agen;
+    reconfig_ = &reconfig;
+}
+
+Tick
+IssueCluster::step(Tick now)
+{
+    if (pending_->active)
+        reconfig_->applyPending(id_, now);
+
+    const DomainId dom = id_;
+    Tick period = timing_.clock(dom).period();
+
+    // Dispatch arrivals enter the ready ring as unevaluated
+    // candidates; their sources are folded in the select walk below,
+    // at this very edge — exactly where the reference scan first
+    // evaluates them. The port wakes rename when a pop drained a
+    // previously full FIFO.
+    disp_->consume(now, [&](size_t idx) {
+        if (iq_.full())
+            return false;
+        InFlightOp &op = rob_[idx];
+        op.issue_eligible = now;
+        op.in_queue = true;
+        std::int32_t id = iq_.alloc();
+        IqSlot &slot = iq_.slot(id);
+        slot.rob_idx = static_cast<std::uint32_t>(idx);
+        slot.cls = op.uop.cls;
+        slot.is_mem = op.is_mem;
+        slot.mispredict = op.mispredict;
+        slot.psrc1 = op.psrc1;
+        slot.psrc2 = op.psrc2;
+        slot.pdst = op.pdst;
+        slot.seq = op.seq;
+        slot.issue_eligible = now;
+        iq_.pushCandidate(id, true);
+        return true;
+    });
+
+    // A landed period change staled every memoized ready time: timed
+    // and ready slots re-fold at this edge (chained waiters keep
+    // their lazily epoch-tagged memos, as the reference scan does).
+    if (iq_epoch_ != timing_.epoch()) {
+        iq_.invalidateTimes();
+        iq_epoch_ = timing_.epoch();
+    }
+    iq_.promoteDue(now);
+    if (!iq_.hasCandidates())
+        return wakeBound();
+
+    fu_.newCycle();
+    int issued = 0;
+    // Select walks the ready ring oldest-first, so issue order, the
+    // width cutoff and FU allocation match the reference scan's
+    // age-ordered walk exactly. Ops waking mid-walk (a completion
+    // this edge) are consumers of the issuing op and therefore
+    // younger: they join the ring past the walk position and are
+    // handed out after every older candidate, in age order.
+    iq_.walkCandidates([&](std::int32_t id) {
+        if (issued >= cfg_.issue_width)
+            return IssueQueue::CandAction::Stop;
+        IqSlot &slot = iq_.slot(id);
+        if (slot.needs_eval) {
+            slot.needs_eval = false;
+            bool pending_src = false;
+            Tick ready_at = slot.issue_eligible;
+            auto fold = [&](PhysRef ref, size_t si) {
+                if (ref.index < 0)
+                    return;
+                if (slot.src_vis[si] != kTickMax &&
+                    slot.src_vis_epoch[si] == timing_.epoch()) {
+                    if (slot.src_vis[si] > ready_at)
+                        ready_at = slot.src_vis[si];
+                    return;
+                }
+                const PhysRegState &s = regs_.state(ref);
+                if (s.pending) {
+                    // Producer not issued: completion time is
+                    // unknowable. Park on the register's waiter
+                    // chain; its completion pushes the slot back
+                    // onto the ready ring.
+                    pending_src = true;
+                    iq_.addWaiter(ref, id, static_cast<int>(si));
+                    return;
+                }
+                Tick v = timing_.visibleAt(s.ready_at, s.producer,
+                                           dom);
+                slot.src_vis[si] = v;
+                slot.src_vis_epoch[si] = timing_.epoch();
+                if (v > ready_at)
+                    ready_at = v;
+            };
+            fold(slot.psrc1, 0);
+            fold(slot.psrc2, 1);
+            if (pending_src) {
+                // Parked on the waiter chains.
+                return IssueQueue::CandAction::Drop;
+            }
+            slot.ready_at = ready_at;
+            if (ready_at > now) {
+                iq_.pushTimed(id); // exact future ready time.
+                return IssueQueue::CandAction::Drop;
+            }
+        }
+        // Ready now: attempt issue. Memory ops in the integer queue
+        // are address-generation uops: one ALU cycle, then the LSQ
+        // takes over.
+        bool agen = slot.is_mem;
+        OpClass fu_cls = agen ? OpClass::IntAlu : slot.cls;
+        Tick complete =
+            now + static_cast<Tick>(opLatency(fu_cls)) * period;
+        if (!fu_.claim(fu_cls, now, complete)) {
+            // Structural stall: stays ready in place, retried every
+            // edge; select keeps walking younger candidates.
+            return IssueQueue::CandAction::Keep;
+        }
+        InFlightOp &op = rob_[slot.rob_idx];
+        op.issued = true;
+        op.in_queue = false;
+        if (agen) {
+            // Hand off to the load/store unit: the port records the
+            // agen completion, clears the LSQ entry's agen wait in
+            // place, and wakes the load/store domain.
+            agen_->agenIssued(op, complete, now);
+        } else {
+            op.complete_at = complete;
+            completion_->complete(slot.pdst, complete, dom,
+                                  slot.rob_idx, now);
+        }
+        if (slot.cls == OpClass::Branch && slot.mispredict) {
+            redirect_->resolve(complete, dom, now);
+        }
+        iq_.freeSlot(id);
+        ++issued;
+        return IssueQueue::CandAction::Drop;
+    });
+    return wakeBound();
+}
+
+Tick
+IssueCluster::wakeBound() const
+{
+    Tick w = kTickMax;
+    if (iq_.size() != 0) {
+        // The ready list partitions the queue by what each op is
+        // provably waiting for: candidates need this domain's next
+        // edge, timed slots an exact future tick, chained waiters a
+        // completion (the completion port's chain walk wakes us), and
+        // a stale epoch a rebuild at the next edge.
+        if (iq_.hasCandidates() || iq_epoch_ != timing_.epoch())
+            return 0;
+        w = std::min(w, iq_.minTimed());
+    }
+    if (!disp_->empty())
+        w = std::min(w, disp_->frontVisibleAt());
+    return w;
+}
+
+void
+IssueCluster::control(const IlpSample &sample, Tick now,
+                      std::uint64_t committed)
+{
+    QueueDecision d = qctl_.decide(sample);
+    int cur = cur_index_;
+    bool passes =
+        d.best_index != cur &&
+        d.score[static_cast<size_t>(d.best_index)] >
+            d.score[static_cast<size_t>(cur)] *
+                (1.0 + cfg_.queue_hysteresis);
+    int prop = passes ? d.best_index : cur;
+    if (damper_.vote(prop, cur, cfg_.queue_persistence))
+        reconfig_->request(structure_, prop, now, committed);
+}
+
+} // namespace gals

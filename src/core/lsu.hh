@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The load/store domain unit: LSQ, MSHRs, L1 data cache, unified L2
+ * and the main-memory channel, plus the D-cache pair's controller.
+ *
+ * The unit serves three traffic classes per edge — dispatch arrivals
+ * from the front end, the store-ready and load-issue walks over the
+ * LSQ, and the post-commit store-buffer drain — and records a walk
+ * summary so the event kernel can sleep when nothing can change.
+ * Cross-domain traffic (store-ready publications, completion wakes,
+ * store-buffer handoff, the front end's I-cache fills through the
+ * unified L2) goes exclusively through the typed ports.
+ */
+
+#ifndef GALS_CORE_LSU_HH
+#define GALS_CORE_LSU_HH
+
+#include <memory>
+
+#include "cache/accounting_cache.hh"
+#include "cache/main_memory.hh"
+#include "control/cache_controller.hh"
+#include "core/domain.hh"
+#include "core/machine_config.hh"
+#include "core/structures.hh"
+
+namespace gals
+{
+
+struct CorePorts;
+class DispatchPort;
+class CompletionPort;
+class StoreBufferPort;
+class WakePort;
+class AgenPort;
+class ReconfigUnit;
+
+/** Load/store unit: LSQ, data caches, memory, store-buffer drain. */
+class LoadStoreUnit final : public Domain
+{
+  public:
+    LoadStoreUnit(const MachineConfig &cfg,
+                  const AdaptiveConfig &cur_cfg, CoreTiming &timing,
+                  Rob &rob);
+
+    /** Connect ports and the reconfiguration unit (once). */
+    void wire(CorePorts &ports, ReconfigUnit &reconfig);
+
+    Tick step(Tick now) override;
+    Tick wakeBound() const override;
+
+    // ------------------------------------------------------------------
+    // Cross-domain services.
+    // ------------------------------------------------------------------
+    /**
+     * Serve an I-cache line fill through the unified L2 (and memory
+     * on an L2 miss) for the front end. `t_req` is the request's
+     * arrival on this domain's grid; the returned serve time is on
+     * this grid too (the front end extrapolates it back).
+     */
+    Tick serveIcacheFill(Addr pc, Tick t_req,
+                         const DCachePairConfig &dc);
+
+    /** L1D line shift (rename derives LSQ line addresses with it). */
+    int dcacheLineShift() const { return l1d_->lineShift(); }
+
+    // ------------------------------------------------------------------
+    // D-cache pair controller (orchestrated from the front end's
+    // cache-interval boundary; the damper and decision live here).
+    // ------------------------------------------------------------------
+    CacheDecision decideDCache() const;
+    void resetDCacheIntervals();
+    void voteDCache(const CacheDecision &dd, Tick now,
+                    std::uint64_t committed);
+
+    /** Re-partition the D-cache pair to row `target` (ReconfigUnit;
+     * cur_cfg_ already updated by the caller). */
+    void applyDCache(int target);
+
+    // ------------------------------------------------------------------
+    // Structure access (rename, retire, invariants, statistics).
+    // ------------------------------------------------------------------
+    Lsq &lsq() { return lsq_; }
+    const Lsq &lsq() const { return lsq_; }
+    AccountingCache &l1d() { return *l1d_; }
+    const AccountingCache &l1d() const { return *l1d_; }
+    AccountingCache &l2() { return *l2_; }
+    const AccountingCache &l2() const { return *l2_; }
+
+  private:
+    /** Outcome of a load-issue attempt (drives the wakeup index). */
+    enum class LoadStart
+    {
+        Issued,   //!< access started; entry leaves the waiting list.
+        Blocked,  //!< older same-line store lacks data: event-waited.
+        MshrBusy, //!< no free MSHR: time- and event-waited.
+    };
+
+    bool agenVisible(LsqEntry &entry, const InFlightOp &op, Tick now);
+    LoadStart tryStartLoad(LsqEntry &entry, Tick now, int &ports_used,
+                           std::uint64_t &blocker);
+    void drainStoreBuffer(Tick now, int &ports_used, int max_ports);
+    Tick dataHierarchyTime(Addr addr, Tick now);
+
+    const MachineConfig &cfg_;
+    const AdaptiveConfig &cur_cfg_;
+    Rob &rob_;
+
+    Lsq lsq_;
+    std::unique_ptr<AccountingCache> l1d_;
+    std::unique_ptr<AccountingCache> l2_;
+    MainMemory memory_;
+    ArenaVector<Tick> mshr_busy_;
+    /** min(mshr_busy_): one compare decides "any MSHR free". */
+    Tick mshr_min_free_ = 0;
+
+    /**
+     * Walk summary for the combined LSQ walks of this domain. The
+     * event snapshots are the per-entry wake sources only: blocked-
+     * load chain wakes (a store's data capture or retirement) and
+     * store-buffer pushes (the one event that can make an MSHR-waiting
+     * load forwardable). MSHR claims and store-buffer pops invalidate
+     * nothing — they can only push wait bounds later, never enable an
+     * entry — so a walk whose waiters are all far in the future stays
+     * asleep through them (the seed design re-walked the whole queue
+     * on every such event).
+     */
+    struct LsSummary
+    {
+        bool must_walk = true;
+        /** Earliest agen-visibility / MSHR-free time among waiters. */
+        Tick min_time = kTickMax;
+        std::uint32_t agen_snap = 0;
+        std::uint32_t wake_snap = 0;
+        std::uint32_t sb_snap = 0;
+        std::uint32_t epoch_snap = 0;
+    };
+    LsSummary ls_sum_;
+
+    Damper damp_dcache_;
+
+    // Wired peers.
+    DispatchPort *disp_ = nullptr;
+    CompletionPort *completion_ = nullptr;
+    StoreBufferPort *sb_ = nullptr;
+    WakePort *store_ready_ = nullptr;
+    const AgenPort *agen_ = nullptr;
+    ReconfigUnit *reconfig_ = nullptr;
+};
+
+} // namespace gals
+
+#endif // GALS_CORE_LSU_HH

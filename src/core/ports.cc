@@ -1,0 +1,40 @@
+#include "core/ports.hh"
+
+#include "core/machine_config.hh"
+
+namespace gals
+{
+
+namespace
+{
+
+/** Dispatch FIFO capacity: the synchronizer queue plus the dispatch
+ * pipe occupancy at full decode width. */
+size_t
+dispatchCapacity(const MachineConfig &cfg, int pipe_depth)
+{
+    return static_cast<size_t>(cfg.dispatch_fifo_entries +
+                               cfg.decode_width * pipe_depth);
+}
+
+} // namespace
+
+CorePorts::CorePorts(WakeHub &hub, CoreTiming &timing,
+                     const MachineConfig &cfg, RegisterFiles &regs,
+                     IssueQueue &iq_int, IssueQueue &iq_fp,
+                     const Rob &rob, Lsq &lsq)
+    : disp_int(hub, DomainId::FrontEnd, DomainId::Integer,
+               dispatchCapacity(cfg, cfg.dispatchDepth())),
+      disp_fp(hub, DomainId::FrontEnd, DomainId::FloatingPoint,
+              dispatchCapacity(cfg, cfg.dispatchDepth())),
+      disp_ls(hub, DomainId::FrontEnd, DomainId::LoadStore,
+              dispatchCapacity(cfg, cfg.lsDispatchDepth())),
+      store_buffer(hub, cfg.store_buffer_entries),
+      completion(hub, regs, iq_int, iq_fp, rob),
+      redirect(hub, timing),
+      agen(hub, lsq),
+      store_ready(hub, DomainId::LoadStore, DomainId::FrontEnd),
+      reclock(hub)
+{}
+
+} // namespace gals

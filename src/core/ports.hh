@@ -1,0 +1,597 @@
+/**
+ * @file
+ * The cross-domain port layer.
+ *
+ * Domain units never wake each other directly: every cross-domain
+ * publication — dispatch FIFO traffic, register completions, branch
+ * resolutions, address-generation handoffs, store-buffer fills and
+ * drains, epoch-bump broadcasts, re-lock landings — goes through one
+ * of the typed ports below. The ports are the *only* code that knows
+ * the publication-order rule, so no domain can publish or wake around
+ * it (enforced by scripts/check_port_confinement.sh, which greps for
+ * the rule's entry points outside this layer).
+ *
+ * ## The publication order rule
+ *
+ * On equal ticks the reference kernel steps lower domain indices
+ * first. A state change *published* by domain A's step at tick `t` is
+ * therefore first consumable by domain B at `t` when `B > A` (B steps
+ * after A at `t`), but only strictly after `t` when `B < A` — B's
+ * step at `t` already ran, before the publication existed. Waking a
+ * stale lower-indexed domain *at* `t` would make the scheduler
+ * deliver its `t` edge after the publisher's, and the domain would
+ * observe state the reference kernel's step at `t` provably did not
+ * see. `WakeHub::consumableAt` encodes the rule; `WakePort::publish`
+ * applies it, and `WakePort::publishAt` asserts that an explicit wake
+ * time respects it (the port-layer unit tests exercise the
+ * rejection).
+ */
+
+#ifndef GALS_CORE_PORTS_HH
+#define GALS_CORE_PORTS_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "clock/sync_fifo.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/domain.hh"
+#include "core/regfile.hh"
+#include "core/structures.hh"
+
+namespace gals
+{
+
+/** Upper bound on domains one scheduler/hub instance can serve (the
+ * core uses four; CMP-style compositions can go wider without
+ * reshaping the hub's flat arrays). */
+constexpr int kMaxSchedDomains = 8;
+
+/**
+ * The wake fabric shared by every port: per-domain
+ * earliest-possible-work bounds plus the event-kernel calendar keys
+ * the scheduler picks its next domain from. Only ports write wake
+ * state (through the private `wakeRaw`); the scheduler reads and
+ * re-keys it between steps.
+ */
+class WakeHub
+{
+  public:
+    WakeHub(const Clock *clocks, int count)
+        : clocks_(clocks), count_(count)
+    {
+        GALS_ASSERT(count >= 1 && count <= kMaxSchedDomains,
+                    "WakeHub domain count out of range");
+        wake_.fill(0);
+        key_.fill(kTickMax);
+    }
+
+    int domainCount() const { return count_; }
+
+    /** True while the event kernel is driving (reference runs skip
+     * the calendar bookkeeping). */
+    void setEventMode(bool on) { event_mode_ = on; }
+
+    /** Reset for an event-kernel run: every domain eligible at its
+     * next clock edge. */
+    void
+    beginEventRun()
+    {
+        for (int d = 0; d < count_; ++d) {
+            wake_[static_cast<size_t>(d)] = 0;
+            key_[static_cast<size_t>(d)] =
+                clocks_[static_cast<size_t>(d)].nextEdge();
+        }
+    }
+
+    // Scheduler-side accessors (the calendar lives here so the hot
+    // wake path updates it without an extra indirection).
+    Tick bound(int d) const { return wake_[static_cast<size_t>(d)]; }
+    void setBound(int d, Tick t) { wake_[static_cast<size_t>(d)] = t; }
+    Tick key(int d) const { return key_[static_cast<size_t>(d)]; }
+    void setKey(int d, Tick k) { key_[static_cast<size_t>(d)] = k; }
+    void park(int d) { key_[static_cast<size_t>(d)] = kTickMax; }
+
+    /** Earliest-keyed domain (lowest index on ties, matching the
+     * reference kernel's scan order exactly). */
+    int
+    head() const
+    {
+        int best = 0;
+        Tick best_key = key_[0];
+        for (int d = 1; d < count_; ++d) {
+            Tick k = key_[static_cast<size_t>(d)];
+            if (k < best_key) {
+                best_key = k;
+                best = d;
+            }
+        }
+        return best;
+    }
+
+  private:
+    friend class WakePort;
+    friend class DispatchPort;
+    friend class CompletionPort;
+    friend class RedirectPort;
+    friend class AgenPort;
+    friend class StoreBufferPort;
+    friend class EpochBumpPort;
+    friend class ReclockPort;
+
+    /**
+     * First tick at which a state change published by domain `src`'s
+     * step at `now` is consumable by domain `dst` (the publication
+     * order rule above).
+     */
+    static Tick
+    consumableAt(DomainId src, DomainId dst, Tick now)
+    {
+        return static_cast<int>(dst) < static_cast<int>(src)
+                   ? now + 1
+                   : now;
+    }
+
+    /**
+     * Record that domain `dd` may have work at `t`. Lazy key: the
+     * clock may sit on a stale (earlier) edge; the scheduler resolves
+     * the true first-edge-at-or-after-wake when the domain reaches
+     * the head of the calendar. (Keying at the exact extrapolated
+     * edge here is a measured pessimization: the surfacing pass
+     * consumes the idle edges either way, so the extrapolation
+     * division would be pure added cost.)
+     */
+    void
+    wakeRaw(DomainId dd, Tick t)
+    {
+        size_t i = static_cast<size_t>(dd);
+        if (t >= wake_[i])
+            return;
+        wake_[i] = t;
+        if (!event_mode_)
+            return;
+        Tick key = std::max(clocks_[i].nextEdge(), t);
+        if (key < key_[i])
+            key_[i] = key;
+    }
+
+    std::array<Tick, kMaxSchedDomains> wake_{};
+    std::array<Tick, kMaxSchedDomains> key_{};
+    const Clock *clocks_;
+    int count_;
+    bool event_mode_ = true;
+};
+
+/**
+ * One-way publication channel from a fixed source domain to a fixed
+ * destination domain. The port, not the caller, decides the earliest
+ * consumable tick.
+ */
+class WakePort
+{
+  public:
+    WakePort(WakeHub &hub, DomainId src, DomainId dst)
+        : hub_(hub), src_(src), dst_(dst)
+    {}
+
+    DomainId src() const { return src_; }
+    DomainId dst() const { return dst_; }
+
+    /** Publish a state change made by `src`'s step at `now`: the
+     * destination wakes at the first tick the rule allows. */
+    void
+    publish(Tick now)
+    {
+        hub_.wakeRaw(dst_, WakeHub::consumableAt(src_, dst_, now));
+    }
+
+    /**
+     * Publish with an explicit future wake time (a synchronizer
+     * crossing or completion visibility computed by the caller).
+     * Asserts the time respects the publication order rule — a wake
+     * at `now` toward a lower-indexed domain is exactly the
+     * divergence class the rule exists to prevent.
+     */
+    void
+    publishAt(Tick now, Tick when)
+    {
+        GALS_ASSERT(when >= WakeHub::consumableAt(src_, dst_, now),
+                    "publication order violation: wake of domain %d "
+                    "at t=%llu from domain %d's step at t=%llu",
+                    static_cast<int>(dst_),
+                    static_cast<unsigned long long>(when),
+                    static_cast<int>(src_),
+                    static_cast<unsigned long long>(now));
+        hub_.wakeRaw(dst_, when);
+    }
+
+  private:
+    WakeHub &hub_;
+    DomainId src_;
+    DomainId dst_;
+};
+
+/**
+ * A dispatch FIFO crossing from the front end into an execution
+ * domain: the bounded synchronizer queue plus both wake directions
+ * (entries becoming visible wake the consumer; pops from a full FIFO
+ * wake the producer, which blocks rename only when the FIFO is full).
+ */
+class DispatchPort
+{
+  public:
+    DispatchPort(WakeHub &hub, DomainId producer, DomainId consumer,
+                 size_t capacity)
+        : fifo_(capacity), to_consumer_(hub, producer, consumer),
+          to_producer_(hub, consumer, producer)
+    {}
+
+    // Producer side.
+    size_t freeSlots() const { return fifo_.freeSlots(); }
+    /** Enqueue an entry consumable at `visible` and wake the
+     * consuming domain for it. */
+    void
+    push(size_t idx, Tick visible, Tick now)
+    {
+        fifo_.push(idx, visible);
+        to_consumer_.publishAt(now, visible);
+    }
+
+    // Consumer side.
+    bool empty() const { return fifo_.empty(); }
+    size_t size() const { return fifo_.size(); }
+    size_t capacity() const { return fifo_.capacity(); }
+    bool frontReady(Tick now) const { return fifo_.frontReady(now); }
+    Tick frontVisibleAt() const { return fifo_.frontVisibleAt(); }
+
+    /**
+     * Drain visible entries: f(entry) consumes one entry or returns
+     * false to stop (consumer structurally full). When any entry left
+     * a previously full FIFO, the producing domain is woken per the
+     * publication order rule — rename blocks only on a full FIFO, so
+     * only that transition needs the wake.
+     */
+    template <typename F>
+    void
+    consume(Tick now, F f)
+    {
+        bool was_full = fifo_.freeSlots() == 0;
+        bool any = false;
+        while (fifo_.frontReady(now)) {
+            if (!f(fifo_.front()))
+                break;
+            fifo_.pop();
+            any = true;
+        }
+        if (any && was_full)
+            to_producer_.publish(now);
+    }
+
+  private:
+    SyncFifo<size_t> fifo_;
+    WakePort to_consumer_;
+    WakePort to_producer_;
+};
+
+/**
+ * The register completion/wake channel. A producing domain reports a
+ * completed physical register; the port walks the waiter chains of
+ * exactly that register in both issue queues and wakes the domains
+ * that actually had a waiter, plus the front end when the completion
+ * can unblock the ROB head — each at its rule-computed tick.
+ */
+class CompletionPort
+{
+  public:
+    CompletionPort(WakeHub &hub, RegisterFiles &regs,
+                   IssueQueue &iq_int, IssueQueue &iq_fp,
+                   const Rob &rob)
+        : hub_(hub), regs_(regs), iq_int_(iq_int), iq_fp_(iq_fp),
+          rob_(rob)
+    {}
+
+    /**
+     * regs.complete + push-based wakeup. The waiter chains move
+     * exactly the ops waiting on this register onto their queue's
+     * ready ring; a domain with no waiter of `ref` keeps sleeping
+     * (`now` = the edge performing the completion, in the `producer`
+     * domain's step).
+     */
+    void
+    complete(PhysRef ref, Tick when, DomainId producer,
+             size_t rob_idx, Tick now)
+    {
+        regs_.complete(ref, when, producer);
+        if (iq_int_.wakeWaiters(ref)) {
+            hub_.wakeRaw(DomainId::Integer,
+                         WakeHub::consumableAt(producer,
+                                               DomainId::Integer,
+                                               now));
+        }
+        if (iq_fp_.wakeWaiters(ref)) {
+            hub_.wakeRaw(DomainId::FloatingPoint,
+                         WakeHub::consumableAt(
+                             producer, DomainId::FloatingPoint, now));
+        }
+        // Retire blocks only on the ROB head: a younger op's
+        // completion cannot unblock the front end, and once the head
+        // run reaches an already-completed op the same retire call
+        // evaluates it without a wake.
+        if (rob_idx == rob_.headIndex()) {
+            hub_.wakeRaw(DomainId::FrontEnd,
+                         WakeHub::consumableAt(producer,
+                                               DomainId::FrontEnd,
+                                               now));
+        }
+    }
+
+  private:
+    WakeHub &hub_;
+    RegisterFiles &regs_;
+    IssueQueue &iq_int_;
+    IssueQueue &iq_fp_;
+    const Rob &rob_;
+};
+
+/**
+ * The branch-resolution channel from an execution domain back to the
+ * front end. The resolving cluster publishes the completion time of
+ * the mispredicted branch; the port owns the resume-time memo the
+ * front end sleeps on, including its epoch guard (the resume tick is
+ * a grid extrapolation of the resolving completion, so a PLL re-lock
+ * landing while the halt is pending must recompute it).
+ */
+class RedirectPort
+{
+  public:
+    RedirectPort(WakeHub &hub, CoreTiming &timing)
+        : hub_(hub), timing_(timing)
+    {}
+
+    /** Front end: a mispredicted branch entered the window; fetch
+     * halts until resolve() supplies the resume time. */
+    void
+    arm()
+    {
+        resume_ = kTickMax;
+        src_ = kTickMax;
+    }
+
+    /** Execution cluster: the mispredicted branch completes at
+     * `complete` in `resolving`'s domain during its step at `now`. */
+    void
+    resolve(Tick complete, DomainId resolving, Tick now)
+    {
+        src_ = complete;
+        dom_ = resolving;
+        epoch_ = timing_.epoch();
+        resume_ = timing_.visibleAt(complete, resolving,
+                                    DomainId::FrontEnd);
+        hub_.wakeRaw(DomainId::FrontEnd,
+                     std::max(resume_,
+                              WakeHub::consumableAt(
+                                  resolving, DomainId::FrontEnd,
+                                  now)));
+    }
+
+    /**
+     * Front end: the tick fetch may resume at (kTickMax while
+     * unresolved). Recomputed on epoch mismatch only while still
+     * pending: past production times must not be re-extrapolated
+     * (see docs/kernel.md).
+     */
+    Tick
+    resumeAt(Tick now)
+    {
+        if (resume_ != kTickMax && resume_ > now &&
+            epoch_ != timing_.epoch()) {
+            resume_ = timing_.visibleAt(src_, dom_,
+                                        DomainId::FrontEnd);
+            epoch_ = timing_.epoch();
+        }
+        return resume_;
+    }
+
+  private:
+    WakeHub &hub_;
+    CoreTiming &timing_;
+    Tick resume_ = 0;
+    Tick src_ = kTickMax;
+    DomainId dom_ = DomainId::Integer;
+    std::uint32_t epoch_ = 0;
+};
+
+/**
+ * The address-generation handoff from the integer cluster to the
+ * load/store unit: records the agen completion on the op, clears the
+ * LSQ entry's agen wait in place (push wakeup — the walk stops
+ * skipping exactly this entry), and wakes the load/store domain.
+ */
+class AgenPort
+{
+  public:
+    AgenPort(WakeHub &hub, Lsq &lsq) : hub_(hub), lsq_(lsq) {}
+
+    void
+    agenIssued(InFlightOp &op, Tick complete, Tick now)
+    {
+        op.agen_done = complete;
+        ++issues_;
+        LsqEntry &le = lsq_.byId(op.lsq_id);
+        if (le.wait_kind == 1)
+            le.wait_kind = 0;
+        hub_.wakeRaw(DomainId::LoadStore,
+                     WakeHub::consumableAt(DomainId::Integer,
+                                           DomainId::LoadStore, now));
+    }
+
+    /** Agen uops issued so far (LSQ walk-summary snapshot). */
+    std::uint32_t issues() const { return issues_; }
+
+  private:
+    WakeHub &hub_;
+    Lsq &lsq_;
+    std::uint32_t issues_ = 0;
+};
+
+/**
+ * The post-commit store buffer and its two wake directions: retire
+ * (front end) pushes committed stores and wakes the load/store unit
+ * to drain them; the drain wakes the front end when it pops from a
+ * full buffer (retirement blocks only on a *full* store buffer).
+ */
+class StoreBufferPort
+{
+  public:
+    StoreBufferPort(WakeHub &hub, int entries)
+        : buffer_(entries),
+          to_lsu_(hub, DomainId::FrontEnd, DomainId::LoadStore),
+          to_fe_(hub, DomainId::LoadStore, DomainId::FrontEnd)
+    {}
+
+    // Retire (producer) side.
+    size_t freeSlots() const { return buffer_.freeSlots(); }
+    /** Push a committed store and wake the drain side. */
+    void
+    push(Addr line_addr, Tick now)
+    {
+        buffer_.push(line_addr, now);
+        ++pushes_;
+        to_lsu_.publish(now);
+    }
+
+    // Drain (consumer) side.
+    bool empty() const { return buffer_.empty(); }
+    bool full() const { return buffer_.full(); }
+    size_t size() const { return buffer_.size(); }
+    size_t capacity() const { return buffer_.capacity(); }
+    StoreWrite &front() { return buffer_.front(); }
+    Tick frontReadyAt() const { return buffer_.frontReadyAt(); }
+    bool hasLine(Addr line_addr) const
+    {
+        return buffer_.hasLine(line_addr);
+    }
+    /** Pop the drained head write; wakes the front end when the pop
+     * freed a slot of a previously full buffer. */
+    void
+    pop(Tick now)
+    {
+        bool was_full = buffer_.full();
+        buffer_.pop();
+        if (was_full)
+            to_fe_.publish(now);
+    }
+
+    /**
+     * Stores pushed so far. Memoized load-attempt failures that could
+     * be unblocked by a forwarding line appearing snapshot this
+     * counter (see the LSQ walk in core/lsu.cc).
+     */
+    std::uint32_t pushes() const { return pushes_; }
+
+  private:
+    StoreBuffer buffer_;
+    WakePort to_lsu_;
+    WakePort to_fe_;
+    std::uint32_t pushes_ = 0;
+};
+
+/**
+ * The epoch-bump broadcast: a landed period change stales every
+ * memoized grid extrapolation, so sleeping domains must re-derive
+ * their gates — but only from the first edge the reference kernel
+ * evaluates with the new epoch. The bump becomes visible once the
+ * re-clocked domain consumes its landing edge; the publication order
+ * rule then decides, per destination, whether that is the landing
+ * tick itself or strictly after it. Waking earlier (e.g. at 0) would
+ * evaluate new-grid memos at stale edges the reference kernel
+ * provably idles through under the old memos.
+ */
+class EpochBumpPort
+{
+  public:
+    EpochBumpPort(WakeHub &hub, CoreTiming &timing)
+        : hub_(hub), timing_(timing)
+    {}
+
+    void
+    broadcast(int changed, Tick landing)
+    {
+        timing_.bumpEpoch();
+        for (int d = 0; d < hub_.domainCount(); ++d) {
+            if (d == changed)
+                continue;
+            hub_.wakeRaw(static_cast<DomainId>(d),
+                         WakeHub::consumableAt(
+                             static_cast<DomainId>(changed),
+                             static_cast<DomainId>(d), landing));
+        }
+    }
+
+  private:
+    WakeHub &hub_;
+    CoreTiming &timing_;
+};
+
+/**
+ * The re-lock landing channel: a structure change schedules a period
+ * change on some domain's clock, and that domain must consume the
+ * edge where the change lands even if it is otherwise idle (other
+ * domains read its grid for synchronizer timing, so a parked clock
+ * must not lag across the change). Control decisions run inside the
+ * front end's step, so the source domain is fixed.
+ */
+class ReclockPort
+{
+  public:
+    explicit ReclockPort(WakeHub &hub) : hub_(hub) {}
+
+    void
+    schedule(DomainId target, Tick lock_done, Tick now)
+    {
+        GALS_ASSERT(lock_done >= WakeHub::consumableAt(
+                                     DomainId::FrontEnd, target, now),
+                    "re-lock landing scheduled before its publication "
+                    "is consumable");
+        hub_.wakeRaw(target, lock_done);
+    }
+
+  private:
+    WakeHub &hub_;
+};
+
+struct MachineConfig;
+
+/**
+ * The full port set of the four-domain core, constructed by the
+ * composition root (Processor) and handed to the domain units at
+ * wire-up.
+ */
+struct CorePorts
+{
+    CorePorts(WakeHub &hub, CoreTiming &timing,
+              const MachineConfig &cfg, RegisterFiles &regs,
+              IssueQueue &iq_int, IssueQueue &iq_fp, const Rob &rob,
+              Lsq &lsq);
+
+    /** Dispatch FIFOs front end -> each execution domain. The FIFOs
+     * model both the synchronizer queue and the dispatch pipe stages,
+     * so their capacity covers the pipe occupancy at full decode
+     * width. */
+    DispatchPort disp_int;
+    DispatchPort disp_fp;
+    DispatchPort disp_ls;
+    StoreBufferPort store_buffer;
+    CompletionPort completion;
+    RedirectPort redirect;
+    AgenPort agen;
+    /** ROB-head store-ready publication (load/store -> front end). */
+    WakePort store_ready;
+    ReclockPort reclock;
+};
+
+} // namespace gals
+
+#endif // GALS_CORE_PORTS_HH

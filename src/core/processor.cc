@@ -2,19 +2,16 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <vector>
 #include <cstring>
 
-#include "clock/synchronizer.hh"
 #include "common/logging.hh"
-#include "control/cache_controller.hh"
 
 namespace gals
 {
 
 namespace
 {
-
-constexpr std::uint64_t KB = 1024;
 
 /** Per-domain clocks for the configured machine. */
 std::array<Clock, 4>
@@ -42,1261 +39,64 @@ makeClocks(const MachineConfig &cfg)
 
 Processor::Processor(const MachineConfig &config,
                      const WorkloadParams &wl)
-    : cfg_(config), wl_params_(wl), workload_(wl),
-      cur_cfg_(config.adaptive),
-      same_domain_(config.mode == ClockingMode::Synchronous),
+    : cfg_(config), wl_params_(wl), cur_cfg_(config.adaptive),
       clocks_(makeClocks(config)),
-      memory_(kMemFirstChunkNs, kMemNextChunkNs, 64, 8),
-      regs_(config.phys_int_regs, config.phys_fp_regs),
-      rob_(config.rob_entries),
-      iq_int_(kIssueQueueSizes[config.adaptive.iq_int]),
-      iq_fp_(kIssueQueueSizes[config.adaptive.iq_fp]),
-      lsq_(config.lsq_entries),
-      store_buffer_(config.store_buffer_entries),
-      mshr_busy_(static_cast<size_t>(config.mshrs), 0),
-      fetch_queue_(static_cast<size_t>(
-          config.fetch_queue_entries +
-          config.decode_width * config.feDepth())),
-      // The dispatch FIFOs model both the synchronizer queue and the
-      // dispatch pipe stages, so their capacity covers the pipe
-      // occupancy at full decode width.
-      disp_int_(static_cast<size_t>(
-          config.dispatch_fifo_entries +
-          config.decode_width * config.dispatchDepth())),
-      disp_fp_(static_cast<size_t>(
-          config.dispatch_fifo_entries +
-          config.decode_width * config.dispatchDepth())),
-      disp_ls_(static_cast<size_t>(
-          config.dispatch_fifo_entries +
-          config.decode_width * config.lsDispatchDepth())),
-      qctl_int_(false), qctl_fp_(true)
+      timing_(clocks_, config.mode == ClockingMode::Synchronous),
+      hub_(clocks_.data(), kNumDomains),
+      fe_(cfg_, cur_cfg_, timing_, wl_params_, stats_),
+      int_cluster_(DomainId::Integer, cfg_, timing_, fe_.rob(),
+                   fe_.regs(), cur_cfg_.iq_int),
+      fp_cluster_(DomainId::FloatingPoint, cfg_, timing_, fe_.rob(),
+                  fe_.regs(), cur_cfg_.iq_fp),
+      lsu_(cfg_, cur_cfg_, timing_, fe_.rob()),
+      ports_(hub_, timing_, cfg_, fe_.regs(), int_cluster_.iq(),
+             fp_cluster_.iq(), fe_.rob(), lsu_.lsq()),
+      epoch_port_(hub_, timing_),
+      reconfig_(cfg_, cur_cfg_, timing_, ports_.reclock),
+      domain_table_{&fe_, &int_cluster_, &fp_cluster_, &lsu_},
+      scheduler_(domain_table_.data(), clocks_.data(), kNumDomains,
+                 hub_, epoch_port_)
 {
-    fu_int_.alus = cfg_.int_alus;
-    fu_fp_.alus = cfg_.fp_alus;
-    iq_int_.initWaiterIndex(cfg_.phys_int_regs, cfg_.phys_fp_regs);
-    iq_fp_.initWaiterIndex(cfg_.phys_int_regs, cfg_.phys_fp_regs);
-    for (int d = 0; d < kNumDomains; ++d) {
-        plls_[static_cast<size_t>(d)] =
-            Pll(cfg_.pll, cfg_.seed + 31 * static_cast<unsigned>(d));
-    }
-    buildCaches();
+    // Wire the port layer and shared services into the domain units.
+    fe_.wire(ports_, int_cluster_, fp_cluster_, lsu_, reconfig_);
+    int_cluster_.wire(ports_, reconfig_);
+    fp_cluster_.wire(ports_, reconfig_);
+    lsu_.wire(ports_, reconfig_);
+    reconfig_.attachDomains(fe_, int_cluster_, fp_cluster_, lsu_);
+    for (Domain *d : domain_table_)
+        d->attachPending(&reconfig_.pending(d->id()));
+    fe_.onMeasureStart([this](Tick now) { snapshotBaselines(now); });
+
     if (const char *env = std::getenv("GALS_KERNEL")) {
         if (std::strcmp(env, "reference") == 0)
             kernel_ = Kernel::Reference;
     }
-    if (wl_params_.warmup_instrs == 0) {
-        measuring_ = true;
-        snapshotBaselines(0);
-    }
+    if (wl_params_.warmup_instrs == 0)
+        fe_.beginMeasurementAtZero();
 }
 
 void
-Processor::buildCaches()
+Processor::setInvariantCheckInterval(std::uint32_t every)
 {
-    if (cfg_.mode == ClockingMode::MCD) {
-        const ICacheConfig &ic = icacheConfig(cur_cfg_.icache);
-        l1i_ = std::make_unique<AccountingCache>("l1i", 64 * KB, 4);
-        l1i_->setPartition(ic.org.assoc, cfg_.phase_adaptive);
-        predictor_ = std::make_unique<HybridPredictor>(ic.predictor);
-        fetch_a_lat_ = ic.a_lat;
-        fetch_b_lat_ = ic.b_lat;
-
-        const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
-        l1d_ = std::make_unique<AccountingCache>("l1d", 256 * KB, 8);
-        l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
-        l2_ = std::make_unique<AccountingCache>("l2", 2048 * KB, 8);
-        l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
-    } else {
-        const OptICacheConfig &ic = optICacheConfig(cfg_.sync_icache_opt);
-        l1i_ = std::make_unique<AccountingCache>(
-            "l1i", ic.org.size_bytes, ic.org.assoc);
-        l1i_->setPartition(ic.org.assoc, false);
-        predictor_ = std::make_unique<HybridPredictor>(ic.predictor);
-
-        const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
-        l1d_ = std::make_unique<AccountingCache>(
-            "l1d", dc.l1_opt.size_bytes, dc.l1_opt.assoc);
-        l1d_->setPartition(dc.l1_opt.assoc, false);
-        l2_ = std::make_unique<AccountingCache>(
-            "l2", dc.l2_opt.size_bytes, dc.l2_opt.assoc);
-        l2_->setPartition(dc.l2_opt.assoc, false);
-    }
-}
-
-// ---------------------------------------------------------------------
-// Timing helpers.
-// ---------------------------------------------------------------------
-
-Tick
-Processor::visibleAt(Tick produced, DomainId prod, DomainId cons) const
-{
-    if (produced == 0)
-        return 0;
-    if (same_domain_ || prod == cons) {
-        // Bypass within one clock: usable at the first edge at or
-        // after production (with the same anti-wobble margin the
-        // synchronizer applies; see clock/synchronizer.cc).
-        return bypassVisibleAt(produced, clock(cons));
-    }
-    return syncVisibleAt(produced, clock(prod), clock(cons), false);
-}
-
-// ---------------------------------------------------------------------
-// Front end.
-// ---------------------------------------------------------------------
-
-Tick
-Processor::icacheMissTime(Tick now)
-{
-    // The unified L2 lives in the load/store domain: request and
-    // response each cross a synchronizer.
-    const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
-    Tick ls_period = clock(DomainId::LoadStore).period();
-    Tick t_req = syncVisibleAt(now, clock(DomainId::FrontEnd),
-                               clock(DomainId::LoadStore),
-                               same_domain_);
-    AccessOutcome out = l2_->access(staged_op_->pc);
-    Tick served;
-    switch (out.where) {
-      case HitWhere::APartition:
-        served = t_req + static_cast<Tick>(dc.l2_a_lat) * ls_period;
-        break;
-      case HitWhere::BPartition:
-        served = t_req + static_cast<Tick>(dc.l2_a_lat + dc.l2_b_lat) *
-                             ls_period;
-        break;
-      default: {
-        int probe = dc.l2_a_lat +
-                    (l2_->bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat
-                                                        : 0);
-        served = memory_.issueFill(
-            t_req + static_cast<Tick>(probe) * ls_period);
-        break;
-      }
-    }
-    // The ready time below extrapolates the front-end grid from this
-    // serve time; keep the serve time so a PLL re-lock landing while
-    // the fill is in flight can recompute the extrapolation.
-    fetch_line_fill_done_ = served;
-    return syncVisibleAt(served, clock(DomainId::LoadStore),
-                         clock(DomainId::FrontEnd), same_domain_);
-}
-
-void
-Processor::doFetch(Tick now)
-{
-    if (fetch_halted_) {
-        // The resume tick extrapolates the resolving branch's
-        // completion across the grid; a re-lock landing while the
-        // halt is pending moves that grid, so recompute on epoch
-        // mismatch (only while still pending: past production times
-        // must not be re-extrapolated, see docs/kernel.md).
-        if (fetch_resume_ != kTickMax && fetch_resume_ > now &&
-            fetch_resume_epoch_ != clock_epoch_) {
-            fetch_resume_ = visibleAt(fetch_resume_src_,
-                                      fetch_resume_dom_,
-                                      DomainId::FrontEnd);
-            fetch_resume_epoch_ = clock_epoch_;
-        }
-        if (now < fetch_resume_) {
-            // kTickMax while unresolved: the issue hook wakes us.
-            feNote(fetch_resume_);
-            return;
-        }
-        fetch_halted_ = false;
-    }
-
-    Tick fe_period = clock(DomainId::FrontEnd).period();
-    int a_lat = fetch_a_lat_;
-    int b_lat = fetch_b_lat_;
-
-    int line_shift = l1i_->lineShift();
-    Tick fe_ready =
-        now + static_cast<Tick>(cfg_.feDepth()) * fe_period;
-    // Whole-group bound, hoisted once: the queue only drains through
-    // rename, which ran earlier this step.
-    int space = static_cast<int>(
-        std::min(static_cast<size_t>(cfg_.fetch_width),
-                 fetch_queue_.freeOps()));
-    int fetched = 0;
-    while (fetched < space) {
-        if (!staged_op_)
-            staged_op_ = workload_.next();
-        Addr line = staged_op_->pc >> line_shift;
-
-        if (line == cur_fetch_line_) {
-            if (fetch_line_ready_ > now && fetch_line_is_fill_ &&
-                fetch_line_epoch_ != clock_epoch_) {
-                // Mid-fill re-lock: the ready time extrapolated a
-                // grid that has since moved; recompute it from the
-                // stored serve time.
-                fetch_line_ready_ = syncVisibleAt(
-                    fetch_line_fill_done_,
-                    clock(DomainId::LoadStore),
-                    clock(DomainId::FrontEnd), same_domain_);
-                fetch_line_epoch_ = clock_epoch_;
-            }
-            if (fetch_line_ready_ > now) {
-                feNote(fetch_line_ready_); // I-cache line fill gate.
-                break;
-            }
-        } else {
-            bool sequential = line == cur_fetch_line_ + 1;
-            AccessOutcome out = l1i_->access(staged_op_->pc);
-            Tick ready;
-            bool is_fill = false;
-            switch (out.where) {
-              case HitWhere::APartition:
-                ready = sequential
-                            ? now
-                            : now + static_cast<Tick>(a_lat - 1) *
-                                        fe_period;
-                break;
-              case HitWhere::BPartition:
-                ready = now + static_cast<Tick>(a_lat + b_lat) *
-                                  fe_period;
-                break;
-              default:
-                ready = icacheMissTime(now);
-                is_fill = true;
-                break;
-            }
-            cur_fetch_line_ = line;
-            fetch_line_ready_ = ready;
-            fetch_line_is_fill_ = is_fill;
-            fetch_line_epoch_ = clock_epoch_;
-            if (ready > now) {
-                feNote(ready); // line fill / slow-hit gate.
-                break;
-            }
-        }
-
-        FetchedOp f;
-        f.uop = *staged_op_;
-        staged_op_.reset();
-        OpClass cls = f.uop.cls;
-        f.dom = execDomain(cls);
-        f.is_mem = isMemOp(cls);
-        f.needs_dst = f.uop.dst >= 0;
-        f.dst_fp = f.needs_dst && f.uop.dst >= kFirstFpReg;
-        bool is_branch = cls == OpClass::Branch;
-        if (is_branch) {
-            f.pred = predictor_->predict(f.uop.pc);
-            predictor_->update(f.uop.pc, f.pred, f.uop.taken);
-            f.mispredict = f.pred.taken != f.uop.taken;
-        }
-        fetch_queue_.push(f, fe_ready);
-        ++fetched;
-
-        if (is_branch) {
-            if (f.mispredict) {
-                // Halt fetch until the branch resolves in the integer
-                // domain; resume time is set at issue.
-                fetch_halted_ = true;
-                fetch_resume_ = kTickMax;
-                fetch_resume_src_ = kTickMax;
-                ++flushes_;
-                return; // the resolution hook wakes the front end.
-            }
-            if (f.uop.taken) {
-                // Taken-branch redirect ends the fetch group; the
-                // next group starts at the next edge.
-                feNote(0);
-                return;
-            }
-        }
-    }
-    if (fetched == space && fetch_queue_.canPush()) {
-        // Width-limited with queue space left: fetch continues at the
-        // very next edge. (A full queue instead drains via rename,
-        // whose own gates are already recorded.)
-        feNote(0);
-    }
-}
-
-void
-Processor::doRename(Tick now)
-{
-    // Whole-group sizing: one walk over the (few) queued groups gives
-    // the consumable prefix, so the loop below runs without per-op
-    // visibility checks. One op beyond the decode width is enough to
-    // distinguish "width-limited" from "drained everything visible".
-    size_t avail = fetch_queue_.visibleOps(
-        now, static_cast<size_t>(cfg_.decode_width) + 1);
-    if (avail == 0)
-        return;
-
-    // The synchronizer crossing time from the front end is the same
-    // for every op renamed at this edge; compute it once per target
-    // domain (indices 0..2 = Integer, FloatingPoint, LoadStore).
-    Tick cross[3];
-    bool cross_valid[3] = {false, false, false};
-    auto crossingTo = [&](DomainId dd, Tick now_) -> Tick {
-        size_t k = static_cast<size_t>(dd) - 1;
-        if (!cross_valid[k]) {
-            cross[k] = syncVisibleAt(now_, clock(DomainId::FrontEnd),
-                                     clock(dd), same_domain_);
-            cross_valid[k] = true;
-        }
-        return cross[k];
-    };
-
-    auto srcRef = [&](std::int8_t logical) -> PhysRef {
-        if (logical < 0)
-            return PhysRef{-1, false};
-        if (logical == kZeroReg)
-            return PhysRef{-1, false};
-        if (logical == kFirstFpReg)
-            return PhysRef{-1, true};
-        return regs_.lookup(logical);
-    };
-
-    // Flattened resource bounds, hoisted once per group: nothing
-    // outside this loop consumes ROB/LSQ/register/FIFO space during
-    // the call, so local countdowns replace the per-op structure
-    // queries.
-    int rob_free = static_cast<int>(rob_.freeSlots());
-    int lsq_free = static_cast<int>(lsq_.freeSlots());
-    int free_int = regs_.freeIntRegs();
-    int free_fp = regs_.freeFpRegs();
-    int fifo_free[3] = {static_cast<int>(disp_int_.freeSlots()),
-                        static_cast<int>(disp_fp_.freeSlots()),
-                        static_cast<int>(disp_ls_.freeSlots())};
-
-    const int budget = static_cast<int>(
-        std::min(static_cast<size_t>(cfg_.decode_width), avail));
-    int renamed = 0;
-    while (renamed < budget) {
-        FetchedOp &f = fetch_queue_.front();
-        const DomainId dom = f.dom;
-        const bool is_mem = f.is_mem;
-
-        if (rob_free == 0)
-            break;
-        if (f.needs_dst && (f.dst_fp ? free_fp : free_int) == 0)
-            break;
-        if (is_mem && lsq_free == 0)
-            break;
-        // Memory ops dispatch twice: an address-generation uop into
-        // the integer queue (which therefore gates memory
-        // parallelism, as in the 21264) and the access itself into
-        // the LSQ.
-        const size_t qi =
-            dom == DomainId::Integer || is_mem
-                ? 0u
-                : dom == DomainId::FloatingPoint ? 1u : 2u;
-        if (fifo_free[qi] == 0)
-            break;
-        if (is_mem && fifo_free[2] == 0)
-            break;
-
-        size_t idx = rob_.alloc();
-        --rob_free;
-        InFlightOp &op = rob_[idx];
-        op = InFlightOp{};
-        op.uop = f.uop;
-        op.seq = next_seq_++;
-        op.domain = dom;
-        op.is_mem = is_mem;
-        op.pred = f.pred;
-        op.mispredict = f.mispredict;
-        op.psrc1 = srcRef(f.uop.src1);
-        op.psrc2 = srcRef(f.uop.src2);
-        if (f.needs_dst) {
-            auto [fresh, old] = regs_.renameDest(f.uop.dst);
-            op.pdst = fresh;
-            op.old_pdst = old;
-            regs_.markPending(fresh);
-            --(f.dst_fp ? free_fp : free_int);
-        }
-        if (is_mem) {
-            op.lsq_id =
-                lsq_.allocate(idx, f.uop.cls == OpClass::Store,
-                              f.uop.mem_addr >> l1d_->lineShift());
-            --lsq_free;
-        }
-
-        if (cfg_.phase_adaptive) {
-            ilp_tracker_.onRename(f.uop);
-            if (ilp_tracker_.sampleReady())
-                controlQueues(now);
-        }
-
-        // The op becomes issue-eligible after the synchronizer plus
-        // the dispatch pipe of the target domain (7/9 integer cycles;
-        // this is the "+integer" half of the mispredict penalty).
-        DomainId q_dom = is_mem ? DomainId::Integer : dom;
-        Tick visible =
-            crossingTo(q_dom, now) +
-            static_cast<Tick>(cfg_.dispatchDepth()) *
-                clock(q_dom).period();
-        SyncFifo<size_t> &fifo =
-            qi == 0 ? disp_int_ : qi == 1 ? disp_fp_ : disp_ls_;
-        fifo.push(idx, visible);
-        --fifo_free[qi];
-        wakeDomain(q_dom, visible);
-        if (is_mem) {
-            Tick ls_visible =
-                crossingTo(DomainId::LoadStore, now) +
-                static_cast<Tick>(cfg_.lsDispatchDepth()) *
-                    clock(DomainId::LoadStore).period();
-            disp_ls_.push(idx, ls_visible);
-            --fifo_free[2];
-            wakeDomain(DomainId::LoadStore, ls_visible);
-        }
-        fetch_queue_.pop();
-        ++renamed;
-    }
-    if (renamed == budget && avail > static_cast<size_t>(budget)) {
-        // Width-limited with more visible ops queued: rename
-        // continues at the very next edge. (Structural breaks are
-        // covered by the retire and consumer-pop hooks; an invisible
-        // head group is covered by the group-boundary gate in
-        // stepFrontEnd.)
-        feNote(0);
-    }
-}
-
-void
-Processor::doRetire(Tick now)
-{
-    const std::uint64_t stop_at =
-        wl_params_.warmup_instrs + wl_params_.sim_instrs;
-    // Nothing to retire and no accounting to update: keep the
-    // no-progress front-end edge (the common case) cheap.
-    if (rob_.empty() || committed_ >= stop_at)
-        return;
-    std::uint64_t budget =
-        static_cast<std::uint64_t>(cfg_.retire_width);
-    std::uint64_t retired_total = 0;
-
-    // Residency statistics are batched per run of retirements under
-    // one live configuration: one set of increments per group instead
-    // of four counter updates per op. The batch flushes before any
-    // control decision that can change the configuration.
-    std::uint32_t run = 0;
-    auto flushResidency = [&]() {
-        if (run == 0)
-            return;
-        stats_.icache_residency[static_cast<size_t>(cur_cfg_.icache)] +=
-            run;
-        stats_.dcache_residency[static_cast<size_t>(cur_cfg_.dcache)] +=
-            run;
-        stats_.iq_int_residency[static_cast<size_t>(cur_cfg_.iq_int)] +=
-            run;
-        stats_.iq_fp_residency[static_cast<size_t>(cur_cfg_.iq_fp)] +=
-            run;
-        run = 0;
-    };
-
-    // Group-granular retire: bounds that are constant across a run of
-    // retirements — width budget, window end, the measurement-start
-    // boundary and the control-interval boundary — are hoisted into
-    // one chunk size, so the per-op loop checks only the real
-    // head gates (completion, visibility, store-buffer space).
-    const int d_shift = l1d_->lineShift();
-    int sb_free = static_cast<int>(store_buffer_.freeSlots());
-    bool sb_pushed = false;
-
-    while (committed_ < stop_at && budget != 0) {
-        std::uint64_t chunk =
-            std::min(budget, stop_at - committed_);
-        if (!measuring_) {
-            chunk = std::min(
-                chunk, wl_params_.warmup_instrs - committed_);
-        }
-        if (cfg_.phase_adaptive) {
-            chunk = std::min(chunk, cfg_.cache_interval_instrs -
-                                        interval_commits_);
-        }
-
-        std::uint64_t done = 0;
-        while (done < chunk) {
-            if (rob_.empty())
-                break;
-            InFlightOp &op = rob_[rob_.headIndex()];
-
-            if (op.uop.cls == OpClass::Store) {
-                if (!op.store_ready)
-                    break; // store-ready hook wakes the front end.
-                if (sb_free == 0)
-                    break; // the store-buffer pop hook wakes us.
-                store_buffer_.push(op.uop.mem_addr >> d_shift, now);
-                --sb_free;
-                sb_pushed = true;
-                lsq_.popFront();
-                ls_events_ += 2; // SB push + store left the LSQ.
-            } else {
-                if (!op.completed())
-                    break; // completion hook wakes the front end.
-                if (op.fe_vis == kTickMax ||
-                    op.fe_vis_epoch != clock_epoch_) {
-                    op.fe_vis = visibleAt(op.complete_at, op.domain,
-                                          DomainId::FrontEnd);
-                    op.fe_vis_epoch = clock_epoch_;
-                }
-                if (op.fe_vis > now) {
-                    feNote(op.fe_vis); // exact visibility gate.
-                    break;
-                }
-                if (op.is_mem)
-                    lsq_.popFront();
-            }
-
-            regs_.release(op.old_pdst);
-            rob_.retireHead();
-            ++done;
-        }
-
-        committed_ += done;
-        budget -= done;
-        retired_total += done;
-        if (measuring_)
-            run += static_cast<std::uint32_t>(done);
-        if (cfg_.phase_adaptive)
-            interval_commits_ += done;
-
-        if (!measuring_ &&
-            committed_ >= wl_params_.warmup_instrs) {
-            measuring_ = true;
-            measure_start_ = now;
-            measure_committed_base_ = committed_;
-            snapshotBaselines(now);
-            // The boundary op retires into the measured residency
-            // accounting (its commit count does not, matching the
-            // reference accounting order).
-            run += 1;
-        }
-        if (cfg_.phase_adaptive &&
-            interval_commits_ >= cfg_.cache_interval_instrs) {
-            interval_commits_ = 0;
-            flushResidency(); // controlCaches may change the config.
-            controlCaches(now);
-        }
-
-        if (done < chunk)
-            break; // a head gate ended the run.
-    }
-    if (sb_pushed)
-        wakeDomain(DomainId::LoadStore, now);
-    if (budget == 0 && committed_ < stop_at && !rob_.empty()) {
-        // Width-limited: the head run continues at the very next
-        // edge.
-        feNote(0);
-    }
-    flushResidency();
-    if (retired_total != 0)
-        last_commit_time_ = now;
-}
-
-// ---------------------------------------------------------------------
-// Integer / floating-point domains.
-// ---------------------------------------------------------------------
-
-void
-Processor::stepIssueDomain(DomainId dom, Tick now)
-{
-    applyPending(dom, now);
-
-    IssueQueue &iq =
-        dom == DomainId::Integer ? iq_int_ : iq_fp_;
-    SyncFifo<size_t> &fifo =
-        dom == DomainId::Integer ? disp_int_ : disp_fp_;
-    FuPool &fu = dom == DomainId::Integer ? fu_int_ : fu_fp_;
-    std::uint32_t &iq_epoch =
-        iq_epoch_[dom == DomainId::Integer ? 0 : 1];
-    Tick period = clock(dom).period();
-
-    // Dispatch arrivals enter the ready ring as unevaluated
-    // candidates; their sources are folded in the select walk below,
-    // at this very edge — exactly where the reference scan first
-    // evaluates them.
-    bool fifo_was_full = fifo.freeSlots() == 0;
-    bool transferred = false;
-    while (fifo.frontReady(now) && !iq.full()) {
-        size_t idx = fifo.front();
-        fifo.pop();
-        InFlightOp &op = rob_[idx];
-        op.issue_eligible = now;
-        op.in_queue = true;
-        std::int32_t id = iq.alloc();
-        IqSlot &slot = iq.slot(id);
-        slot.rob_idx = static_cast<std::uint32_t>(idx);
-        slot.cls = op.uop.cls;
-        slot.is_mem = op.is_mem;
-        slot.mispredict = op.mispredict;
-        slot.psrc1 = op.psrc1;
-        slot.psrc2 = op.psrc2;
-        slot.pdst = op.pdst;
-        slot.seq = op.seq;
-        slot.issue_eligible = now;
-        iq.pushCandidate(id, true);
-        transferred = true;
-    }
-    if (transferred && fifo_was_full) {
-        // Rename blocks only on a full dispatch FIFO; the pops above
-        // made space (consumable per the publication order rule).
-        wakeDomain(DomainId::FrontEnd,
-                   consumableAt(dom, DomainId::FrontEnd, now));
-    }
-
-    // A landed period change staled every memoized ready time: timed
-    // and ready slots re-fold at this edge (chained waiters keep
-    // their lazily epoch-tagged memos, as the reference scan does).
-    if (iq_epoch != clock_epoch_) {
-        iq.invalidateTimes();
-        iq_epoch = clock_epoch_;
-    }
-    iq.promoteDue(now);
-    if (!iq.hasCandidates())
-        return;
-
-    fu.newCycle();
-    int issued = 0;
-    // Select walks the ready ring oldest-first, so issue order, the
-    // width cutoff and FU allocation match the reference scan's
-    // age-ordered walk exactly. Ops waking mid-walk (a completion
-    // this edge) are consumers of the issuing op and therefore
-    // younger: they join the ring past the walk position and are
-    // handed out after every older candidate, in age order.
-    iq.walkCandidates([&](std::int32_t id) {
-        if (issued >= cfg_.issue_width)
-            return IssueQueue::CandAction::Stop;
-        IqSlot &slot = iq.slot(id);
-        if (slot.needs_eval) {
-            slot.needs_eval = false;
-            bool pending_src = false;
-            Tick ready_at = slot.issue_eligible;
-            auto fold = [&](PhysRef ref, size_t si) {
-                if (ref.index < 0)
-                    return;
-                if (slot.src_vis[si] != kTickMax &&
-                    slot.src_vis_epoch[si] == clock_epoch_) {
-                    if (slot.src_vis[si] > ready_at)
-                        ready_at = slot.src_vis[si];
-                    return;
-                }
-                const PhysRegState &s = regs_.state(ref);
-                if (s.pending) {
-                    // Producer not issued: completion time is
-                    // unknowable. Park on the register's waiter
-                    // chain; its completion pushes the slot back
-                    // onto the ready ring.
-                    pending_src = true;
-                    iq.addWaiter(ref, id, static_cast<int>(si));
-                    return;
-                }
-                Tick v = visibleAt(s.ready_at, s.producer, dom);
-                slot.src_vis[si] = v;
-                slot.src_vis_epoch[si] = clock_epoch_;
-                if (v > ready_at)
-                    ready_at = v;
-            };
-            fold(slot.psrc1, 0);
-            fold(slot.psrc2, 1);
-            if (pending_src) {
-                // Parked on the waiter chains.
-                return IssueQueue::CandAction::Drop;
-            }
-            slot.ready_at = ready_at;
-            if (ready_at > now) {
-                iq.pushTimed(id); // exact future ready time.
-                return IssueQueue::CandAction::Drop;
-            }
-        }
-        // Ready now: attempt issue. Memory ops in the integer queue
-        // are address-generation uops: one ALU cycle, then the LSQ
-        // takes over.
-        bool agen = slot.is_mem;
-        OpClass fu_cls = agen ? OpClass::IntAlu : slot.cls;
-        Tick complete =
-            now + static_cast<Tick>(opLatency(fu_cls)) * period;
-        if (!fu.claim(fu_cls, now, complete)) {
-            // Structural stall: stays ready in place, retried every
-            // edge; select keeps walking younger candidates.
-            return IssueQueue::CandAction::Keep;
-        }
-        InFlightOp &op = rob_[slot.rob_idx];
-        op.issued = true;
-        op.in_queue = false;
-        if (agen) {
-            op.agen_done = complete;
-            ++agen_issues_;
-            // Push wakeup: clear the LSQ entry's agen wait directly,
-            // so the walk stops skipping exactly this entry (others
-            // keep their one-compare skip).
-            LsqEntry &le = lsq_.byId(op.lsq_id);
-            if (le.wait_kind == 1)
-                le.wait_kind = 0;
-            // The LSQ may now start this op's access.
-            wakeDomain(DomainId::LoadStore, now);
-        } else {
-            op.complete_at = complete;
-            completeReg(slot.pdst, complete, dom, slot.rob_idx, now);
-        }
-        if (slot.cls == OpClass::Branch && slot.mispredict) {
-            fetch_resume_src_ = complete;
-            fetch_resume_dom_ = dom;
-            fetch_resume_epoch_ = clock_epoch_;
-            fetch_resume_ = visibleAt(complete, dom,
-                                      DomainId::FrontEnd);
-            wakeDomain(DomainId::FrontEnd,
-                       std::max(fetch_resume_,
-                                consumableAt(dom,
-                                             DomainId::FrontEnd,
-                                             now)));
-        }
-        iq.freeSlot(id);
-        ++issued;
-        return IssueQueue::CandAction::Drop;
-    });
-}
-
-// ---------------------------------------------------------------------
-// Load/store domain.
-// ---------------------------------------------------------------------
-
-Tick
-Processor::dataHierarchyTime(Addr addr, Tick now)
-{
-    const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
-    Tick period = clock(DomainId::LoadStore).period();
-    bool b_on = l1d_->bEnabled();
-
-    AccessOutcome l1 = l1d_->access(addr);
-    if (l1.where == HitWhere::APartition)
-        return now + static_cast<Tick>(dc.l1_a_lat) * period;
-    if (l1.where == HitWhere::BPartition) {
-        return now +
-               static_cast<Tick>(dc.l1_a_lat + dc.l1_b_lat) * period;
-    }
-
-    Tick probe = static_cast<Tick>(
-        dc.l1_a_lat + (b_on && dc.l1_b_lat > 0 ? dc.l1_b_lat : 0));
-    AccessOutcome l2 = l2_->access(addr);
-    if (l2.where == HitWhere::APartition) {
-        return now + (probe + static_cast<Tick>(dc.l2_a_lat)) * period;
-    }
-    if (l2.where == HitWhere::BPartition) {
-        return now + (probe + static_cast<Tick>(dc.l2_a_lat +
-                                                dc.l2_b_lat)) *
-                         period;
-    }
-    Tick l2_probe = static_cast<Tick>(
-        dc.l2_a_lat +
-        (l2_->bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat : 0));
-    Tick issue_at = now + (probe + l2_probe) * period;
-    Tick done = memory_.issueFill(issue_at);
-
-    // Claim the MSHR slot the caller verified was free.
-    for (Tick &slot : mshr_busy_) {
-        if (slot <= now) {
-            slot = done;
-            mshr_min_free_ = mshr_busy_[0];
-            for (Tick s : mshr_busy_)
-                mshr_min_free_ = std::min(mshr_min_free_, s);
-            ++ls_events_;
-            return done;
-        }
-    }
-    panic("dataHierarchyTime without a free MSHR");
-}
-
-/**
- * Memoized load/store-domain visibility of an entry's address
- * generation; false while the agen uop is unissued or not yet
- * visible here.
- */
-bool
-Processor::agenVisible(LsqEntry &entry, const InFlightOp &op, Tick now)
-{
-    if (op.agen_done == kTickMax)
-        return false;
-    if (entry.agen_vis == kTickMax ||
-        entry.agen_vis_epoch != clock_epoch_) {
-        entry.agen_vis = visibleAt(op.agen_done, DomainId::Integer,
-                                   DomainId::LoadStore);
-        entry.agen_vis_epoch = clock_epoch_;
-    }
-    return entry.agen_vis <= now;
-}
-
-Processor::LoadStart
-Processor::tryStartLoad(LsqEntry &entry, Tick now, int &ports_used)
-{
-    InFlightOp &op = rob_[entry.rob_idx];
-
-    // Memory disambiguation against older stores (exact, since all
-    // addresses are known at rename): blocked while any older
-    // same-line store lacks its data; forward once all (at least one)
-    // have it. The per-line index replaces the seed's scan over every
-    // older queue entry.
-    Lsq::OlderStores older =
-        lsq_.olderStores(entry.line_addr, entry.id);
-    if (older == Lsq::OlderStores::Blocked)
-        return LoadStart::Blocked; // wait for the store's data.
-    bool forward = older == Lsq::OlderStores::AllReady ||
-                   store_buffer_.hasLine(entry.line_addr);
-
-    Tick done;
-    if (forward) {
-        done = now + clock(DomainId::LoadStore).period();
-    } else {
-        // Conservatively require a free MSHR before starting an
-        // access that might miss.
-        if (mshr_min_free_ > now)
-            return LoadStart::MshrBusy;
-        done = dataHierarchyTime(op.uop.mem_addr, now);
-    }
-
-    entry.issued = true;
-    op.complete_at = done;
-    completeReg(op.pdst, done, DomainId::LoadStore, entry.rob_idx,
-                now);
-    ++ports_used;
-    return LoadStart::Issued;
-}
-
-void
-Processor::drainStoreBuffer(Tick now, int &ports_used, int max_ports)
-{
-    while (ports_used < max_ports && !store_buffer_.empty()) {
-        StoreWrite &w = store_buffer_.front();
-        if (w.ready_at > now)
-            break;
-        if (mshr_min_free_ > now)
-            break;
-        // Retirement blocks only on a *full* store buffer, so only
-        // the pop that frees the first slot needs to wake the front
-        // end.
-        bool was_full = store_buffer_.full();
-        dataHierarchyTime(w.line_addr << l1d_->lineShift(), now);
-        store_buffer_.pop();
-        ++ls_events_;
-        ++ports_used;
-        if (was_full) {
-            wakeDomain(DomainId::FrontEnd,
-                       consumableAt(DomainId::LoadStore,
-                                    DomainId::FrontEnd, now));
-        }
-    }
-}
-
-void
-Processor::stepLoadStore(Tick now)
-{
-    applyPending(DomainId::LoadStore, now);
-
-    bool ls_fifo_was_full = disp_ls_.freeSlots() == 0;
-    bool arrived_any = false;
-    while (disp_ls_.frontReady(now)) {
-        disp_ls_.pop();
-        lsq_.markArrived(now);
-        arrived_any = true;
-    }
-    if (arrived_any && ls_fifo_was_full) {
-        // Rename blocks only on a full load/store FIFO; the pops
-        // above made space (consumable per the publication order
-        // rule).
-        wakeDomain(DomainId::FrontEnd,
-                   consumableAt(DomainId::LoadStore,
-                                DomainId::FrontEnd, now));
-    }
-
-    // Walk-summary skip: every LSQ entry's blocking condition was
-    // recorded by the last full walk. If none can have moved, only
-    // the post-commit store buffer may still drain.
-    if (!arrived_any && !ls_sum_.must_walk && now < ls_sum_.min_time &&
-        ls_sum_.agen_snap == agen_issues_ &&
-        ls_sum_.ev_snap == ls_events_ &&
-        ls_sum_.epoch_snap == clock_epoch_) {
-        if (!store_buffer_.empty() &&
-            store_buffer_.frontReadyAt() <= now &&
-            mshr_min_free_ <= now) {
-            int ports = 0;
-            drainStoreBuffer(now, ports, cfg_.mem_ports);
-        }
-        return;
-    }
-    bool need_every_edge = false;
-    Tick min_time = kTickMax;
-
-    // Stores become ready once their address-generation uop (which
-    // also captures the data register) completes and its result
-    // crosses into this domain; the ROB then retires them into the
-    // store buffer. Only stores still waiting for data are walked
-    // (their ids compacted in place, like the waiting loads).
-    {
-        auto &pending = lsq_.pendingStores();
-        size_t keep = 0;
-        const size_t n = pending.size();
-        for (size_t i = 0; i < n; ++i) {
-            std::uint64_t id = pending[i];
-            LsqEntry &e = lsq_.byId(id);
-            if (e.wait_kind == 1) {
-                pending[keep++] = id; // agen still not issued.
-                continue;
-            }
-            e.wait_kind = 0;
-            InFlightOp &op = rob_[e.rob_idx];
-            if (op.agen_done == kTickMax) {
-                e.wait_kind = 1; // cleared by the agen issue itself.
-                pending[keep++] = id;
-                continue;
-            }
-            if (e.arrived_at <= now && agenVisible(e, op, now)) {
-                op.store_ready = true;
-                op.complete_at = now;
-                e.data_ready = true; // leaves the pending walk.
-                ++ls_events_;
-                // Retire blocks only on the ROB head; a younger
-                // store becoming ready cannot unblock the front end.
-                // The head becomes retirable *at this very tick*,
-                // which the front end may first consume at its next
-                // edge (publication order rule).
-                if (e.rob_idx == rob_.headIndex()) {
-                    wakeDomain(DomainId::FrontEnd,
-                               consumableAt(DomainId::LoadStore,
-                                            DomainId::FrontEnd,
-                                            now));
-                }
-                continue;
-            }
-            if (e.arrived_at <= now) {
-                // Waiting on a known agen-visibility time (an
-                // unarrived entry resets the walk via the arrival
-                // flag instead).
-                min_time = std::min(min_time, e.agen_vis);
-            }
-            pending[keep++] = id;
-        }
-        pending.resize(keep);
-    }
-
-    int ports_used = 0;
-    // When the store buffer is nearly full it blocks retirement; give
-    // it one port first.
-    bool sb_pressure =
-        store_buffer_.size() + 1 >= store_buffer_.capacity();
-    if (sb_pressure)
-        drainStoreBuffer(now, ports_used, 1);
-
-    // Load issue walks only the not-yet-issued loads, oldest first.
-    // Each blocked load carries why it is blocked, so the walk skips
-    // it with a compare until the blocking condition can have moved.
-    {
-        auto &loads = lsq_.waitingLoads();
-        size_t keep = 0;
-        const size_t n = loads.size();
-        for (size_t i = 0; i < n; ++i) {
-            std::uint64_t id = loads[i];
-            if (ports_used >= cfg_.mem_ports) {
-                need_every_edge = true; // unevaluated loads remain.
-                loads[keep++] = id;
-                continue;
-            }
-            LsqEntry &e = lsq_.byId(id);
-            if (e.wait_kind == 1) {
-                loads[keep++] = id; // agen still not issued.
-                continue;
-            }
-            if (e.wait_kind == 2 && e.wait_snap == ls_events_ &&
-                now < e.wait_until) {
-                min_time = std::min(min_time, e.wait_until);
-                loads[keep++] = id; // same stores, same busy MSHRs.
-                continue;
-            }
-            e.wait_kind = 0;
-            if (e.arrived_at > now) {
-                loads[keep++] = id; // arrival resets the walk.
-                continue;
-            }
-            InFlightOp &op = rob_[e.rob_idx];
-            if (op.agen_done == kTickMax) {
-                e.wait_kind = 1; // cleared by the agen issue itself.
-                loads[keep++] = id;
-                continue;
-            }
-            if (!agenVisible(e, op, now)) {
-                min_time = std::min(min_time, e.agen_vis);
-                loads[keep++] = id; // pure time wait: one compare.
-                continue;
-            }
-            std::uint32_t snap = ls_events_;
-            LoadStart r = tryStartLoad(e, now, ports_used);
-            if (r == LoadStart::Issued)
-                continue;
-            e.wait_kind = 2;
-            e.wait_snap = snap;
-            e.wait_until =
-                r == LoadStart::MshrBusy ? mshr_min_free_ : kTickMax;
-            if (r == LoadStart::MshrBusy)
-                min_time = std::min(min_time, e.wait_until);
-            loads[keep++] = id;
-        }
-        loads.resize(keep);
-    }
-
-    drainStoreBuffer(now, ports_used, cfg_.mem_ports);
-
-    ls_sum_.must_walk = need_every_edge;
-    ls_sum_.min_time = min_time;
-    ls_sum_.agen_snap = agen_issues_;
-    ls_sum_.ev_snap = ls_events_;
-    ls_sum_.epoch_snap = clock_epoch_;
-}
-
-// ---------------------------------------------------------------------
-// Phase-adaptive control.
-// ---------------------------------------------------------------------
-
-DomainId
-Processor::domainOf(Structure s) const
-{
-    switch (s) {
-      case Structure::ICache:        return DomainId::FrontEnd;
-      case Structure::DCachePair:    return DomainId::LoadStore;
-      case Structure::IntIssueQueue: return DomainId::Integer;
-      case Structure::FpIssueQueue:  return DomainId::FloatingPoint;
-    }
-    panic("bad structure");
-}
-
-int
-Processor::currentIndexOf(Structure s) const
-{
-    switch (s) {
-      case Structure::ICache:        return cur_cfg_.icache;
-      case Structure::DCachePair:    return cur_cfg_.dcache;
-      case Structure::IntIssueQueue: return cur_cfg_.iq_int;
-      case Structure::FpIssueQueue:  return cur_cfg_.iq_fp;
-    }
-    panic("bad structure");
-}
-
-void
-Processor::applyStructure(Structure s, int target, Tick)
-{
-    switch (s) {
-      case Structure::ICache:
-        cur_cfg_.icache = target;
-        l1i_->setPartition(icacheConfig(target).org.assoc,
-                           cfg_.phase_adaptive);
-        predictor_->reconfigure(icacheConfig(target).predictor);
-        fetch_a_lat_ = icacheConfig(target).a_lat;
-        fetch_b_lat_ = icacheConfig(target).b_lat;
-        break;
-      case Structure::DCachePair: {
-        cur_cfg_.dcache = target;
-        const DCachePairConfig &dc = dcachePairConfig(target);
-        l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
-        l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
-        break;
-      }
-      case Structure::IntIssueQueue:
-        cur_cfg_.iq_int = target;
-        iq_int_.setCapacity(kIssueQueueSizes[target]);
-        break;
-      case Structure::FpIssueQueue:
-        cur_cfg_.iq_fp = target;
-        iq_fp_.setCapacity(kIssueQueueSizes[target]);
-        break;
-    }
-}
-
-void
-Processor::requestConfig(Structure s, int target, Tick now)
-{
-    int cur = currentIndexOf(s);
-    if (target == cur)
-        return;
-    DomainId d = domainOf(s);
-    Pll &pll = plls_[static_cast<size_t>(d)];
-    if (pll.busy(now) || pending_[static_cast<size_t>(d)].active)
-        return;
-
-    AdaptiveConfig probe = cur_cfg_;
-    switch (s) {
-      case Structure::ICache:        probe.icache = target; break;
-      case Structure::DCachePair:    probe.dcache = target; break;
-      case Structure::IntIssueQueue: probe.iq_int = target; break;
-      case Structure::FpIssueQueue:  probe.iq_fp = target; break;
-    }
-    double f_new = cfg_.domainFreqGHz(d, probe);
-    double f_old = clock(d).freqGHz();
-
-    Tick lock_done = pll.startRelock(now);
-    clock(d).setPeriod(periodPsFromGHz(f_new), lock_done);
-    trace_.record(committed_, s, cur, target);
-    // The re-clocked domain must consume the edge where the period
-    // change lands even if it is otherwise idle: other domains read
-    // its grid (nextEdgeAfter/period) for synchronizer timing, so a
-    // parked clock must not lag across the change.
-    wakeDomain(d, lock_done);
-
-    if (f_new >= f_old) {
-        // Speeding up: run the simpler configuration through the
-        // lock window (downsize at the start of the change).
-        applyStructure(s, target, now);
-    } else {
-        // Slowing down: upsize only once the slower clock is locked.
-        pending_[static_cast<size_t>(d)] =
-            PendingApply{true, s, target, lock_done};
-    }
-}
-
-void
-Processor::applyPending(DomainId d, Tick now)
-{
-    PendingApply &p = pending_[static_cast<size_t>(d)];
-    if (p.active && now >= p.apply_at) {
-        applyStructure(p.structure, p.target, now);
-        p.active = false;
-    }
-}
-
-void
-Processor::controlCaches(Tick now)
-{
-    const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
-    Tick fe_period = clock(DomainId::FrontEnd).period();
-    Tick ls_period = clock(DomainId::LoadStore).period();
-
-    Tick i_miss_extra =
-        2 * fe_period + static_cast<Tick>(dc.l2_a_lat) * ls_period;
-    CacheDecision di = chooseICache(l1i_->interval(), i_miss_extra);
-    CacheDecision dd = chooseDCachePair(
-        l1d_->interval(), l2_->interval(), memoryLineFillPs());
-    l1i_->resetInterval();
-    l1d_->resetInterval();
-    l2_->resetInterval();
-
-    auto clearlyBetter = [&](const CacheDecision &d, int cur,
-                             double hysteresis) {
-        double best =
-            static_cast<double>(d.cost_ps[static_cast<size_t>(
-                d.best_index)]);
-        double cur_cost = static_cast<double>(
-            d.cost_ps[static_cast<size_t>(cur)]);
-        return best < cur_cost * (1.0 - hysteresis);
-    };
-    int prop_i =
-        clearlyBetter(di, cur_cfg_.icache, cfg_.icache_hysteresis)
-            ? di.best_index
-            : cur_cfg_.icache;
-    if (damp_icache_.vote(prop_i, cur_cfg_.icache,
-                          cfg_.cache_persistence)) {
-        requestConfig(Structure::ICache, prop_i, now);
-    }
-    int prop_d =
-        clearlyBetter(dd, cur_cfg_.dcache, cfg_.cache_hysteresis)
-            ? dd.best_index
-            : cur_cfg_.dcache;
-    if (damp_dcache_.vote(prop_d, cur_cfg_.dcache,
-                          cfg_.cache_persistence)) {
-        requestConfig(Structure::DCachePair, prop_d, now);
-    }
-}
-
-void
-Processor::controlQueues(Tick now)
-{
-    IlpSample sample = ilp_tracker_.takeSample();
-
-    auto propose = [&](const QueueDecision &d, int cur) {
-        bool passes =
-            d.best_index != cur &&
-            d.score[static_cast<size_t>(d.best_index)] >
-                d.score[static_cast<size_t>(cur)] *
-                    (1.0 + cfg_.queue_hysteresis);
-        return passes ? d.best_index : cur;
-    };
-
-    QueueDecision di = qctl_int_.decide(sample);
-    int prop_i = propose(di, cur_cfg_.iq_int);
-    if (damp_iq_int_.vote(prop_i, cur_cfg_.iq_int,
-                          cfg_.queue_persistence)) {
-        requestConfig(Structure::IntIssueQueue, prop_i, now);
-    }
-
-    QueueDecision df = qctl_fp_.decide(sample);
-    int prop_f = propose(df, cur_cfg_.iq_fp);
-    if (damp_iq_fp_.vote(prop_f, cur_cfg_.iq_fp,
-                         cfg_.queue_persistence)) {
-        requestConfig(Structure::FpIssueQueue, prop_f, now);
-    }
-}
-
-// ---------------------------------------------------------------------
-// Run loop and statistics.
-// ---------------------------------------------------------------------
-
-void
-Processor::stepFrontEnd(Tick now)
-{
-    applyPending(DomainId::FrontEnd, now);
-    fe_next_ = kTickMax;
-    fe_next_epoch_ = clock_epoch_;
-    doRetire(now);
-    doRename(now);
-    doFetch(now);
-    // Group-boundary gate: queued ops (including ones fetch pushed
-    // this very edge, which rename ran too early to see) whose group
-    // becomes visible later wake rename exactly at that boundary. A
-    // visible-but-unconsumed head means rename was structurally
-    // blocked, which retire progress or consumer-pop events unblock —
-    // no timed wake.
-    if (!fetch_queue_.empty()) {
-        Tick v = fetch_queue_.frontVisibleAt();
-        if (v > now)
-            feNote(v);
-    }
-    if (inv_interval_ != 0 && --inv_countdown_ == 0) {
-        inv_countdown_ = inv_interval_;
-        validateInvariants();
-    }
-}
-
-void
-Processor::stepDomain(int d, Tick now)
-{
-    switch (static_cast<DomainId>(d)) {
-      case DomainId::FrontEnd:
-        stepFrontEnd(now);
-        break;
-      case DomainId::Integer:
-        stepIssueDomain(DomainId::Integer, now);
-        break;
-      case DomainId::FloatingPoint:
-        stepIssueDomain(DomainId::FloatingPoint, now);
-        break;
-      case DomainId::LoadStore:
-        stepLoadStore(now);
-        break;
-      default:
-        panic("bad domain %d", d);
-    }
+    fe_.setInvariantCheck([this]() { validateInvariants(); }, every);
 }
 
 void
 Processor::snapshotBaselines(Tick)
 {
-    base_.l1i_acc = l1i_->totalAccesses();
-    base_.l1i_miss = l1i_->totalMisses();
-    base_.l1i_b = l1i_->totalBHits();
-    base_.l1d_acc = l1d_->totalAccesses();
-    base_.l1d_miss = l1d_->totalMisses();
-    base_.l1d_b = l1d_->totalBHits();
-    base_.l2_acc = l2_->totalAccesses();
-    base_.l2_miss = l2_->totalMisses();
-    base_.l2_b = l2_->totalBHits();
-    base_.bp_lookups = predictor_->lookups();
-    base_.bp_miss = predictor_->mispredicts();
-    base_.flushes = flushes_;
-    std::uint64_t relocks = 0;
-    for (const Pll &p : plls_)
-        relocks += p.relocks();
-    base_.relocks = relocks;
+    base_.l1i_acc = fe_.l1i().totalAccesses();
+    base_.l1i_miss = fe_.l1i().totalMisses();
+    base_.l1i_b = fe_.l1i().totalBHits();
+    base_.l1d_acc = lsu_.l1d().totalAccesses();
+    base_.l1d_miss = lsu_.l1d().totalMisses();
+    base_.l1d_b = lsu_.l1d().totalBHits();
+    base_.l2_acc = lsu_.l2().totalAccesses();
+    base_.l2_miss = lsu_.l2().totalMisses();
+    base_.l2_b = lsu_.l2().totalBHits();
+    base_.bp_lookups = fe_.predictor().lookups();
+    base_.bp_miss = fe_.predictor().mispredicts();
+    base_.flushes = fe_.flushes();
+    base_.relocks = reconfig_.relocks();
 }
 
 void
@@ -1314,311 +114,74 @@ Processor::finalizeStats(RunStats &stats) const
                        cfg_.phase_adaptive ? "phase" : "mcd",
                        cfg_.adaptive.str().c_str());
 
-    stats.committed = committed_ - measure_committed_base_;
-    stats.time_ps = last_commit_time_ - measure_start_;
+    stats.committed = fe_.committed() - fe_.measureCommittedBase();
+    stats.time_ps = fe_.lastCommitTime() - fe_.measureStart();
 
-    stats.l1i_accesses = l1i_->totalAccesses() - base_.l1i_acc;
-    stats.l1i_misses = l1i_->totalMisses() - base_.l1i_miss;
-    stats.l1i_b_hits = l1i_->totalBHits() - base_.l1i_b;
-    stats.l1d_accesses = l1d_->totalAccesses() - base_.l1d_acc;
-    stats.l1d_misses = l1d_->totalMisses() - base_.l1d_miss;
-    stats.l1d_b_hits = l1d_->totalBHits() - base_.l1d_b;
-    stats.l2_accesses = l2_->totalAccesses() - base_.l2_acc;
-    stats.l2_misses = l2_->totalMisses() - base_.l2_miss;
-    stats.l2_b_hits = l2_->totalBHits() - base_.l2_b;
-    stats.branches = predictor_->lookups() - base_.bp_lookups;
-    stats.mispredicts = predictor_->mispredicts() - base_.bp_miss;
-    stats.flushes = flushes_ - base_.flushes;
-    std::uint64_t relocks = 0;
-    for (const Pll &p : plls_)
-        relocks += p.relocks();
-    stats.relocks = relocks - base_.relocks;
-    stats.trace = trace_;
-}
-
-void
-Processor::onClockEpochBump(int changed, Tick landing)
-{
-    ++clock_epoch_;
-    // Every memoized grid extrapolation is now stale, so sleeping
-    // domains must re-derive their gates — but only from the first
-    // edge the reference kernel evaluates with the new epoch. The
-    // bump becomes visible once the re-clocked domain consumes its
-    // landing edge; on equal ticks the reference kernel steps lower
-    // domain indices first, so a lower-indexed sleeper re-evaluates
-    // strictly after the landing tick and a higher-indexed one from
-    // the landing tick itself. Waking earlier (e.g. at 0) would
-    // evaluate new-grid memos at stale edges the reference kernel
-    // provably idles through under the old memos.
-    for (int d = 0; d < kNumDomains; ++d) {
-        if (d == changed)
-            continue;
-        wakeDomain(static_cast<DomainId>(d),
-                   d < changed ? landing + 1 : landing);
-    }
-}
-
-void
-Processor::advanceClock(int d)
-{
-    Clock &c = clocks_[static_cast<size_t>(d)];
-    if (!c.changePending()) {
-        c.advance();
-        return;
-    }
-    Tick landing = c.nextEdge();
-    std::uint64_t before = c.periodChanges();
-    c.advance();
-    if (c.periodChanges() != before)
-        onClockEpochBump(d, landing);
-}
-
-void
-Processor::advanceClockWhileBelow(int d, Tick t)
-{
-    Clock &c = clocks_[static_cast<size_t>(d)];
-    std::uint64_t before = c.periodChanges();
-    c.advanceWhileBelow(t);
-    // A pending period change can never land inside a proven-idle
-    // skip: domainWake clamps every sleep to changeDue, so the
-    // landing edge is always delivered by a real step.
-    GALS_ASSERT(c.periodChanges() == before,
-                "period change landed inside a proven-idle skip");
-}
-
-void
-Processor::wakeDomain(DomainId dd, Tick t)
-{
-    size_t i = static_cast<size_t>(dd);
-    if (t >= wake_[i])
-        return;
-    wake_[i] = t;
-    if (kernel_ != Kernel::EventDriven)
-        return;
-    // Lazy key: the clock may sit on a stale (earlier) edge; the
-    // scheduler resolves the true first-edge-at-or-after-wake when
-    // the domain reaches the head of the calendar. (Keying at the
-    // exact extrapolated edge here is a measured pessimization: the
-    // surfacing pass consumes the idle edges either way, so the
-    // extrapolation division would be pure added cost.)
-    Tick key = std::max(clocks_[i].nextEdge(), t);
-    if (key < calendar_.key[i])
-        calendar_.set(static_cast<int>(i), key);
-}
-
-Tick
-Processor::domainWake(int d) const
-{
-    Tick w = kTickMax;
-    const PendingApply &p = pending_[static_cast<size_t>(d)];
-    if (p.active)
-        w = p.apply_at;
-    // A scheduled period change must land on time (other domains
-    // consult this clock's grid), so never sleep past its due edge.
-    if (clocks_[static_cast<size_t>(d)].changePending()) {
-        w = std::min(
-            w, clocks_[static_cast<size_t>(d)].changeDue());
-    }
-
-    switch (static_cast<DomainId>(d)) {
-      case DomainId::FrontEnd: {
-        // The stages recorded the exact next-progress tick while they
-        // ran (fe_next_, see stepFrontEnd): retire-visibility times,
-        // fetch-group visibility boundaries, I-cache line fills and
-        // redirect resumes. Everything else is blocked on a
-        // cross-domain event, all of which carry wakeDomain hooks.
-        //
-        // Epoch guard, like the scan/walk summaries: when this
-        // domain's own period change landed right after the step (in
-        // advanceClock), the recorded ticks extrapolate a grid that
-        // no longer exists — re-derive at the next edge.
-        if (fe_next_epoch_ != clock_epoch_)
-            return 0;
-        return std::min(w, fe_next_);
-      }
-      case DomainId::Integer:
-      case DomainId::FloatingPoint: {
-        const bool is_int = static_cast<DomainId>(d) ==
-                            DomainId::Integer;
-        const IssueQueue &iq = is_int ? iq_int_ : iq_fp_;
-        const SyncFifo<size_t> &fifo = is_int ? disp_int_ : disp_fp_;
-        if (iq.size() != 0) {
-            // The ready list partitions the queue by what each op is
-            // provably waiting for: candidates need this domain's
-            // next edge, timed slots an exact future tick, chained
-            // waiters a completion (the completeReg chain walk wakes
-            // us), and a stale epoch a rebuild at the next edge.
-            if (iq.hasCandidates() ||
-                iq_epoch_[is_int ? 0 : 1] != clock_epoch_) {
-                return 0;
-            }
-            w = std::min(w, iq.minTimed());
-        }
-        if (!fifo.empty())
-            w = std::min(w, fifo.frontVisibleAt());
-        return w;
-      }
-      case DomainId::LoadStore: {
-        if (!lsq_.empty()) {
-            // Same idea: sleep on the walk summary. Wake sources are
-            // the agen-issue hook, the ls-event hooks (store retire
-            // and store-buffer push), recorded future times, and the
-            // epoch hook.
-            if (ls_sum_.must_walk ||
-                ls_sum_.epoch_snap != clock_epoch_ ||
-                ls_sum_.agen_snap != agen_issues_ ||
-                ls_sum_.ev_snap != ls_events_) {
-                return 0;
-            }
-            w = std::min(w, ls_sum_.min_time);
-        }
-        if (!disp_ls_.empty())
-            w = std::min(w, disp_ls_.frontVisibleAt());
-        if (!store_buffer_.empty()) {
-            w = std::min(w, std::max(store_buffer_.frontReadyAt(),
-                                     mshr_min_free_));
-        }
-        return w;
-      }
-      default:
-        panic("bad domain %d", d);
-    }
-}
-
-void
-Processor::runReferenceLoop(std::uint64_t target)
-{
-    std::uint64_t steps = 0;
-    std::uint64_t last_committed = committed_;
-    while (committed_ < target) {
-        int d = 0;
-        Tick best = clocks_[0].nextEdge();
-        for (int i = 1; i < kNumDomains; ++i) {
-            Tick e = clocks_[static_cast<size_t>(i)].nextEdge();
-            if (e < best) {
-                best = e;
-                d = i;
-            }
-        }
-        stepDomain(d, best);
-        advanceClock(d);
-
-        if (++steps >= 8'000'000) {
-            GALS_ASSERT(committed_ != last_committed,
-                        "no commit in 8M domain steps: deadlock at "
-                        "t=%llu (committed=%llu)",
-                        static_cast<unsigned long long>(best),
-                        static_cast<unsigned long long>(committed_));
-            steps = 0;
-            last_committed = committed_;
-        }
-    }
-}
-
-void
-Processor::runEventLoop(std::uint64_t target)
-{
-    calendar_ = EdgeCalendar{};
-    for (int d = 0; d < kNumDomains; ++d) {
-        wake_[static_cast<size_t>(d)] = 0;
-        calendar_.set(d, clocks_[static_cast<size_t>(d)].nextEdge());
-    }
-
-    std::uint64_t steps = 0;
-    std::uint64_t last_committed = committed_;
-    while (committed_ < target) {
-        int d = calendar_.head();
-        size_t di = static_cast<size_t>(d);
-        GALS_ASSERT(calendar_.key[di] != kTickMax,
-                    "event kernel: every domain parked at "
-                    "committed=%llu (missing wakeup hook)",
-                    static_cast<unsigned long long>(committed_));
-        Tick edge = clocks_[di].nextEdge();
-        if (wake_[di] > edge) {
-            // Proven-idle edges: consume them without stepping, then
-            // re-key on the first edge at or after the wake time.
-            advanceClockWhileBelow(d, wake_[di]);
-            calendar_.set(d, clocks_[di].nextEdge());
-            continue;
-        }
-        switch (static_cast<DomainId>(d)) {
-          case DomainId::FrontEnd:
-            stepFrontEnd(edge);
-            break;
-          case DomainId::Integer:
-            stepIssueDomain(DomainId::Integer, edge);
-            break;
-          case DomainId::FloatingPoint:
-            stepIssueDomain(DomainId::FloatingPoint, edge);
-            break;
-          default:
-            stepLoadStore(edge);
-            break;
-        }
-        advanceClock(d);
-        Tick w = domainWake(d);
-        wake_[di] = w;
-        if (w == kTickMax)
-            calendar_.park(d);
-        else
-            calendar_.set(d, std::max(clocks_[di].nextEdge(), w));
-
-        if (++steps >= 8'000'000) {
-            GALS_ASSERT(committed_ != last_committed,
-                        "no commit in 8M domain steps: deadlock at "
-                        "t=%llu (committed=%llu)",
-                        static_cast<unsigned long long>(edge),
-                        static_cast<unsigned long long>(committed_));
-            steps = 0;
-            last_committed = committed_;
-        }
-    }
+    stats.l1i_accesses = fe_.l1i().totalAccesses() - base_.l1i_acc;
+    stats.l1i_misses = fe_.l1i().totalMisses() - base_.l1i_miss;
+    stats.l1i_b_hits = fe_.l1i().totalBHits() - base_.l1i_b;
+    stats.l1d_accesses = lsu_.l1d().totalAccesses() - base_.l1d_acc;
+    stats.l1d_misses = lsu_.l1d().totalMisses() - base_.l1d_miss;
+    stats.l1d_b_hits = lsu_.l1d().totalBHits() - base_.l1d_b;
+    stats.l2_accesses = lsu_.l2().totalAccesses() - base_.l2_acc;
+    stats.l2_misses = lsu_.l2().totalMisses() - base_.l2_miss;
+    stats.l2_b_hits = lsu_.l2().totalBHits() - base_.l2_b;
+    stats.branches = fe_.predictor().lookups() - base_.bp_lookups;
+    stats.mispredicts =
+        fe_.predictor().mispredicts() - base_.bp_miss;
+    stats.flushes = fe_.flushes() - base_.flushes;
+    stats.relocks = reconfig_.relocks() - base_.relocks;
+    stats.trace = reconfig_.trace();
 }
 
 void
 Processor::validateInvariants() const
 {
+    const RegisterFiles &regs = fe_.regs();
+    const Rob &rob = fe_.rob();
+    const Lsq &lsq = lsu_.lsq();
+
     // Rename state: the map is a subset of the free-list complement.
-    GALS_ASSERT(regs_.checkConsistent(),
+    GALS_ASSERT(regs.checkConsistent(),
                 "rename map / free-list inconsistency");
 
     // ROB: sequence numbers strictly ascend from head to tail.
-    const size_t n = rob_.size();
+    const size_t n = rob.size();
     for (size_t i = 1; i < n; ++i) {
-        GALS_ASSERT(rob_[rob_.indexAt(i - 1)].seq <
-                        rob_[rob_.indexAt(i)].seq,
+        GALS_ASSERT(rob[rob.indexAt(i - 1)].seq <
+                        rob[rob.indexAt(i)].seq,
                     "ROB age order violated at position %llu",
                     static_cast<unsigned long long>(i));
     }
 
     // Fetch queue: group accounting matches occupancy and capacity.
-    GALS_ASSERT(fetch_queue_.checkConsistent(),
+    GALS_ASSERT(fe_.fetchQueue().checkConsistent(),
                 "fetch-group queue accounting inconsistent");
 
     // LSQ: the store index and waiting-load list address only
     // in-queue entries, in age order, with matching entry kinds.
-    const std::uint64_t first = lsq_.firstId();
-    const std::uint64_t past = first + lsq_.size();
+    const std::uint64_t first = lsq.firstId();
+    const std::uint64_t past = first + lsq.size();
     std::uint64_t prev = 0;
     bool have_prev = false;
-    lsq_.forEachStore([&](const Lsq::StoreRec &rec) {
+    lsq.forEachStore([&](const Lsq::StoreRec &rec) {
         GALS_ASSERT(rec.id >= first && rec.id < past,
                     "LSQ store index references a popped entry");
         GALS_ASSERT(!have_prev || rec.id > prev,
                     "LSQ store index out of age order");
-        GALS_ASSERT(lsq_.byId(rec.id).is_store,
+        GALS_ASSERT(lsq.byId(rec.id).is_store,
                     "LSQ store index references a load");
         prev = rec.id;
         have_prev = true;
     });
     have_prev = false;
-    for (std::uint64_t id : lsq_.pendingStores()) {
+    for (std::uint64_t id : lsq.pendingStores()) {
         GALS_ASSERT(id >= first && id < past,
                     "LSQ pending-store list references a popped "
                     "entry");
         GALS_ASSERT(!have_prev || id > prev,
                     "LSQ pending-store list out of age order");
-        const LsqEntry &e = lsq_.byId(id);
+        const LsqEntry &e = lsq.byId(id);
         GALS_ASSERT(e.is_store && !e.data_ready,
                     "LSQ pending-store list references a non-pending "
                     "entry");
@@ -1627,12 +190,12 @@ Processor::validateInvariants() const
     }
     have_prev = false;
     prev = 0;
-    for (std::uint64_t id : lsq_.waitingLoads()) {
+    for (std::uint64_t id : lsq.waitingLoads()) {
         GALS_ASSERT(id >= first && id < past,
                     "LSQ waiting-load list references a popped entry");
         GALS_ASSERT(!have_prev || id > prev,
                     "LSQ waiting-load list out of age order");
-        const LsqEntry &e = lsq_.byId(id);
+        const LsqEntry &e = lsq.byId(id);
         GALS_ASSERT(!e.is_store && !e.issued,
                     "LSQ waiting-load list references a non-waiting "
                     "entry");
@@ -1640,20 +203,62 @@ Processor::validateInvariants() const
         have_prev = true;
     }
 
+    // Blocked-load chains: every chained load is an in-queue,
+    // unissued, kind-3 load younger than its (data-pending) store,
+    // chained exactly once; and every kind-3 load is on some chain.
+    {
+        std::vector<std::uint64_t> chained;
+        lsq.forEachStore([&](const Lsq::StoreRec &rec) {
+            const LsqEntry &store = lsq.byId(rec.id);
+            std::uint64_t node = store.blocked_head;
+            GALS_ASSERT(node == kLsqNoId || !store.data_ready,
+                        "LSQ blocked-load chain on a data-ready "
+                        "store");
+            while (node != kLsqNoId) {
+                GALS_ASSERT(node >= first && node < past,
+                            "LSQ blocked-load chain references a "
+                            "popped entry");
+                GALS_ASSERT(node > rec.id,
+                            "LSQ blocked-load chain holds a load "
+                            "older than its store");
+                const LsqEntry &load = lsq.byId(node);
+                GALS_ASSERT(!load.is_store && !load.issued &&
+                                load.wait_kind == 3,
+                            "LSQ blocked-load chain references a "
+                            "non-blocked entry");
+                chained.push_back(node);
+                node = load.next_blocked;
+            }
+        });
+        std::sort(chained.begin(), chained.end());
+        for (size_t i = 1; i < chained.size(); ++i) {
+            GALS_ASSERT(chained[i - 1] != chained[i],
+                        "LSQ load chained twice");
+        }
+        for (std::uint64_t id : lsq.waitingLoads()) {
+            if (lsq.byId(id).wait_kind != 3)
+                continue;
+            GALS_ASSERT(std::binary_search(chained.begin(),
+                                           chained.end(), id),
+                        "LSQ kind-3 load on no blocked chain");
+        }
+    }
+
     // Issue queues: every live slot mirrors a ROB op that is actually
     // marked in-queue (the slot-local ready-list state shadows the
     // ROB record; a desync would evaluate stale registers), sits in
     // exactly one wakeup structure, and every chained waiter really
     // waits on a scoreboard-pending register.
-    for (const IssueQueue *iq : {&iq_int_, &iq_fp_}) {
+    for (const IssueQueue *iq :
+         {&int_cluster_.iq(), &fp_cluster_.iq()}) {
         size_t live = 0;
         size_t chained = 0;
         iq->forEachLive([&](std::int32_t, const IqSlot &slot) {
             ++live;
-            GALS_ASSERT(slot.rob_idx < rob_.capacity(),
+            GALS_ASSERT(slot.rob_idx < rob.capacity(),
                         "issue-queue slot references an invalid ROB "
                         "index");
-            const InFlightOp &op = rob_[slot.rob_idx];
+            const InFlightOp &op = rob[slot.rob_idx];
             GALS_ASSERT(op.in_queue,
                         "issue-queue slot references an op not "
                         "marked in-queue");
@@ -1684,8 +289,8 @@ Processor::validateInvariants() const
                         "issue-queue waiter chained on the wrong "
                         "register");
             GALS_ASSERT(
-                regs_.state(PhysRef{static_cast<std::int16_t>(reg),
-                                    fp})
+                regs.state(PhysRef{static_cast<std::int16_t>(reg),
+                                   fp})
                     .pending,
                 "issue-queue waiter on a completed register");
         });
@@ -1694,11 +299,13 @@ Processor::validateInvariants() const
     }
 
     // Dispatch and store-buffer occupancy bounds.
-    GALS_ASSERT(disp_int_.size() <= disp_int_.capacity() &&
-                    disp_fp_.size() <= disp_fp_.capacity() &&
-                    disp_ls_.size() <= disp_ls_.capacity(),
+    GALS_ASSERT(ports_.disp_int.size() <= ports_.disp_int.capacity() &&
+                    ports_.disp_fp.size() <=
+                        ports_.disp_fp.capacity() &&
+                    ports_.disp_ls.size() <= ports_.disp_ls.capacity(),
                 "dispatch FIFO over capacity");
-    GALS_ASSERT(store_buffer_.size() <= store_buffer_.capacity(),
+    GALS_ASSERT(ports_.store_buffer.size() <=
+                    ports_.store_buffer.capacity(),
                 "store buffer over capacity");
 }
 
@@ -1709,9 +316,9 @@ Processor::run()
         wl_params_.warmup_instrs + wl_params_.sim_instrs;
 
     if (kernel_ == Kernel::Reference)
-        runReferenceLoop(target);
+        scheduler_.runReference(fe_.committedRef(), target);
     else
-        runEventLoop(target);
+        scheduler_.runEvent(fe_.committedRef(), target);
 
     finalizeStats(stats_);
     return stats_;

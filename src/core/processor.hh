@@ -1,14 +1,20 @@
 /**
  * @file
- * The adaptive GALS/MCD processor model.
+ * The adaptive GALS/MCD processor model — the composition root of the
+ * domain/port architecture.
  *
- * Four domains — front end (I-cache, predictor, rename, ROB, retire),
- * integer, floating-point, and load/store (LSQ, L1D, unified L2) —
- * each own a clock. The main loop always steps the domain with the
- * earliest pending edge; all cross-domain traffic (dispatch, operand
- * visibility, redirects, retirement visibility) pays the synchronizer
- * rule. In Synchronous mode the four clocks are identical and the
- * synchronizer rule degenerates to plain next-edge latching.
+ * Four independently clocked domain units — front end (I-cache,
+ * predictor, rename, ROB, retire), integer cluster, floating-point
+ * cluster, and load/store unit (LSQ, L1D, unified L2) — each own
+ * their clock, structures and controllers (core/front_end.hh,
+ * core/issue_cluster.hh, core/lsu.hh). All cross-domain traffic —
+ * dispatch, operand visibility, redirects, retirement visibility,
+ * store drain, epoch bumps — flows through the typed ports of
+ * core/ports.hh, the single owner of the publication-order rule. The
+ * step loop itself lives in the generic DomainScheduler
+ * (core/scheduler.hh). In Synchronous mode the four clocks are
+ * identical and the synchronizer rule degenerates to plain next-edge
+ * latching.
  *
  * Fetch is oracle-driven: a mispredicted branch halts fetch until it
  * resolves in the integer domain, so the flush penalty (front-end
@@ -20,23 +26,17 @@
 #define GALS_CORE_PROCESSOR_HH
 
 #include <array>
-#include <memory>
-#include <optional>
 
-#include "cache/accounting_cache.hh"
-#include "cache/main_memory.hh"
 #include "clock/clock.hh"
-#include "clock/pll.hh"
-#include "clock/sync_fifo.hh"
-#include "control/ilp_tracker.hh"
-#include "control/queue_controller.hh"
-#include "control/reconfig_trace.hh"
-#include "core/fetch_group.hh"
+#include "core/domain.hh"
+#include "core/front_end.hh"
+#include "core/issue_cluster.hh"
+#include "core/lsu.hh"
 #include "core/machine_config.hh"
+#include "core/ports.hh"
+#include "core/reconfig.hh"
 #include "core/run_stats.hh"
-#include "core/structures.hh"
-#include "predictor/hybrid_predictor.hh"
-#include "workload/generator.hh"
+#include "core/scheduler.hh"
 
 namespace gals
 {
@@ -76,398 +76,39 @@ class Processor
      * every `every` front-end steps; 0 disables (the default). The
      * differential harness turns this on.
      */
-    void setInvariantCheckInterval(std::uint32_t every)
-    {
-        inv_interval_ = every;
-        inv_countdown_ = every;
-    }
+    void setInvariantCheckInterval(std::uint32_t every);
 
     /** Panics with a description on any violated invariant. */
     void validateInvariants() const;
 
   private:
-    /** A structure change waiting for PLL lock completion. */
-    struct PendingApply
-    {
-        bool active = false;
-        Structure structure = Structure::ICache;
-        int target = 0;
-        Tick apply_at = 0;
-    };
-
-    // Construction.
-    void buildClocks();
-    void buildCaches();
-
-    // Main loop.
-    void stepDomain(int d, Tick now);
-    void runEventLoop(std::uint64_t target);
-    void runReferenceLoop(std::uint64_t target);
-
-    /**
-     * Earliest tick at which domain d could do observable work given
-     * its state right after stepping (summaries recorded in-step);
-     * kTickMax parks the domain until a cross-domain event
-     * (wakeDomain) re-arms it. Must be a lower bound: waking early is
-     * a wasted no-op step, waking late would diverge from the
-     * reference kernel.
-     */
-    Tick domainWake(int d) const;
-
-    /** Cross-domain event hook: domain d may have work at `t`. */
-    void wakeDomain(DomainId d, Tick t);
-
-    /** advance() + epoch bump when a period change lands. */
-    void advanceClock(int d);
-    /**
-     * Invalidate grid memos and wake sleeping domains from the first
-     * edge that observes the new epoch in reference order (`changed`
-     * re-clocked its grid at tick `landing`).
-     */
-    void onClockEpochBump(int changed, Tick landing);
-    /** Consume proven-idle edges of domain d strictly below `t`. */
-    void advanceClockWhileBelow(int d, Tick t);
-
-    // Front-end stages. One front-end edge runs all three in
-    // program-flow order (retire frees resources rename needs; rename
-    // frees fetch-queue space) and accumulates the domain's exact
-    // next-progress tick in fe_next_ (see stepFrontEnd).
-    void stepFrontEnd(Tick now);
-    void doRetire(Tick now);
-    void doRename(Tick now);
-    void doFetch(Tick now);
-
-    /**
-     * Record a next-progress bound discovered during the current
-     * front-end step: the earliest tick at which the recording stage
-     * could do more work. 0 = progress possible at the very next
-     * edge; anything a cross-domain event must provide is *not*
-     * recorded (the wakeDomain hooks cover it).
-     */
-    void
-    feNote(Tick t)
-    {
-        if (t < fe_next_)
-            fe_next_ = t;
-    }
-
-    // Execution domains.
-    void stepIssueDomain(DomainId dom, Tick now);
-
-    // Load/store domain.
-    void stepLoadStore(Tick now);
-    bool agenVisible(LsqEntry &entry, const InFlightOp &op, Tick now);
-    /** Outcome of a load-issue attempt (drives the wakeup index). */
-    enum class LoadStart
-    {
-        Issued,   //!< access started; entry leaves the waiting list.
-        Blocked,  //!< older same-line store lacks data: event-waited.
-        MshrBusy, //!< no free MSHR: time- and event-waited.
-    };
-    LoadStart tryStartLoad(LsqEntry &entry, Tick now, int &ports_used);
-    void drainStoreBuffer(Tick now, int &ports_used, int max_ports);
-    Tick dataHierarchyTime(Addr addr, Tick now);
-    Tick icacheMissTime(Tick now);
-
-    /**
-     * First tick at which a state change published by domain `src`'s
-     * step at `now` is consumable by domain `dst` (the publication
-     * order rule, see docs/kernel.md): on equal ticks the reference
-     * kernel steps lower domain indices first, so a lower-indexed
-     * consumer stepped *before* the publication and may first observe
-     * it strictly after `now`; a higher-indexed one steps at `now`
-     * itself. Waking a stale lower-indexed domain *at* `now` would
-     * make it step after the publisher and observe state the
-     * reference kernel's step at `now` provably did not see.
-     */
-    static Tick
-    consumableAt(DomainId src, DomainId dst, Tick now)
-    {
-        return static_cast<int>(dst) < static_cast<int>(src)
-                   ? now + 1
-                   : now;
-    }
-
-    /**
-     * regs_.complete + push-based wakeup. The waiter chains move
-     * exactly the ops waiting on this register onto their queue's
-     * ready ring; a domain with no waiter of `ref` keeps sleeping
-     * (`now` = the edge performing the completion, in the `producer`
-     * domain's step).
-     */
-    void
-    completeReg(PhysRef ref, Tick when, DomainId producer,
-                size_t rob_idx, Tick now)
-    {
-        regs_.complete(ref, when, producer);
-        if (iq_int_.wakeWaiters(ref)) {
-            wakeDomain(DomainId::Integer,
-                       consumableAt(producer, DomainId::Integer,
-                                    now));
-        }
-        if (iq_fp_.wakeWaiters(ref)) {
-            wakeDomain(DomainId::FloatingPoint,
-                       consumableAt(producer,
-                                    DomainId::FloatingPoint, now));
-        }
-        // Retire blocks only on the ROB head: a younger op's
-        // completion cannot unblock the front end, and once the head
-        // run reaches an already-completed op the same doRetire call
-        // evaluates it without a wake.
-        if (rob_idx == rob_.headIndex()) {
-            wakeDomain(DomainId::FrontEnd,
-                       consumableAt(producer, DomainId::FrontEnd,
-                                    now));
-        }
-    }
-
-    // Timing helpers.
-    Clock &clock(DomainId d)
-    {
-        return clocks_[static_cast<size_t>(d)];
-    }
-    const Clock &clock(DomainId d) const
-    {
-        return clocks_[static_cast<size_t>(d)];
-    }
-    /** When a value produced in `prod` is usable in `cons`. */
-    Tick visibleAt(Tick produced, DomainId prod, DomainId cons) const;
-
-    // Phase-adaptive control.
-    void controlCaches(Tick now);
-    void controlQueues(Tick now);
-    void requestConfig(Structure s, int target, Tick now);
-    void applyStructure(Structure s, int target, Tick now);
-    int currentIndexOf(Structure s) const;
-    DomainId domainOf(Structure s) const;
-    void applyPending(DomainId d, Tick now);
-
-    // Statistics.
     void snapshotBaselines(Tick now);
     void finalizeStats(RunStats &stats) const;
 
     MachineConfig cfg_;
     WorkloadParams wl_params_;
-    SyntheticWorkload workload_;
     AdaptiveConfig cur_cfg_;
-    bool same_domain_;
 
     std::array<Clock, 4> clocks_;
-    std::array<Pll, 4> plls_;
-    std::array<PendingApply, 4> pending_;
+    CoreTiming timing_;
+    WakeHub hub_;
+    RunStats stats_;
 
-    // Structures.
-    std::unique_ptr<AccountingCache> l1i_;
-    std::unique_ptr<AccountingCache> l1d_;
-    std::unique_ptr<AccountingCache> l2_;
-    std::unique_ptr<HybridPredictor> predictor_;
-    MainMemory memory_;
+    // Domain units (each owns its structures and controllers).
+    FrontEnd fe_;
+    IssueCluster int_cluster_;
+    IssueCluster fp_cluster_;
+    LoadStoreUnit lsu_;
 
-    RegisterFiles regs_;
-    Rob rob_;
-    IssueQueue iq_int_;
-    IssueQueue iq_fp_;
-    Lsq lsq_;
-    StoreBuffer store_buffer_;
-    FuPool fu_int_;
-    FuPool fu_fp_;
-    ArenaVector<Tick> mshr_busy_;
-    /** min(mshr_busy_): one compare decides "any MSHR free". */
-    Tick mshr_min_free_ = 0;
+    // Cross-domain port layer and shared services.
+    CorePorts ports_;
+    EpochBumpPort epoch_port_;
+    ReconfigUnit reconfig_;
 
-    // Fetch state.
-    /** L1I A/B latencies of the live config (hoisted off doFetch). */
-    int fetch_a_lat_ = 2;
-    int fetch_b_lat_ = -1;
-    FetchGroupQueue fetch_queue_;
-    std::optional<MicroOp> staged_op_;
-    Addr cur_fetch_line_ = ~0ULL;
-    Tick fetch_line_ready_ = 0;
-    /**
-     * Provenance of fetch_line_ready_: true when it came from an
-     * L2/memory line fill, i.e. a cross-domain grid extrapolation of
-     * fetch_line_fill_done_ (the serve time in the load/store
-     * domain). A PLL re-lock moves the grid, so the memo is
-     * epoch-tagged and recomputed on mismatch while the fill is still
-     * pending. Hit-path ready times are short same-domain offsets and
-     * are not re-extrapolated.
-     */
-    bool fetch_line_is_fill_ = false;
-    Tick fetch_line_fill_done_ = 0;
-    std::uint32_t fetch_line_epoch_ = 0;
-    bool fetch_halted_ = false;
-    Tick fetch_resume_ = 0;
-    /**
-     * Resolution time and domain behind fetch_resume_ (same epoch
-     * rule: the resume tick is a grid extrapolation of the resolving
-     * branch's completion).
-     */
-    Tick fetch_resume_src_ = kTickMax;
-    DomainId fetch_resume_dom_ = DomainId::Integer;
-    std::uint32_t fetch_resume_epoch_ = 0;
+    std::array<Domain *, 4> domain_table_;
+    DomainScheduler scheduler_;
 
-    // Dispatch queues (front end -> each execution domain).
-    SyncFifo<size_t> disp_int_;
-    SyncFifo<size_t> disp_fp_;
-    SyncFifo<size_t> disp_ls_;
-
-    // Control.
-    IlpTracker ilp_tracker_;
-    QueueController qctl_int_;
-    QueueController qctl_fp_;
-    ReconfigTrace trace_;
-
-    /** Persistence damper: act only on repeated agreeing decisions. */
-    struct Damper
-    {
-        int target = -1;
-        int count = 0;
-
-        /** Returns true when `target` has persisted `need` times. */
-        bool
-        vote(int proposal, int current, int need)
-        {
-            if (proposal == current) {
-                target = -1;
-                count = 0;
-                return false;
-            }
-            if (proposal == target) {
-                ++count;
-            } else {
-                target = proposal;
-                count = 1;
-            }
-            if (count >= need) {
-                target = -1;
-                count = 0;
-                return true;
-            }
-            return false;
-        }
-    };
-    Damper damp_iq_int_;
-    Damper damp_iq_fp_;
-    Damper damp_icache_;
-    Damper damp_dcache_;
-
-    // Progress.
-    SeqNum next_seq_ = 0;
-    std::uint64_t committed_ = 0;
-    std::uint64_t interval_commits_ = 0;
-    Tick last_commit_time_ = 0;
-    std::uint64_t flushes_ = 0;
-    std::uint64_t fe_idle_cycles_ = 0;
-
-    // ------------------------------------------------------------------
-    // Event-driven scheduler (see docs/kernel.md).
-    // ------------------------------------------------------------------
-    /**
-     * Four-slot calendar keyed by each domain's next-possible-work
-     * tick. A parked domain's key is kTickMax, so it never reaches
-     * the head and costs nothing beyond one compare. Ties resolve to
-     * the lowest domain index, matching the reference kernel's scan
-     * order exactly.
-     */
-    struct EdgeCalendar
-    {
-        std::array<Tick, 4> key{kTickMax, kTickMax, kTickMax,
-                                kTickMax};
-
-        void set(int d, Tick k) { key[static_cast<size_t>(d)] = k; }
-        void park(int d) { key[static_cast<size_t>(d)] = kTickMax; }
-        bool active(int d) const
-        {
-            return key[static_cast<size_t>(d)] != kTickMax;
-        }
-
-        /** Earliest-keyed domain (lowest index on ties). */
-        int
-        head() const
-        {
-            int d = 0;
-            if (key[1] < key[0])
-                d = 1;
-            if (key[2] < key[static_cast<size_t>(d)])
-                d = 2;
-            if (key[3] < key[static_cast<size_t>(d)])
-                d = 3;
-            return d;
-        }
-
-        bool anyActive() const
-        {
-            return key[0] != kTickMax || key[1] != kTickMax ||
-                   key[2] != kTickMax || key[3] != kTickMax;
-        }
-    };
-
-    EdgeCalendar calendar_;
-
-    /**
-     * Per-queue epoch tag of the ready-list timing state: ready_at
-     * values and the timer-ring order extrapolate clock grids, so a
-     * mismatch with clock_epoch_ forces invalidateTimes at the next
-     * step of the owning domain (the one O(queue) path left in the
-     * back end).
-     */
-    std::array<std::uint32_t, 2> iq_epoch_{1, 1};
-
-    /** Walk summary for the combined LSQ walks of the LS domain. */
-    struct LsSummary
-    {
-        bool must_walk = true;
-        /** Earliest agen-visibility / MSHR-free time among waiters. */
-        Tick min_time = kTickMax;
-        std::uint32_t agen_snap = 0;
-        std::uint32_t ev_snap = 0;
-        std::uint32_t epoch_snap = 0;
-    };
-    LsSummary ls_sum_;
-    /**
-     * Front-end next-progress summary: the earliest tick at which any
-     * front-end stage can do more work, accumulated by the stages
-     * *during* the step (via feNote) instead of being re-derived
-     * afterwards. kTickMax = every stage is blocked on a cross-domain
-     * event, all of which are covered by wakeDomain hooks. Stages
-     * record exact ticks for group-visibility boundaries, I-cache
-     * line fills and redirect resumes.
-     */
-    Tick fe_next_ = 0;
-    /** Epoch fe_next_ was derived under (stale ticks re-derive). */
-    std::uint32_t fe_next_epoch_ = 0;
-    /** Per-domain earliest-possible-work tick; kTickMax = parked. */
-    std::array<Tick, 4> wake_{};
-    /**
-     * Grid-change epoch: bumped whenever any domain clock applies a
-     * period change. Tags every memoized grid extrapolation
-     * (InFlightOp::ready_hint/fe_vis, LsqEntry::agen_vis).
-     */
-    std::uint32_t clock_epoch_ = 1;
     Kernel kernel_ = Kernel::EventDriven;
-
-    /** Invariant-check cadence in front-end steps; 0 = off. */
-    std::uint32_t inv_interval_ = 0;
-    std::uint32_t inv_countdown_ = 0;
-
-    // ------------------------------------------------------------------
-    // Wakeup-path counters. Each counts events that can unblock a
-    // class of waiters; waiters snapshot the counter and are skipped
-    // with a compare until it moves (see docs/kernel.md).
-    // ------------------------------------------------------------------
-    /** Address-generation uops issued (LSQ agen waiters). */
-    std::uint32_t agen_issues_ = 0;
-    /**
-     * Store/MSHR/store-buffer events: store data captured, store
-     * retired out of the LSQ, store-buffer push/pop, MSHR claimed.
-     * Guards memoized load-attempt failures.
-     */
-    std::uint32_t ls_events_ = 0;
-
-    // Measurement window.
-    bool measuring_ = false;
-    Tick measure_start_ = 0;
-    std::uint64_t measure_committed_base_ = 0;
 
     struct Baseline
     {
@@ -478,8 +119,6 @@ class Processor
         std::uint64_t flushes = 0;
         std::uint64_t relocks = 0;
     } base_;
-
-    RunStats stats_;
 };
 
 } // namespace gals

@@ -1,0 +1,128 @@
+#include "core/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+DomainScheduler::DomainScheduler(Domain *const *domains, Clock *clocks,
+                                 int count, WakeHub &hub,
+                                 EpochBumpPort &epochs)
+    : domains_(domains), clocks_(clocks), count_(count), hub_(hub),
+      epochs_(epochs)
+{
+    GALS_ASSERT(count >= 1 && count <= kMaxSchedDomains,
+                "DomainScheduler domain count out of range");
+}
+
+bool
+DomainScheduler::advanceClock(int d)
+{
+    Clock &c = clocks_[static_cast<size_t>(d)];
+    if (!c.changePending()) {
+        c.advance();
+        return false;
+    }
+    Tick landing = c.nextEdge();
+    std::uint64_t before = c.periodChanges();
+    c.advance();
+    if (c.periodChanges() == before)
+        return false;
+    epochs_.broadcast(d, landing);
+    return true;
+}
+
+void
+DomainScheduler::advanceClockWhileBelow(int d, Tick t)
+{
+    Clock &c = clocks_[static_cast<size_t>(d)];
+    std::uint64_t before = c.periodChanges();
+    c.advanceWhileBelow(t);
+    // A pending period change can never land inside a proven-idle
+    // skip: every schedule bound is clamped to changeDue, so the
+    // landing edge is always delivered by a real step.
+    GALS_ASSERT(c.periodChanges() == before,
+                "period change landed inside a proven-idle skip");
+}
+
+void
+DomainScheduler::runReference(const std::uint64_t &progress,
+                              std::uint64_t target)
+{
+    hub_.setEventMode(false);
+    std::uint64_t steps = 0;
+    std::uint64_t last_progress = progress;
+    while (progress < target) {
+        int d = 0;
+        Tick best = clocks_[0].nextEdge();
+        for (int i = 1; i < count_; ++i) {
+            Tick e = clocks_[static_cast<size_t>(i)].nextEdge();
+            if (e < best) {
+                best = e;
+                d = i;
+            }
+        }
+        domains_[d]->step(best);
+        advanceClock(d);
+
+        if (++steps >= 8'000'000) {
+            GALS_ASSERT(progress != last_progress,
+                        "no commit in 8M domain steps: deadlock at "
+                        "t=%llu (committed=%llu)",
+                        static_cast<unsigned long long>(best),
+                        static_cast<unsigned long long>(progress));
+            steps = 0;
+            last_progress = progress;
+        }
+    }
+}
+
+void
+DomainScheduler::runEvent(const std::uint64_t &progress,
+                          std::uint64_t target)
+{
+    hub_.setEventMode(true);
+    hub_.beginEventRun();
+
+    std::uint64_t steps = 0;
+    std::uint64_t last_progress = progress;
+    while (progress < target) {
+        int d = hub_.head();
+        size_t di = static_cast<size_t>(d);
+        GALS_ASSERT(hub_.key(d) != kTickMax,
+                    "event kernel: every domain parked at "
+                    "committed=%llu (missing wakeup port)",
+                    static_cast<unsigned long long>(progress));
+        Tick edge = clocks_[di].nextEdge();
+        if (hub_.bound(d) > edge) {
+            // Proven-idle edges: consume them without stepping, then
+            // re-key on the first edge at or after the wake time.
+            advanceClockWhileBelow(d, hub_.bound(d));
+            hub_.setKey(d, clocks_[di].nextEdge());
+            continue;
+        }
+        Tick raw = domains_[d]->step(edge);
+        // The step's bound extrapolated the pre-advance grid; if this
+        // domain's own period change lands on the consumed edge, every
+        // such memo is stale — re-derive at the next edge (waking
+        // early is a wasted no-op step, never a divergence).
+        Tick w = advanceClock(d) ? 0 : domains_[d]->clampBound(raw);
+        hub_.setBound(d, w);
+        if (w == kTickMax)
+            hub_.park(d);
+        else
+            hub_.setKey(d, std::max(clocks_[di].nextEdge(), w));
+
+        if (++steps >= 8'000'000) {
+            GALS_ASSERT(progress != last_progress,
+                        "no commit in 8M domain steps: deadlock at "
+                        "t=%llu (committed=%llu)",
+                        static_cast<unsigned long long>(edge),
+                        static_cast<unsigned long long>(progress));
+            steps = 0;
+            last_progress = progress;
+        }
+    }
+}
+
+} // namespace gals

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The domain scheduler: the step loop of the GALS core, generic over
+ * a set of clock-domain units (core/domain.hh).
+ *
+ * Two kernels share one stepping order (time, then lowest domain
+ * index on ties — exactly the original simulator's tie-break):
+ *
+ *  - the *reference* kernel steps every domain at every edge and is
+ *    the bit-identity oracle (GALS_KERNEL=reference);
+ *  - the *event* kernel keeps a keyed calendar (in the WakeHub) of
+ *    each domain's earliest-possible-work tick, parks domains whose
+ *    bound is unknown until a port re-arms them, and consumes
+ *    proven-idle edges in bulk.
+ *
+ * The scheduler owns clock advancement: when a pending period change
+ * lands on a consumed edge it broadcasts the epoch bump through the
+ * port layer, which wakes sleeping domains per the publication order
+ * rule. Nothing here is specific to four domains; a follow-up can
+ * instantiate heterogeneous clusters or multiple cores against the
+ * same loop (bounded by kMaxSchedDomains).
+ */
+
+#ifndef GALS_CORE_SCHEDULER_HH
+#define GALS_CORE_SCHEDULER_HH
+
+#include <cstdint>
+
+#include "clock/clock.hh"
+#include "common/types.hh"
+#include "core/domain.hh"
+#include "core/ports.hh"
+
+namespace gals
+{
+
+/** Steps a set of domain units in reference-equivalent order. */
+class DomainScheduler
+{
+  public:
+    /**
+     * @param domains  one unit per domain, indexed by DomainId.
+     * @param clocks   the matching domain clocks.
+     * @param count    number of domains (<= kMaxSchedDomains).
+     * @param hub      the wake fabric (bounds + calendar keys).
+     * @param epochs   the epoch-bump broadcast port.
+     */
+    DomainScheduler(Domain *const *domains, Clock *clocks, int count,
+                    WakeHub &hub, EpochBumpPort &epochs);
+
+    /**
+     * Event kernel: run until `progress` (a counter advanced by the
+     * domains themselves, e.g. committed instructions) reaches
+     * `target`.
+     */
+    void runEvent(const std::uint64_t &progress, std::uint64_t target);
+
+    /** Reference kernel: step every domain at every edge. */
+    void runReference(const std::uint64_t &progress,
+                      std::uint64_t target);
+
+  private:
+    /** advance() + epoch-bump broadcast when a period change lands;
+     * returns true when a change landed on the consumed edge. */
+    bool advanceClock(int d);
+    /** Consume proven-idle edges of domain d strictly below `t`. */
+    void advanceClockWhileBelow(int d, Tick t);
+
+    Domain *const *domains_;
+    Clock *clocks_;
+    int count_;
+    WakeHub &hub_;
+    EpochBumpPort &epochs_;
+};
+
+} // namespace gals
+
+#endif // GALS_CORE_SCHEDULER_HH

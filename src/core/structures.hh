@@ -602,6 +602,9 @@ class IssueQueue
     ArenaVector<std::int32_t> wait_heads_;
 };
 
+/** Null link of the LSQ blocked-load chains ("no entry"). */
+constexpr std::uint64_t kLsqNoId = ~0ULL;
+
 /** One load/store queue entry (program order). */
 struct LsqEntry
 {
@@ -623,15 +626,22 @@ struct LsqEntry
     /**
      * Wakeup index for the per-edge LSQ walks. What the entry is
      * provably waiting for, so the walk can skip it with one or two
-     * compares:
+     * compares — each bound is *per entry*, so no event anywhere else
+     * in the queue forces this entry to re-evaluate:
      *   0 — nothing recorded; evaluate fully.
      *   1 — this op's address generation has not issued; cleared
      *       directly by the issue path when it does (push wakeup via
-     *       InFlightOp::lsq_id), so the walk skips it with one local
-     *       compare until then.
-     *   2 — a failed load attempt; recheck only after a store/MSHR/
-     *       store-buffer event (wait_snap vs the ls-event counter) or
-     *       once `wait_until` (MSHR free time) passes.
+     *       InFlightOp::lsq_id).
+     *   2 — a load attempt failed on a busy MSHR; recheck once
+     *       `wait_until` (the exact MSHR free time, which never moves
+     *       earlier) passes, or after a store-buffer push (`wait_snap`
+     *       vs the push counter — the only event that can make the
+     *       load forwardable, since MshrBusy implies it has no older
+     *       same-line store in the queue).
+     *   3 — a load blocked on a specific older same-line store that
+     *       lacks its data; chained on that store (`next_blocked`)
+     *       and cleared by its data capture or its retirement
+     *       (Lsq::wakeBlockedOn), never by unrelated events.
      */
     std::uint8_t wait_kind = 0;
     std::uint32_t wait_snap = 0;
@@ -639,6 +649,10 @@ struct LsqEntry
     /** Stores: data captured (mirrors InFlightOp::store_ready; read
      * by the per-load disambiguation scan). */
     bool data_ready = false;
+    /** Stores: head of the chain of loads blocked on this store. */
+    std::uint64_t blocked_head = kLsqNoId;
+    /** Loads: next load blocked on the same store (kind 3). */
+    std::uint64_t next_blocked = kLsqNoId;
 };
 
 /**
@@ -718,8 +732,11 @@ class Lsq
     popFront()
     {
         GALS_ASSERT(!empty(), "LSQ pop of empty queue");
-        const LsqEntry &e = front();
+        LsqEntry &e = front();
         if (e.is_store) {
+            // A store leaving the queue leaves the older-store set of
+            // every load chained on it: wake exactly those.
+            wakeBlockedOn(e);
             GALS_ASSERT(stores_head_ < stores_.size() &&
                             stores_[stores_head_].id == e.id,
                         "LSQ store index out of sync at pop");
@@ -763,8 +780,14 @@ class Lsq
         Blocked,  //!< some older store still lacks its data.
     };
 
+    /**
+     * @param blocker receives the id of the first older same-line
+     *        store lacking data when the result is Blocked (the load
+     *        chains on exactly that store).
+     */
     OlderStores
-    olderStores(Addr line_addr, std::uint64_t load_id) const
+    olderStores(Addr line_addr, std::uint64_t load_id,
+                std::uint64_t *blocker = nullptr) const
     {
         bool any = false;
         for (size_t i = stores_head_; i < stores_.size(); ++i) {
@@ -773,12 +796,53 @@ class Lsq
                 break; // ids ascend: the rest are younger.
             if (rec.line != line_addr)
                 continue;
-            if (!byId(rec.id).data_ready)
+            if (!byId(rec.id).data_ready) {
+                if (blocker != nullptr)
+                    *blocker = rec.id;
                 return OlderStores::Blocked;
+            }
             any = true;
         }
         return any ? OlderStores::AllReady : OlderStores::None;
     }
+
+    /** Chain a kind-3 blocked load onto its blocking store. */
+    void
+    addBlockedWaiter(std::uint64_t store_id, std::uint64_t load_id)
+    {
+        LsqEntry &store = byId(store_id);
+        LsqEntry &load = byId(load_id);
+        GALS_ASSERT(store.is_store && !store.data_ready &&
+                        load.next_blocked == kLsqNoId,
+                    "LSQ blocked-load chain misuse");
+        load.next_blocked = store.blocked_head;
+        store.blocked_head = load_id;
+    }
+
+    /**
+     * The blocking condition of `store` resolved (data captured, or
+     * the store retires out of the queue): clear the wait memo of
+     * exactly the loads chained on it. Bumps the wake counter the
+     * walk summary snapshots, so the next step re-walks.
+     */
+    void
+    wakeBlockedOn(LsqEntry &store)
+    {
+        std::uint64_t node = store.blocked_head;
+        if (node == kLsqNoId)
+            return;
+        store.blocked_head = kLsqNoId;
+        while (node != kLsqNoId) {
+            LsqEntry &load = byId(node);
+            node = load.next_blocked;
+            load.next_blocked = kLsqNoId;
+            load.wait_kind = 0;
+        }
+        ++wake_events_;
+    }
+
+    /** Blocked-load chain wakes so far (walk-summary snapshot). */
+    std::uint32_t wakeEvents() const { return wake_events_; }
 
     /** One in-queue store, in age order (flat: the disambiguation
      * scan touches only this dense list). */
@@ -848,6 +912,7 @@ class Lsq
     size_t stores_head_ = 0;
     ArenaVector<std::uint64_t> pending_stores_;
     ArenaVector<std::uint64_t> waiting_loads_;
+    std::uint32_t wake_events_ = 0;
 };
 
 /** A committed store waiting to write the cache. */

@@ -82,6 +82,29 @@ syncSweepShardJson(const std::vector<SyncPointRuntimes> &rows,
 }
 
 std::string
+adaptiveSweepShardJson(const std::vector<AdaptivePointRuntime> &rows,
+                       const std::string &benchmark, ShardSpec shard)
+{
+    std::string out = "{\n";
+    out += "  \"sweep\": \"adaptive\",\n";
+    out += csprintf("  \"benchmark\": \"%s\",\n", benchmark.c_str());
+    out += csprintf("  \"points\": %zu,\n",
+                    allAdaptiveConfigs().size());
+    out += shardLine(shard);
+    out += "  \"rows\": [\n";
+    for (size_t k = 0; k < rows.size(); ++k) {
+        const AdaptivePointRuntime &r = rows[k];
+        out += csprintf("    {\"index\": %zu, \"cfg\": \"%s\", "
+                        "\"runtime_ns\": %.17g}%s\n",
+                        r.point_index, r.cfg.str().c_str(),
+                        r.runtime_ns,
+                        k + 1 < rows.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
 renderFigure6(const StudyResult &study)
 {
     TextTable table(

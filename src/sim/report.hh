@@ -45,6 +45,12 @@ std::string syncSweepShardJson(
     const std::vector<SyncPointRuntimes> &rows, size_t suite_size,
     bool full, ShardSpec shard);
 
+/** Same contract for the 256-point exhaustive Program-Adaptive sweep
+ * of one benchmark. */
+std::string adaptiveSweepShardJson(
+    const std::vector<AdaptivePointRuntime> &rows,
+    const std::string &benchmark, ShardSpec shard);
+
 } // namespace gals
 
 #endif // GALS_SIM_REPORT_HH

@@ -66,6 +66,37 @@ exhaustiveSearch(const WorkloadParams &wl)
                                  configs.size()};
 }
 
+} // namespace
+
+std::vector<AdaptivePointRuntime>
+sweepAdaptiveRaw(const WorkloadParams &wl, ShardSpec shard)
+{
+    std::vector<AdaptiveConfig> configs = allAdaptiveConfigs();
+
+    // The configuration is the shard unit; owned rows keep their
+    // global point index so merged shard documents reassemble in
+    // enumeration order.
+    std::vector<AdaptivePointRuntime> out;
+    for (size_t p = 0; p < configs.size(); ++p) {
+        if (!shard.owns(p))
+            continue;
+        out.push_back(AdaptivePointRuntime{p, configs[p], 0.0});
+    }
+
+    // Every run is a deterministic function of (config, benchmark)
+    // alone — neither the thread count nor the shard boundary changes
+    // any value, which is what makes merged shard output
+    // byte-identical to an unsharded sweep.
+    parallelFor(out.size(), [&](size_t i) {
+        out[i].runtime_ns =
+            runtimeNs(runAdaptive(wl, out[i].cfg));
+    });
+    return out;
+}
+
+namespace
+{
+
 ProgramAdaptiveResult
 stagedSearch(const WorkloadParams &wl)
 {

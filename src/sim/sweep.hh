@@ -109,6 +109,29 @@ std::vector<SyncPointRuntimes>
 sweepSynchronousRaw(const std::vector<WorkloadParams> &suite,
                     bool full, ShardSpec shard = {});
 
+/**
+ * One point of the 256-configuration exhaustive Program-Adaptive
+ * sweep — the shardable unit of findBestAdaptive's exhaustive mode.
+ */
+struct AdaptivePointRuntime
+{
+    std::size_t point_index = 0; //!< allAdaptiveConfigs index.
+    AdaptiveConfig cfg;
+    double runtime_ns = 0.0;
+};
+
+/**
+ * The raw exhaustive Program-Adaptive sweep for one benchmark,
+ * restricted to the configurations owned by `shard` (round-robin on
+ * the point index, like the synchronous sweep). Rows come back in
+ * global point order and are byte-for-byte the rows the unsharded
+ * run computes; the argmin over the merged rows is exactly
+ * findBestAdaptive(wl, SweepMode::Exhaustive)'s choice (ties resolve
+ * to the lowest point index in both).
+ */
+std::vector<AdaptivePointRuntime>
+sweepAdaptiveRaw(const WorkloadParams &wl, ShardSpec shard = {});
+
 } // namespace gals
 
 #endif // GALS_SIM_SWEEP_HH

@@ -130,6 +130,23 @@ randomMachine(Pcg32 &rng)
         m.mem_ports = rng.nextRange(1, 3);
         m.retire_width = rng.nextRange(2, 12);
     }
+    // Port-pressure shape knobs: small dispatch FIFOs exercise the
+    // pop-from-full producer wakes of the dispatch ports, small
+    // store buffers the drain port's full transition, few MSHRs the
+    // per-entry MSHR time bounds and blocked-load chains of the LSQ
+    // walk, and narrow fetch/decode the group-boundary gates. These
+    // stack with the phase-adaptive controller draws above, so the
+    // domain/port wiring is exercised under re-locks too.
+    if (rng.chance(0.5)) {
+        m.fetch_width = rng.nextRange(2, 8);
+        m.decode_width = rng.nextRange(2, 8);
+        m.fetch_queue_entries = rng.nextRange(4, 16);
+        m.dispatch_fifo_entries = rng.nextRange(2, 16);
+        m.rob_entries = rng.nextRange(48, 256);
+        m.lsq_entries = rng.nextRange(8, 64);
+        m.store_buffer_entries = rng.nextRange(2, 16);
+        m.mshrs = rng.nextRange(1, 8);
+    }
     m.seed = rng.next();
     return m;
 }

@@ -126,6 +126,42 @@ TEST(Differential, ReadyListEpochBumpRegression)
     harness::expectKernelsAgree(m, wl, 64);
 }
 
+TEST(Differential, LsqPerEntryBoundsRegression)
+{
+    // Regression for the per-entry LSQ wait bounds: a single MSHR, a
+    // lone memory port and a two-entry store buffer keep loads parked
+    // on exact MSHR-free times (kind 2) and on blocked-store chains
+    // (kind 3) throughout the run, while stores continuously retire
+    // through the full store buffer. Every one of those memos must
+    // wake at exactly the reference kernel's issue tick; a stale
+    // bound shows up as a one-tick commit divergence.
+    WorkloadParams wl = findBenchmark("mst");
+    wl.sim_instrs = 8'000;
+    wl.warmup_instrs = 500;
+    MachineConfig m = MachineConfig::mcdProgram({1, 0, 2, 0});
+    m.mshrs = 1;
+    m.mem_ports = 1;
+    m.store_buffer_entries = 2;
+    m.lsq_entries = 16;
+    harness::expectKernelsAgree(m, wl, 64);
+
+    // The same pressure under phase-adaptive re-locks: the chains and
+    // time bounds must survive epoch bumps.
+    MachineConfig p = MachineConfig::mcdPhaseAdaptive();
+    p.mshrs = 1;
+    p.mem_ports = 1;
+    p.store_buffer_entries = 2;
+    p.lsq_entries = 16;
+    p.cache_interval_instrs = 400;
+    p.cache_persistence = 1;
+    p.queue_persistence = 1;
+    p.cache_hysteresis = 0.0;
+    p.icache_hysteresis = 0.0;
+    p.queue_hysteresis = 0.0;
+    SCOPED_TRACE("phase-adaptive");
+    harness::expectKernelsAgree(p, wl, 64);
+}
+
 TEST(Differential, InvariantCheckerAcceptsLongRun)
 {
     // The invariant checker itself must not fire on a healthy long

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Port-layer unit tests: the publication-order rule lives in
+ * core/ports.hh and nowhere else, so these tests pin its semantics
+ * directly — a publication at tick t is consumable by a
+ * higher-indexed domain at t and by a lower-indexed domain strictly
+ * after t, and a deliberately mis-ordered explicit wake is rejected
+ * (asserted) by the port rather than silently delivered. The FIFO
+ * and store-buffer ports must wake their producer exactly on the
+ * pop-from-full transition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "clock/clock.hh"
+#include "core/domain.hh"
+#include "core/ports.hh"
+
+using namespace gals;
+
+namespace
+{
+
+/** Four identical 1 GHz clocks on a clean grid. */
+std::array<Clock, 4>
+testClocks()
+{
+    return {Clock(1000, 1000), Clock(1000, 1000), Clock(1000, 1000),
+            Clock(1000, 1000)};
+}
+
+} // namespace
+
+TEST(Ports, PublishRespectsPublicationOrder)
+{
+    std::array<Clock, 4> clocks = testClocks();
+    WakeHub hub(clocks.data(), kNumDomains);
+    hub.beginEventRun();
+    // Park everything so the recorded wake bounds are visible.
+    for (int d = 0; d < kNumDomains; ++d)
+        hub.setBound(d, kTickMax);
+
+    // Load/store (3) publishing to the front end (0): the front
+    // end's step at t already ran, so the wake lands strictly after.
+    WakePort up(hub, DomainId::LoadStore, DomainId::FrontEnd);
+    up.publish(5000);
+    EXPECT_EQ(hub.bound(0), 5001u);
+
+    // Front end (0) publishing to the load/store unit (3): the
+    // consumer steps after the producer on equal ticks, so the wake
+    // lands at t itself.
+    WakePort down(hub, DomainId::FrontEnd, DomainId::LoadStore);
+    down.publish(5000);
+    EXPECT_EQ(hub.bound(3), 5000u);
+
+    // Self-publication is consumable at the same tick (the reference
+    // kernel's next step of this domain is after t).
+    WakePort self(hub, DomainId::Integer, DomainId::Integer);
+    self.publish(7000);
+    EXPECT_EQ(hub.bound(1), 7000u);
+}
+
+TEST(Ports, PublishAtAcceptsRuleRespectingTimes)
+{
+    std::array<Clock, 4> clocks = testClocks();
+    WakeHub hub(clocks.data(), kNumDomains);
+    for (int d = 0; d < kNumDomains; ++d)
+        hub.setBound(d, kTickMax);
+
+    WakePort up(hub, DomainId::Integer, DomainId::FrontEnd);
+    up.publishAt(4000, 4001); // earliest legal tick.
+    EXPECT_EQ(hub.bound(0), 4001u);
+
+    WakePort down(hub, DomainId::FrontEnd, DomainId::Integer);
+    down.publishAt(4000, 4000); // equal tick legal for dst > src.
+    EXPECT_EQ(hub.bound(1), 4000u);
+
+    // Wakes never move a bound later (monotone min).
+    up.publishAt(4000, 9000);
+    EXPECT_EQ(hub.bound(0), 4001u);
+}
+
+TEST(PortsDeathTest, MisorderedPublicationIsRejected)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    std::array<Clock, 4> clocks = testClocks();
+    WakeHub hub(clocks.data(), kNumDomains);
+
+    // A wake at t toward a lower-indexed domain claims the consumer
+    // can observe state its step at t provably did not see — exactly
+    // the divergence class the rule exists to prevent. The port must
+    // reject it, not deliver it.
+    WakePort up(hub, DomainId::LoadStore, DomainId::FrontEnd);
+    EXPECT_DEATH(up.publishAt(5000, 5000), "publication order");
+    EXPECT_DEATH(up.publishAt(5000, 4999), "publication order");
+
+    // Same rule for the re-lock landing channel.
+    ReclockPort reclock(hub);
+    EXPECT_DEATH(reclock.schedule(DomainId::FrontEnd, 0, 5000),
+                 "publication");
+}
+
+TEST(Ports, DispatchPortWakesProducerOnlyOnPopFromFull)
+{
+    std::array<Clock, 4> clocks = testClocks();
+    WakeHub hub(clocks.data(), kNumDomains);
+    for (int d = 0; d < kNumDomains; ++d)
+        hub.setBound(d, kTickMax);
+
+    DispatchPort port(hub, DomainId::FrontEnd, DomainId::Integer, 2);
+    port.push(7, 2000, 1000);
+    // The consumer is woken for the entry's visibility time.
+    EXPECT_EQ(hub.bound(1), 2000u);
+
+    // Pop while the FIFO was not full: rename was not blocked on it,
+    // so the producer must NOT be woken.
+    port.consume(2000, [](size_t) { return true; });
+    EXPECT_EQ(hub.bound(0), kTickMax);
+
+    // Fill it, then pop: the producer wakes strictly after the
+    // consuming step's tick (Integer > FrontEnd).
+    port.push(8, 3000, 2500);
+    port.push(9, 3000, 2500);
+    EXPECT_EQ(port.freeSlots(), 0u);
+    port.consume(3000, [](size_t) { return true; });
+    EXPECT_EQ(hub.bound(0), 3001u);
+}
+
+TEST(Ports, StoreBufferPortWakesFrontEndOnPopFromFull)
+{
+    std::array<Clock, 4> clocks = testClocks();
+    WakeHub hub(clocks.data(), kNumDomains);
+    for (int d = 0; d < kNumDomains; ++d)
+        hub.setBound(d, kTickMax);
+
+    StoreBufferPort sb(hub, 2);
+    sb.push(0x10, 1000);
+    EXPECT_EQ(hub.bound(3), 1000u); // drain side woken at push tick.
+    EXPECT_EQ(sb.pushes(), 1u);
+
+    sb.pop(2000); // was not full: retire was not blocked.
+    EXPECT_EQ(hub.bound(0), kTickMax);
+
+    sb.push(0x11, 3000);
+    sb.push(0x12, 3000);
+    EXPECT_TRUE(sb.full());
+    sb.pop(4000); // pop-from-full unblocks retire, strictly after.
+    EXPECT_EQ(hub.bound(0), 4001u);
+    EXPECT_EQ(sb.pushes(), 3u);
+}
+
+TEST(Ports, EpochBumpBroadcastFollowsReferenceOrder)
+{
+    std::array<Clock, 4> clocks = testClocks();
+    CoreTiming timing(clocks, false);
+    WakeHub hub(clocks.data(), kNumDomains);
+    for (int d = 0; d < kNumDomains; ++d)
+        hub.setBound(d, kTickMax);
+
+    EpochBumpPort port(hub, timing);
+    std::uint32_t before = timing.epoch();
+    // Domain 2's period change lands at t: lower-indexed sleepers
+    // already stepped at t under the old grid and re-derive strictly
+    // after; higher-indexed ones step at t itself.
+    port.broadcast(2, 8000);
+    EXPECT_EQ(timing.epoch(), before + 1);
+    EXPECT_EQ(hub.bound(0), 8001u);
+    EXPECT_EQ(hub.bound(1), 8001u);
+    EXPECT_EQ(hub.bound(2), kTickMax); // the changed domain itself.
+    EXPECT_EQ(hub.bound(3), 8000u);
+}
+
+TEST(Ports, WakeHubHeadPrefersEarliestThenLowestIndex)
+{
+    std::array<Clock, 4> clocks = testClocks();
+    WakeHub hub(clocks.data(), kNumDomains);
+    hub.setKey(0, 5000);
+    hub.setKey(1, 4000);
+    hub.setKey(2, 4000);
+    hub.setKey(3, 6000);
+    EXPECT_EQ(hub.head(), 1); // earliest wins; ties to lowest index.
+    hub.park(1);
+    EXPECT_EQ(hub.head(), 2);
+}

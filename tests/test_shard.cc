@@ -15,6 +15,7 @@
 
 #include "sim/report.hh"
 #include "sim/shard.hh"
+#include "sim/simulation.hh"
 #include "sim/study.hh"
 #include "sim/sweep.hh"
 #include "workload/suite.hh"
@@ -125,6 +126,64 @@ TEST(Shard, MergedStudyJsonIsByteIdenticalToUnsharded)
     // Merge order must not matter.
     std::swap(parts[0], parts[2]);
     EXPECT_EQ(mergeShardJson(parts), whole);
+}
+
+TEST(Shard, MergedAdaptiveSweepJsonIsByteIdenticalToUnsharded)
+{
+    // The 256-point exhaustive Program-Adaptive sweep, sharded over
+    // configuration points (ROADMAP follow-up from the sync/study
+    // sharding). A very short window keeps 2x256 runs fast.
+    WorkloadParams wl = benchmarkSuite().front();
+    wl.sim_instrs = 400;
+    wl.warmup_instrs = 100;
+
+    std::vector<AdaptivePointRuntime> whole_rows =
+        sweepAdaptiveRaw(wl, ShardSpec{});
+    ASSERT_EQ(whole_rows.size(), 256u);
+    std::string whole =
+        adaptiveSweepShardJson(whole_rows, wl.name, ShardSpec{});
+
+    const int n = 3; // does not divide 256: uneven shard sizes.
+    std::vector<std::string> parts;
+    size_t covered = 0;
+    for (int i = 0; i < n; ++i) {
+        ShardSpec shard{i, n};
+        std::vector<AdaptivePointRuntime> rows =
+            sweepAdaptiveRaw(wl, shard);
+        for (const AdaptivePointRuntime &r : rows) {
+            EXPECT_TRUE(shard.owns(r.point_index));
+            // Shard rows must equal the unsharded run's rows.
+            EXPECT_EQ(r.runtime_ns,
+                      whole_rows[r.point_index].runtime_ns);
+            EXPECT_EQ(r.cfg, whole_rows[r.point_index].cfg);
+        }
+        covered += rows.size();
+        parts.push_back(adaptiveSweepShardJson(rows, wl.name, shard));
+    }
+    EXPECT_EQ(covered, whole_rows.size());
+    EXPECT_EQ(mergeShardJson(parts), whole);
+}
+
+TEST(Shard, AdaptiveSweepArgminMatchesExhaustiveSearch)
+{
+    // The merged rows are the whole search: their argmin (lowest
+    // index on ties) must be exactly what findBestAdaptive's
+    // exhaustive mode picks.
+    WorkloadParams wl = benchmarkSuite().front();
+    wl.sim_instrs = 400;
+    wl.warmup_instrs = 100;
+
+    std::vector<AdaptivePointRuntime> rows =
+        sweepAdaptiveRaw(wl, ShardSpec{});
+    size_t best = 0;
+    for (size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].runtime_ns < rows[best].runtime_ns)
+            best = i;
+    }
+    ProgramAdaptiveResult search =
+        findBestAdaptive(wl, SweepMode::Exhaustive);
+    EXPECT_EQ(search.best, rows[best].cfg);
+    EXPECT_EQ(runtimeNs(search.best_stats), rows[best].runtime_ns);
 }
 
 TEST(Shard, MergedSyncSweepJsonIsByteIdenticalToUnsharded)
