@@ -8,14 +8,20 @@
  * into what an unsharded run would have written (sim/shard.hh).
  *
  * Usage:
- *   sweep_cli [--mode study|sync|adaptive] [--shard i/n]
+ *   sweep_cli [--mode study|sync|adaptive|cmp] [--shard i/n]
  *             [--out FILE] [--benchmarks N] [--bench NAME]
- *             [--sim INSTRS] [--warmup INSTRS] [--full] [--verbose]
+ *             [--cores LIST] [--sim INSTRS] [--warmup INSTRS]
+ *             [--full] [--verbose]
  *   sweep_cli --merge OUT IN1 IN2 ...
  *
  * `--mode adaptive` runs the 256-point exhaustive Program-Adaptive
  * sweep for one benchmark (`--bench`, default the suite's first),
  * sharded over the configuration points.
+ *
+ * `--mode cmp` runs the multiprogrammed chip-multiprocessor sweep:
+ * one chip per (core count, suite rotation) pair, sharded over those
+ * points. `--cores` is a comma-separated core-count list (default
+ * "1,2,4").
  *
  * `--shard` falls back to the GALS_SHARDS environment variable
  * ("i/n"); unset means the whole sweep. `--benchmarks N` restricts
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "core/ports.hh"
 #include "sim/report.hh"
 #include "sim/shard.hh"
 #include "sim/study.hh"
@@ -48,10 +55,11 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: sweep_cli [--mode study|sync|adaptive] [--shard i/n]\n"
-        "                 [--out FILE] [--benchmarks N] [--bench NAME]\n"
-        "                 [--sim INSTRS] [--warmup INSTRS] [--full]\n"
-        "                 [--verbose]\n"
+        "usage: sweep_cli [--mode study|sync|adaptive|cmp]\n"
+        "                 [--shard i/n] [--out FILE]\n"
+        "                 [--benchmarks N] [--bench NAME]\n"
+        "                 [--cores LIST] [--sim INSTRS]\n"
+        "                 [--warmup INSTRS] [--full] [--verbose]\n"
         "       sweep_cli --merge OUT IN1 IN2 ...\n");
     return 2;
 }
@@ -76,6 +84,26 @@ writeFile(const std::string &path, const std::string &text)
     out << text;
 }
 
+/** Parse a comma-separated core-count list ("1,2,4"). */
+std::vector<int>
+parseIntList(const std::string &text)
+{
+    std::vector<int> out;
+    std::istringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        int v = std::atoi(item.c_str());
+        if (v < 1 || v > kMaxCores) {
+            panic("bad core count '%s' (must be 1..%d)", item.c_str(),
+                  kMaxCores);
+        }
+        out.push_back(v);
+    }
+    if (out.empty())
+        panic("empty core-count list");
+    return out;
+}
+
 } // namespace
 
 int
@@ -83,6 +111,7 @@ main(int argc, char **argv)
 {
     std::string mode = "study";
     std::string bench;
+    std::string cores = "1,2,4";
     std::string out_path;
     ShardSpec shard = shardFromEnv();
     size_t benchmarks = 0; // 0 = whole suite.
@@ -126,6 +155,8 @@ main(int argc, char **argv)
             benchmarks = static_cast<size_t>(std::atoi(value()));
         } else if (arg == "--bench") {
             bench = value();
+        } else if (arg == "--cores") {
+            cores = value();
         } else if (arg == "--sim") {
             sim_instrs =
                 static_cast<std::uint64_t>(std::atoll(value()));
@@ -175,6 +206,14 @@ main(int argc, char **argv)
         std::vector<AdaptivePointRuntime> rows =
             sweepAdaptiveRaw(wl, shard);
         json = adaptiveSweepShardJson(rows, wl.name, shard);
+    } else if (mode == "cmp") {
+        std::vector<int> core_counts = parseIntList(cores);
+        std::vector<CmpPointResult> rows =
+            sweepCmpRaw(suite, core_counts, shard);
+        if (verbose && !shard.sharded())
+            std::fputs(renderCmpSummary(rows).c_str(), stdout);
+        json = cmpSweepShardJson(rows, suite.size(), core_counts,
+                                 shard);
     } else {
         return usage();
     }

@@ -5,13 +5,22 @@
 # (src/core/ports.hh / ports.cc). Any other call site could publish
 # or wake around the rule, which is exactly the divergence class the
 # port layer exists to make unrepresentable.
+#
+# The cross-core interconnect extends the same rule over the shared
+# L2 (src/cmp, src/cache/shared_l2): its raw entry points — the bank
+# publication tripwire (bankPublish) and the wake primitive behind
+# the per-core WakeHub windows (wakeRaw) — are port-layer-only too.
+# The shared L2's arbitration state is additionally confined by the
+# compiler (private members, friend InterconnectPort); this grep is
+# the textual backstop for the names that must never grow call sites
+# outside the layer.
 set -u
 
 src_root="${1:?usage: check_port_confinement.sh <repo root>}"
 
 violations=$(grep -rn --include='*.hh' --include='*.cc' \
                   --include='*.cpp' -e 'wakeDomain' -e 'consumableAt' \
-                  -e 'wakeRaw' \
+                  -e 'wakeRaw' -e 'bankPublish' \
                   "$src_root/src" "$src_root/tests" \
                   "$src_root/bench" "$src_root/examples" 2>/dev/null |
              grep -v '/src/core/ports\.hh:' |

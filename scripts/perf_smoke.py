@@ -54,6 +54,14 @@ def main():
     for name, row in ref["configs"].items():
         seed = float(row["seed_baseline"])
         committed = float(row["current"])
+        if name not in fresh["configs"]:
+            # A tracked column (e.g. the cmp2 multi-core chip) must
+            # never silently vanish from the bench output — that
+            # would un-gate its throughput.
+            failures.append(f"{name} (missing from bench output)")
+            print(f"{name:<18} {'-':>10} {committed:>12.0f} "
+                  f"{'MISSING':>12}  << FAIL")
+            continue
         measured = float(fresh["configs"][name]["current"])
         ratio = measured / committed
         delta = 100.0 * (ratio - 1.0)

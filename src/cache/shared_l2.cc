@@ -1,0 +1,53 @@
+#include "cache/shared_l2.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "timing/frequency_model.hh"
+
+namespace gals
+{
+
+SharedL2::SharedL2(const Params &p)
+    : p_(p), cache_("l2", p.size_bytes, p.ways),
+      memory_(kMemFirstChunkNs, kMemNextChunkNs, 64, 8),
+      banks_(static_cast<size_t>(p.banks)),
+      per_core_(static_cast<size_t>(p.cores)), row_(p.row)
+{
+    GALS_ASSERT(p.cores >= 1, "SharedL2 needs at least one core");
+    GALS_ASSERT(p.banks >= 1, "SharedL2 needs at least one bank");
+    GALS_ASSERT(p.bank_mshrs >= 0, "negative bank MSHR count");
+    cache_.setPartition(p.a_ways, p.phase_adaptive);
+    for (PerCore &pc : per_core_) {
+        pc.interval.mru_hits.assign(static_cast<size_t>(p.ways), 0);
+    }
+}
+
+void
+SharedL2::resetInterval(int core)
+{
+    IntervalCounts &iv = per_core_[static_cast<size_t>(core)].interval;
+    std::fill(iv.mru_hits.begin(), iv.mru_hits.end(), 0);
+    iv.misses = 0;
+    iv.accesses = 0;
+}
+
+AccessOutcome
+SharedL2::access(int core, Addr addr)
+{
+    AccessOutcome out = cache_.access(addr);
+    PerCore &pc = per_core_[static_cast<size_t>(core)];
+    ++pc.accesses;
+    ++pc.interval.accesses;
+    if (out.where == HitWhere::Miss) {
+        ++pc.misses;
+        ++pc.interval.misses;
+    } else {
+        if (out.where == HitWhere::BPartition)
+            ++pc.b_hits;
+        ++pc.interval.mru_hits[static_cast<size_t>(out.mru_pos)];
+    }
+    return out;
+}
+
+} // namespace gals

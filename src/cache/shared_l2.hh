@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The shared banked L2 of a chip multiprocessor: one accounting
+ * cache (tag/MRU state shared by every core) in front of the shared
+ * main-memory channel, split into address-interleaved banks with
+ * per-bank in-flight fill (MSHR) tracking.
+ *
+ * This class is a *state container*: the cache contents, the bank
+ * occupancy/fill state, and the per-core accounting mirrors live
+ * here, but every timing decision that arbitrates between cores —
+ * bank queuing, fill-slot waits, in-flight merges, and the cross-core
+ * publication-order tripwire — is made exclusively by the
+ * InterconnectPort (core/ports.hh), which is a friend of this class.
+ * Keeping the mutable arbitration state private makes "publish or
+ * wake around the port layer" a compile error for the shared L2, the
+ * same confinement the grep gate enforces textually for the wake
+ * primitives.
+ *
+ * Arbitration is cross-core only (the port's contract): a core is
+ * never delayed behind its own requests, whose bandwidth the private
+ * hierarchy already models with mem ports and MSHRs. A single-core
+ * chip therefore produces bit-identical timing to the private
+ * Processor hierarchy — the N=1 equivalence gate of the differential
+ * suite.
+ *
+ * Accounting: the shared AccountingCache keeps chip-global MRU/tag
+ * state (that is what "shared" means), while per-core access/miss/
+ * B-hit totals and per-core IntervalCounts mirrors are maintained
+ * from the access outcomes so that RunStats and each core's D-cache
+ * phase controller see exactly the traffic that core generated.
+ */
+
+#ifndef GALS_CACHE_SHARED_L2_HH
+#define GALS_CACHE_SHARED_L2_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/accounting_cache.hh"
+#include "cache/main_memory.hh"
+#include "common/types.hh"
+
+namespace gals
+{
+
+class InterconnectPort;
+
+/** Shared banked L2 + memory channel state of a chip. */
+class SharedL2
+{
+  public:
+    struct Params
+    {
+        /** Cache geometry (mirrors the private L2 of the same
+         * machine mode, so N=1 stays bit-identical). */
+        std::uint64_t size_bytes = 2048 * 1024;
+        int ways = 8;
+        int a_ways = 8;
+        /** B partition retained (phase-adaptive machines). */
+        bool phase_adaptive = false;
+        /** Initial (and, for non-adaptive machines, permanent)
+         * D-cache configuration row — the latency table used for
+         * every request. */
+        int row = 0;
+
+        int cores = 1;
+        /** Address-interleaved banks (line-granular). */
+        int banks = 4;
+        /**
+         * Per-bank in-flight fill slots arbitrated across cores; a
+         * miss waits for a slot only while `bank_mshrs` fills from
+         * *other* cores are outstanding in its bank. 0 = unbounded.
+         */
+        int bank_mshrs = 4;
+        /** Bank busy window charged per request for cross-core
+         * arbitration (ps). */
+        Tick bank_occupancy_ps = 600;
+    };
+
+    explicit SharedL2(const Params &p);
+
+    // ------------------------------------------------------------------
+    // Passive views.
+    // ------------------------------------------------------------------
+    const Params &params() const { return p_; }
+    const AccountingCache &cache() const { return cache_; }
+    const MainMemory &memory() const { return memory_; }
+    /** Active configuration row (owned by core 0's controller). */
+    int row() const { return row_; }
+    int banks() const { return static_cast<int>(banks_.size()); }
+    int bankOf(Addr addr) const
+    {
+        return static_cast<int>((addr >> cache_.lineShift()) %
+                                static_cast<Addr>(banks_.size()));
+    }
+
+    // ------------------------------------------------------------------
+    // Per-core accounting (RunStats and the phase controllers).
+    // ------------------------------------------------------------------
+    std::uint64_t accesses(int core) const
+    {
+        return per_core_[static_cast<size_t>(core)].accesses;
+    }
+    std::uint64_t misses(int core) const
+    {
+        return per_core_[static_cast<size_t>(core)].misses;
+    }
+    std::uint64_t bHits(int core) const
+    {
+        return per_core_[static_cast<size_t>(core)].b_hits;
+    }
+    const IntervalCounts &interval(int core) const
+    {
+        return per_core_[static_cast<size_t>(core)].interval;
+    }
+    void resetInterval(int core);
+
+    // ------------------------------------------------------------------
+    // Chip-level interconnect statistics.
+    // ------------------------------------------------------------------
+    /** Requests delayed behind another core's bank occupancy. */
+    std::uint64_t bankConflicts() const { return bank_conflicts_; }
+    /** Misses that waited for a bank fill slot held by other cores. */
+    std::uint64_t bankMshrWaits() const { return bank_mshr_waits_; }
+    /** Hits on another core's in-flight line, held to the fill. */
+    std::uint64_t fillMerges() const { return fill_merges_; }
+
+  private:
+    friend class InterconnectPort;
+
+    /** One in-flight line fill (for merges and fill-slot pressure). */
+    struct Fill
+    {
+        Addr line;
+        Tick done;
+        int core;
+    };
+
+    /** Per-bank arbitration state (mutated only by the port). */
+    struct Bank
+    {
+        Tick busy_until = 0;
+        int owner = -1;
+        /** Cross-core publication-order tripwire (see the port). */
+        Tick last_pub = 0;
+        int last_pub_domain = -1;
+        std::vector<Fill> fills;
+    };
+
+    struct PerCore
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t b_hits = 0;
+        std::uint64_t misses = 0;
+        IntervalCounts interval;
+    };
+
+    /** Shared tag/MRU access plus the per-core mirrors (called only
+     * by the port, which owns the surrounding arbitration). */
+    AccessOutcome access(int core, Addr addr);
+
+    Params p_;
+    AccountingCache cache_;
+    MainMemory memory_;
+    std::vector<Bank> banks_;
+    std::vector<PerCore> per_core_;
+    int row_;
+    std::uint64_t bank_conflicts_ = 0;
+    std::uint64_t bank_mshr_waits_ = 0;
+    std::uint64_t fill_merges_ = 0;
+};
+
+} // namespace gals
+
+#endif // GALS_CACHE_SHARED_L2_HH

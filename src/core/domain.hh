@@ -79,7 +79,9 @@ struct Damper
 class CoreTiming
 {
   public:
-    CoreTiming(std::array<Clock, 4> &clocks, bool same_domain)
+    /** @param clocks this core's kNumDomains clocks (a chip stores
+     *  all cores' clocks flat; each core's timing views its four). */
+    CoreTiming(Clock *clocks, bool same_domain)
         : clocks_(clocks), same_domain_(same_domain)
     {}
 
@@ -134,7 +136,7 @@ class CoreTiming
     void bumpEpoch() { ++epoch_; }
 
   private:
-    std::array<Clock, 4> &clocks_;
+    Clock *clocks_;
     bool same_domain_;
     std::uint32_t epoch_ = 1;
 };

@@ -90,7 +90,8 @@ FrontEnd::icacheMissTime(Tick now)
     const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
     Tick t_req = timing_.crossingAt(now, DomainId::FrontEnd,
                                     DomainId::LoadStore);
-    Tick served = lsu_->serveIcacheFill(staged_op_->pc, t_req, dc);
+    Tick served = lsu_->serveIcacheFill(staged_op_->pc, t_req, dc,
+                                        now);
     // The ready time below extrapolates the front-end grid from this
     // serve time; keep the serve time so a PLL re-lock landing while
     // the fill is in flight can recompute the extrapolation.

@@ -19,25 +19,38 @@ constexpr std::uint64_t KB = 1024;
 
 LoadStoreUnit::LoadStoreUnit(const MachineConfig &cfg,
                              const AdaptiveConfig &cur_cfg,
-                             CoreTiming &timing, Rob &rob)
+                             CoreTiming &timing, Rob &rob,
+                             InterconnectPort *icp, int core_index)
     : Domain(DomainId::LoadStore, timing), cfg_(cfg),
       cur_cfg_(cur_cfg), rob_(rob), lsq_(cfg.lsq_entries),
       memory_(kMemFirstChunkNs, kMemNextChunkNs, 64, 8),
-      mshr_busy_(static_cast<size_t>(cfg.mshrs), 0)
+      mshr_busy_(static_cast<size_t>(cfg.mshrs), 0), icp_(icp),
+      core_index_(core_index)
 {
     const DCachePairConfig &dc = dcachePairConfig(cur_cfg_.dcache);
     if (cfg_.mode == ClockingMode::MCD) {
         l1d_ = std::make_unique<AccountingCache>("l1d", 256 * KB, 8);
         l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
-        l2_ = std::make_unique<AccountingCache>("l2", 2048 * KB, 8);
-        l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
     } else {
         l1d_ = std::make_unique<AccountingCache>(
             "l1d", dc.l1_opt.size_bytes, dc.l1_opt.assoc);
         l1d_->setPartition(dc.l1_opt.assoc, false);
-        l2_ = std::make_unique<AccountingCache>(
-            "l2", dc.l2_opt.size_bytes, dc.l2_opt.assoc);
-        l2_->setPartition(dc.l2_opt.assoc, false);
+    }
+    // The private L2 exists only in the private hierarchy; a core
+    // built for a chip reaches the shared banked L2 through the
+    // interconnect port instead (constructing a dead 2MB tag/MRU
+    // array per core would dominate chip construction).
+    if (icp_ == nullptr) {
+        if (cfg_.mode == ClockingMode::MCD) {
+            l2_ = std::make_unique<AccountingCache>("l2", 2048 * KB,
+                                                    8);
+            l2_->setPartition(dc.l2_adapt.assoc,
+                              cfg_.phase_adaptive);
+        } else {
+            l2_ = std::make_unique<AccountingCache>(
+                "l2", dc.l2_opt.size_bytes, dc.l2_opt.assoc);
+            l2_->setPartition(dc.l2_opt.assoc, false);
+        }
     }
 }
 
@@ -52,6 +65,27 @@ LoadStoreUnit::wire(CorePorts &ports, ReconfigUnit &reconfig)
     reconfig_ = &reconfig;
 }
 
+std::uint64_t
+LoadStoreUnit::l2TotalAccesses() const
+{
+    return icp_ != nullptr ? icp_->accesses(core_index_)
+                           : l2_->totalAccesses();
+}
+
+std::uint64_t
+LoadStoreUnit::l2TotalMisses() const
+{
+    return icp_ != nullptr ? icp_->misses(core_index_)
+                           : l2_->totalMisses();
+}
+
+std::uint64_t
+LoadStoreUnit::l2TotalBHits() const
+{
+    return icp_ != nullptr ? icp_->bHits(core_index_)
+                           : l2_->totalBHits();
+}
+
 // ---------------------------------------------------------------------
 // Reconfiguration and control.
 // ---------------------------------------------------------------------
@@ -61,13 +95,19 @@ LoadStoreUnit::applyDCache(int target)
 {
     const DCachePairConfig &dc = dcachePairConfig(target);
     l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
-    l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
+    if (icp_ != nullptr)
+        icp_->reconfigure(core_index_, target);
+    else
+        l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
 }
 
 CacheDecision
 LoadStoreUnit::decideDCache() const
 {
-    return chooseDCachePair(l1d_->interval(), l2_->interval(),
+    const IntervalCounts &l2i = icp_ != nullptr
+                                    ? icp_->interval(core_index_)
+                                    : l2_->interval();
+    return chooseDCachePair(l1d_->interval(), l2i,
                             memoryLineFillPs());
 }
 
@@ -75,7 +115,10 @@ void
 LoadStoreUnit::resetDCacheIntervals()
 {
     l1d_->resetInterval();
-    l2_->resetInterval();
+    if (icp_ != nullptr)
+        icp_->resetInterval(core_index_);
+    else
+        l2_->resetInterval();
 }
 
 void
@@ -99,9 +142,15 @@ LoadStoreUnit::voteDCache(const CacheDecision &dd, Tick now,
 
 Tick
 LoadStoreUnit::serveIcacheFill(Addr pc, Tick t_req,
-                               const DCachePairConfig &dc)
+                               const DCachePairConfig &dc, Tick now)
 {
     Tick ls_period = timing_.clock(DomainId::LoadStore).period();
+    if (icp_ != nullptr) {
+        return icp_
+            ->requestIcacheLine(core_index_, pc, t_req, ls_period,
+                                now)
+            .done;
+    }
     AccessOutcome out = l2_->access(pc);
     switch (out.where) {
       case HitWhere::APartition:
@@ -137,6 +186,20 @@ LoadStoreUnit::dataHierarchyTime(Addr addr, Tick now)
 
     Tick probe = static_cast<Tick>(
         dc.l1_a_lat + (b_on && dc.l1_b_lat > 0 ? dc.l1_b_lat : 0));
+
+    if (icp_ != nullptr) {
+        // Shared hierarchy: the interconnect port arbitrates the
+        // banked L2 and the shared memory channel; the private MSHR
+        // is still claimed for the fill (the caller verified one is
+        // free), exactly as on the private path.
+        L2Reply r = icp_->requestLine(core_index_, addr,
+                                      now + probe * period, period,
+                                      now);
+        if (!r.hit)
+            claimMshr(now, r.done);
+        return r.done;
+    }
+
     AccessOutcome l2 = l2_->access(addr);
     if (l2.where == HitWhere::APartition) {
         return now + (probe + static_cast<Tick>(dc.l2_a_lat)) * period;
@@ -151,7 +214,13 @@ LoadStoreUnit::dataHierarchyTime(Addr addr, Tick now)
         (l2_->bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat : 0));
     Tick issue_at = now + (probe + l2_probe) * period;
     Tick done = memory_.issueFill(issue_at);
+    claimMshr(now, done);
+    return done;
+}
 
+void
+LoadStoreUnit::claimMshr(Tick now, Tick done)
+{
     // Claim the MSHR slot the caller verified was free.
     for (Tick &slot : mshr_busy_) {
         if (slot <= now) {
@@ -159,10 +228,10 @@ LoadStoreUnit::dataHierarchyTime(Addr addr, Tick now)
             mshr_min_free_ = mshr_busy_[0];
             for (Tick s : mshr_busy_)
                 mshr_min_free_ = std::min(mshr_min_free_, s);
-            return done;
+            return;
         }
     }
-    panic("dataHierarchyTime without a free MSHR");
+    panic("data hierarchy access without a free MSHR");
 }
 
 // ---------------------------------------------------------------------

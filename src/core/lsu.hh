@@ -34,14 +34,23 @@ class StoreBufferPort;
 class WakePort;
 class AgenPort;
 class ReconfigUnit;
+class InterconnectPort;
 
 /** Load/store unit: LSQ, data caches, memory, store-buffer drain. */
 class LoadStoreUnit final : public Domain
 {
   public:
+    /**
+     * A non-null `icp` routes this unit's L2-and-below traffic
+     * through the chip's shared banked L2 instead of the private
+     * hierarchy (which is then not built at all). The private L1D
+     * and its MSHRs stay local; the interconnect arbitrates only
+     * across cores, so a single-core chip times bit-identically to
+     * the private path.
+     */
     LoadStoreUnit(const MachineConfig &cfg,
                   const AdaptiveConfig &cur_cfg, CoreTiming &timing,
-                  Rob &rob);
+                  Rob &rob, InterconnectPort *icp, int core_index);
 
     /** Connect ports and the reconfiguration unit (once). */
     void wire(CorePorts &ports, ReconfigUnit &reconfig);
@@ -56,10 +65,12 @@ class LoadStoreUnit final : public Domain
      * Serve an I-cache line fill through the unified L2 (and memory
      * on an L2 miss) for the front end. `t_req` is the request's
      * arrival on this domain's grid; the returned serve time is on
-     * this grid too (the front end extrapolates it back).
+     * this grid too (the front end extrapolates it back). `now` is
+     * the front end's step tick performing the request (the shared
+     * interconnect's publication-order bookkeeping needs it).
      */
     Tick serveIcacheFill(Addr pc, Tick t_req,
-                         const DCachePairConfig &dc);
+                         const DCachePairConfig &dc, Tick now);
 
     /** L1D line shift (rename derives LSQ line addresses with it). */
     int dcacheLineShift() const { return l1d_->lineShift(); }
@@ -84,8 +95,15 @@ class LoadStoreUnit final : public Domain
     const Lsq &lsq() const { return lsq_; }
     AccountingCache &l1d() { return *l1d_; }
     const AccountingCache &l1d() const { return *l1d_; }
+    /** Private-hierarchy L2 (null when the shared L2 is attached). */
     AccountingCache &l2() { return *l2_; }
     const AccountingCache &l2() const { return *l2_; }
+
+    /** L2 lifetime totals of *this core's* traffic: the private L2's
+     * counters, or this core's slice of the shared L2. */
+    std::uint64_t l2TotalAccesses() const;
+    std::uint64_t l2TotalMisses() const;
+    std::uint64_t l2TotalBHits() const;
 
   private:
     /** Outcome of a load-issue attempt (drives the wakeup index). */
@@ -101,6 +119,8 @@ class LoadStoreUnit final : public Domain
                            std::uint64_t &blocker);
     void drainStoreBuffer(Tick now, int &ports_used, int max_ports);
     Tick dataHierarchyTime(Addr addr, Tick now);
+    /** Occupy the free MSHR the caller verified exists until `done`. */
+    void claimMshr(Tick now, Tick done);
 
     const MachineConfig &cfg_;
     const AdaptiveConfig &cur_cfg_;
@@ -146,6 +166,9 @@ class LoadStoreUnit final : public Domain
     WakePort *store_ready_ = nullptr;
     const AgenPort *agen_ = nullptr;
     ReconfigUnit *reconfig_ = nullptr;
+    /** Shared-L2 channel (null = private hierarchy). */
+    InterconnectPort *icp_ = nullptr;
+    int core_index_ = 0;
 };
 
 } // namespace gals

@@ -1,6 +1,10 @@
 #include "core/ports.hh"
 
+#include <algorithm>
+
+#include "cache/shared_l2.hh"
 #include "core/machine_config.hh"
+#include "timing/frequency_model.hh"
 
 namespace gals
 {
@@ -36,5 +40,184 @@ CorePorts::CorePorts(WakeHub &hub, CoreTiming &timing,
       store_ready(hub, DomainId::LoadStore, DomainId::FrontEnd),
       reclock(hub)
 {}
+
+// ---------------------------------------------------------------------
+// InterconnectPort: the cross-core L2 request/response channel.
+// ---------------------------------------------------------------------
+
+InterconnectPort::InterconnectPort(SharedL2 &l2, int cores)
+    : l2_(l2), cores_(cores)
+{
+    GALS_ASSERT(cores >= 1 && cores <= kMaxCores,
+                "interconnect core count out of range");
+    GALS_ASSERT(l2.params().cores >= cores,
+                "shared L2 sized for fewer cores than the "
+                "interconnect serves");
+}
+
+void
+InterconnectPort::bankPublish(int bank, int consumer, Tick now)
+{
+    SharedL2::Bank &b = l2_.banks_[static_cast<size_t>(bank)];
+    GALS_ASSERT(
+        b.last_pub < now ||
+            (b.last_pub == now && b.last_pub_domain <= consumer),
+        "publication order violation: bank %d state published at "
+        "t=%llu by global domain %d consumed by lower-indexed global "
+        "domain %d at the same tick",
+        bank, static_cast<unsigned long long>(now), b.last_pub_domain,
+        consumer);
+    b.last_pub = now;
+    b.last_pub_domain = consumer;
+}
+
+L2Reply
+InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
+                          Tick t_req, Tick period, Tick now)
+{
+    GALS_ASSERT(core >= 0 && core < cores_,
+                "interconnect request from an unknown core");
+    const int bank = l2_.bankOf(addr);
+    const int consumer =
+        core * kNumDomains + static_cast<int>(consumer_local);
+    bankPublish(bank, consumer, now);
+
+    SharedL2::Bank &b = l2_.banks_[static_cast<size_t>(bank)];
+
+    // Cross-core bank arbitration: delayed only behind *another*
+    // core's occupancy window (own bandwidth is modeled in-core).
+    Tick start = t_req;
+    if (b.owner != core && b.owner != -1 && b.busy_until > start) {
+        start = b.busy_until;
+        ++l2_.bank_conflicts_;
+    }
+    b.busy_until = start + l2_.p_.bank_occupancy_ps;
+    b.owner = core;
+
+    // Prune completed fills (merge checks and fill-slot pressure only
+    // care about fills still in flight at `now`).
+    std::erase_if(b.fills, [now](const SharedL2::Fill &f) {
+        return f.done <= now;
+    });
+
+    const DCachePairConfig &dc = dcachePairConfig(l2_.row_);
+    AccessOutcome out = l2_.access(core, addr);
+    const Addr line = addr >> l2_.cache_.lineShift();
+
+    L2Reply r;
+    if (out.where != HitWhere::Miss) {
+        int lat = out.where == HitWhere::APartition
+                      ? dc.l2_a_lat
+                      : dc.l2_a_lat + dc.l2_b_lat;
+        r.hit = true;
+        r.done = start + static_cast<Tick>(lat) * period;
+        // Secondary access to another core's in-flight line: the tag
+        // is already installed (accounting-cache semantics), but the
+        // data cannot be forwarded before the fill arrives. Own-core
+        // same-line timing stays the private hierarchy's concern.
+        Tick fill_done = 0;
+        for (const SharedL2::Fill &f : b.fills) {
+            if (f.line == line && f.core != core)
+                fill_done = std::max(fill_done, f.done);
+        }
+        if (fill_done > r.done) {
+            r.done = fill_done;
+            ++l2_.fill_merges_;
+        }
+        return r;
+    }
+
+    // Miss: probe both live partitions, then fill from memory through
+    // one of this bank's fill slots, arbitrated across cores — the
+    // miss waits while `bank_mshrs` fills from other cores are still
+    // in flight.
+    Tick probe = static_cast<Tick>(
+        dc.l2_a_lat +
+        (l2_.cache_.bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat : 0));
+    Tick issue_at = start + probe * period;
+    if (l2_.p_.bank_mshrs > 0) {
+        Tick other_done[kMaxCores * 16];
+        int k = 0;
+        for (const SharedL2::Fill &f : b.fills) {
+            if (f.core != core && f.done > issue_at) {
+                GALS_ASSERT(k < static_cast<int>(
+                                    std::size(other_done)),
+                            "bank %d carries more than %zu other-core "
+                            "in-flight fills (per-core MSHR counts "
+                            "beyond the model's sizing)",
+                            bank, std::size(other_done));
+                other_done[k++] = f.done;
+            }
+        }
+        if (k >= l2_.p_.bank_mshrs) {
+            // Wait for releases until only bank_mshrs-1 other fills
+            // remain: the (k - bank_mshrs + 1)-th earliest release.
+            std::sort(other_done, other_done + k);
+            issue_at = other_done[k - l2_.p_.bank_mshrs];
+            ++l2_.bank_mshr_waits_;
+        }
+    }
+    r.done = l2_.memory_.issueFill(issue_at);
+    r.hit = false;
+    b.fills.push_back(SharedL2::Fill{line, r.done, core});
+    return r;
+}
+
+L2Reply
+InterconnectPort::requestLine(int core, Addr addr, Tick t_req,
+                              Tick period, Tick now)
+{
+    return request(core, DomainId::LoadStore, addr, t_req, period,
+                   now);
+}
+
+L2Reply
+InterconnectPort::requestIcacheLine(int core, Addr pc, Tick t_req,
+                                    Tick period, Tick now)
+{
+    return request(core, DomainId::FrontEnd, pc, t_req, period, now);
+}
+
+const IntervalCounts &
+InterconnectPort::interval(int core) const
+{
+    return l2_.interval(core);
+}
+
+void
+InterconnectPort::resetInterval(int core)
+{
+    l2_.resetInterval(core);
+}
+
+std::uint64_t
+InterconnectPort::accesses(int core) const
+{
+    return l2_.accesses(core);
+}
+
+std::uint64_t
+InterconnectPort::misses(int core) const
+{
+    return l2_.misses(core);
+}
+
+std::uint64_t
+InterconnectPort::bHits(int core) const
+{
+    return l2_.bHits(core);
+}
+
+void
+InterconnectPort::reconfigure(int core, int target)
+{
+    // The shared partition and latency row follow core 0's D-cache
+    // controller only; other cores' votes reconfigure their L1.
+    if (core != 0)
+        return;
+    l2_.row_ = target;
+    const DCachePairConfig &dc = dcachePairConfig(target);
+    l2_.cache_.setPartition(dc.l2_adapt.assoc, l2_.p_.phase_adaptive);
+}
 
 } // namespace gals

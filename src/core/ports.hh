@@ -44,26 +44,31 @@
 namespace gals
 {
 
-/** Upper bound on domains one scheduler/hub instance can serve (the
- * core uses four; CMP-style compositions can go wider without
- * reshaping the hub's flat arrays). */
-constexpr int kMaxSchedDomains = 8;
+/** Most cores one chip composition can carry. */
+constexpr int kMaxCores = 4;
+
+/** Upper bound on domains one scheduler/fabric instance can serve
+ * (a core uses four; a chip uses four per core). */
+constexpr int kMaxSchedDomains = kMaxCores * kNumDomains;
 
 /**
- * The wake fabric shared by every port: per-domain
- * earliest-possible-work bounds plus the event-kernel calendar keys
- * the scheduler picks its next domain from. Only ports write wake
- * state (through the private `wakeRaw`); the scheduler reads and
- * re-keys it between steps.
+ * Chip-level wake storage shared by every port of every core:
+ * per-domain earliest-possible-work bounds (indexed by *global*
+ * domain index, `core * kNumDomains + local`) plus the event-kernel
+ * calendar keys the scheduler picks its next domain from. Only ports
+ * write wake state — through a per-core WakeHub window whose raw
+ * primitive forwards here — and the scheduler reads and re-keys it
+ * between steps. A single-core Processor owns a fabric of four
+ * domains, so the window is the identity mapping.
  */
-class WakeHub
+class WakeFabric
 {
   public:
-    WakeHub(const Clock *clocks, int count)
+    WakeFabric(const Clock *clocks, int count)
         : clocks_(clocks), count_(count)
     {
         GALS_ASSERT(count >= 1 && count <= kMaxSchedDomains,
-                    "WakeHub domain count out of range");
+                    "WakeFabric domain count out of range");
         wake_.fill(0);
         key_.fill(kTickMax);
     }
@@ -94,8 +99,8 @@ class WakeHub
     void setKey(int d, Tick k) { key_[static_cast<size_t>(d)] = k; }
     void park(int d) { key_[static_cast<size_t>(d)] = kTickMax; }
 
-    /** Earliest-keyed domain (lowest index on ties, matching the
-     * reference kernel's scan order exactly). */
+    /** Earliest-keyed domain (lowest global index on ties, matching
+     * the reference kernel's scan order exactly). */
     int
     head() const
     {
@@ -112,41 +117,21 @@ class WakeHub
     }
 
   private:
-    friend class WakePort;
-    friend class DispatchPort;
-    friend class CompletionPort;
-    friend class RedirectPort;
-    friend class AgenPort;
-    friend class StoreBufferPort;
-    friend class EpochBumpPort;
-    friend class ReclockPort;
+    friend class WakeHub;
 
     /**
-     * First tick at which a state change published by domain `src`'s
-     * step at `now` is consumable by domain `dst` (the publication
-     * order rule above).
-     */
-    static Tick
-    consumableAt(DomainId src, DomainId dst, Tick now)
-    {
-        return static_cast<int>(dst) < static_cast<int>(src)
-                   ? now + 1
-                   : now;
-    }
-
-    /**
-     * Record that domain `dd` may have work at `t`. Lazy key: the
-     * clock may sit on a stale (earlier) edge; the scheduler resolves
-     * the true first-edge-at-or-after-wake when the domain reaches
-     * the head of the calendar. (Keying at the exact extrapolated
-     * edge here is a measured pessimization: the surfacing pass
-     * consumes the idle edges either way, so the extrapolation
-     * division would be pure added cost.)
+     * Record that global domain `gd` may have work at `t`. Lazy key:
+     * the clock may sit on a stale (earlier) edge; the scheduler
+     * resolves the true first-edge-at-or-after-wake when the domain
+     * reaches the head of the calendar. (Keying at the exact
+     * extrapolated edge here is a measured pessimization: the
+     * surfacing pass consumes the idle edges either way, so the
+     * extrapolation division would be pure added cost.)
      */
     void
-    wakeRaw(DomainId dd, Tick t)
+    wakeRaw(int gd, Tick t)
     {
-        size_t i = static_cast<size_t>(dd);
+        size_t i = static_cast<size_t>(gd);
         if (t >= wake_[i])
             return;
         wake_[i] = t;
@@ -162,6 +147,66 @@ class WakeHub
     const Clock *clocks_;
     int count_;
     bool event_mode_ = true;
+};
+
+/**
+ * One core's window into the wake fabric. Every port of a core holds
+ * a WakeHub and addresses it with the core-local DomainId; the window
+ * offsets into the fabric's global arrays, so the same port code
+ * serves a standalone Processor (base 0) and any core of a Chip.
+ * The publication-order rule generalizes across cores because the
+ * global index order (core-major, local order preserved) *is* the
+ * reference kernel's tie-break order.
+ */
+class WakeHub
+{
+  public:
+    WakeHub(WakeFabric &fabric, int base, int count)
+        : fabric_(fabric), base_(base), count_(count)
+    {
+        GALS_ASSERT(base >= 0 && count >= 1 &&
+                        base + count <= fabric.domainCount(),
+                    "WakeHub window out of fabric range");
+    }
+
+    /** Domains in this window (a core's four). */
+    int domainCount() const { return count_; }
+
+  private:
+    friend class WakePort;
+    friend class DispatchPort;
+    friend class CompletionPort;
+    friend class RedirectPort;
+    friend class AgenPort;
+    friend class StoreBufferPort;
+    friend class EpochBumpPort;
+    friend class ReclockPort;
+
+    /**
+     * First tick at which a state change published by domain `src`'s
+     * step at `now` is consumable by domain `dst` (the publication
+     * order rule above). Local indices: both domains belong to this
+     * window's core, and the local order equals the global order
+     * under the window's constant offset.
+     */
+    static Tick
+    consumableAt(DomainId src, DomainId dst, Tick now)
+    {
+        return static_cast<int>(dst) < static_cast<int>(src)
+                   ? now + 1
+                   : now;
+    }
+
+    /** Forward a wake of core-local domain `dd` into the fabric. */
+    void
+    wakeRaw(DomainId dd, Tick t)
+    {
+        fabric_.wakeRaw(base_ + static_cast<int>(dd), t);
+    }
+
+    WakeFabric &fabric_;
+    int base_;
+    int count_;
 };
 
 /**
@@ -590,6 +635,98 @@ struct CorePorts
     /** ROB-head store-ready publication (load/store -> front end). */
     WakePort store_ready;
     ReclockPort reclock;
+};
+
+class SharedL2;
+struct IntervalCounts;
+
+/** Reply to one shared-L2 line request. */
+struct L2Reply
+{
+    /** Completion time of the request (requester-grid ps). */
+    Tick done = 0;
+    /** True when the line was served by the L2 (A or B partition). */
+    bool hit = false;
+};
+
+/**
+ * The cross-core interconnect: the request/response channel between
+ * each core's private L1s and the shared banked L2 (cache/shared_l2).
+ *
+ * This port is the only code allowed to arbitrate the shared banks —
+ * the SharedL2 state it mutates is private to it — and the only home
+ * of the *cross-core* publication order rule: bank state published by
+ * one core's step at tick t is consumable by another core's step at t
+ * only when the consumer's global domain index is higher than the
+ * publisher's (the reference kernel steps global indices in order on
+ * equal ticks, and a chip's global order is core-major with the local
+ * FrontEnd < Integer < FloatingPoint < LoadStore order preserved).
+ * The scheduler's calendar plus the per-core ports' wake rule make a
+ * mis-ordered consumption unreachable; `bankPublish` asserts it on
+ * every request as a divergence tripwire, exactly like
+ * WakePort::publishAt does for explicit wake times.
+ *
+ * Arbitration is cross-core only: a requester is never delayed behind
+ * its own traffic (its bandwidth is already modeled by its mem ports
+ * and private MSHRs — charging it again here would double-count the
+ * same structural hazard), so a single-core chip is bit-identical to
+ * the private-hierarchy Processor by construction.
+ */
+class InterconnectPort
+{
+  public:
+    /** @param l2    the shared banked L2 (state owned there).
+     *  @param cores cores on the chip (request validation). */
+    InterconnectPort(SharedL2 &l2, int cores);
+
+    /**
+     * Request a data line for `core`'s load/store unit. `t_req` is
+     * the time the request reaches the L2 (after the L1 probe),
+     * `period` the requester's load/store clock period (L2 latencies
+     * are charged in requester cycles, as the private hierarchy
+     * does), `now` the requesting domain's step tick.
+     */
+    L2Reply requestLine(int core, Addr addr, Tick t_req, Tick period,
+                        Tick now);
+
+    /** Same channel for the front end's I-cache fills ("consumer" is
+     * the core's front-end domain; `t_req`/`period` on the
+     * load/store grid, as serveIcacheFill's contract specifies). */
+    L2Reply requestIcacheLine(int core, Addr pc, Tick t_req,
+                              Tick period, Tick now);
+
+    /**
+     * A core's D-cache controller chose configuration row `target`.
+     * The shared L2's partition and latency row are owned by core 0
+     * (a shared structure cannot follow every core's private
+     * decision); other cores' votes reconfigure their L1 only.
+     */
+    void reconfigure(int core, int target);
+
+    // Per-core accounting pass-through (the LSU's controller and
+    // RunStats paths reach the shared cache only through the port).
+    const IntervalCounts &interval(int core) const;
+    void resetInterval(int core);
+    std::uint64_t accesses(int core) const;
+    std::uint64_t misses(int core) const;
+    std::uint64_t bHits(int core) const;
+
+  private:
+    /**
+     * Record (and rule-check) that `consumer` — global domain index —
+     * touches the bank's state during its step at `now`. Shared-bank
+     * state is both read and published by every request, so the
+     * tripwire asserts the reference step order: a same-tick touch by
+     * a *lower* global index after a higher one would observe state
+     * the reference kernel's step at `now` provably did not see.
+     */
+    void bankPublish(int bank, int consumer, Tick now);
+
+    L2Reply request(int core, DomainId consumer_local, Addr addr,
+                    Tick t_req, Tick period, Tick now);
+
+    SharedL2 &l2_;
+    int cores_;
 };
 
 } // namespace gals

@@ -1,20 +1,15 @@
 /**
  * @file
- * The adaptive GALS/MCD processor model — the composition root of the
- * domain/port architecture.
+ * The adaptive GALS/MCD processor model — the single-core composition
+ * root of the domain/port architecture.
  *
- * Four independently clocked domain units — front end (I-cache,
- * predictor, rename, ROB, retire), integer cluster, floating-point
- * cluster, and load/store unit (LSQ, L1D, unified L2) — each own
- * their clock, structures and controllers (core/front_end.hh,
- * core/issue_cluster.hh, core/lsu.hh). All cross-domain traffic —
- * dispatch, operand visibility, redirects, retirement visibility,
- * store drain, epoch bumps — flows through the typed ports of
- * core/ports.hh, the single owner of the publication-order rule. The
- * step loop itself lives in the generic DomainScheduler
- * (core/scheduler.hh). In Synchronous mode the four clocks are
- * identical and the synchronizer rule degenerates to plain next-edge
- * latching.
+ * The per-core machinery (four independently clocked domain units
+ * behind the typed port layer, PLL reconfiguration, statistics) lives
+ * in cmp/core.hh; this class owns what a composition root owns: the
+ * flat clock array, the WakeFabric, and the DomainScheduler stepping
+ * the core's domain table. The Chip (cmp/chip.hh) is the multi-core
+ * root over the same pieces — one fabric, one scheduler, N cores and
+ * a shared banked L2 behind the interconnect port.
  *
  * Fetch is oracle-driven: a mispredicted branch halts fetch until it
  * resolves in the integer domain, so the flush penalty (front-end
@@ -28,13 +23,9 @@
 #include <array>
 
 #include "clock/clock.hh"
-#include "core/domain.hh"
-#include "core/front_end.hh"
-#include "core/issue_cluster.hh"
-#include "core/lsu.hh"
+#include "cmp/core.hh"
 #include "core/machine_config.hh"
 #include "core/ports.hh"
-#include "core/reconfig.hh"
 #include "core/run_stats.hh"
 #include "core/scheduler.hh"
 
@@ -68,7 +59,10 @@ class Processor
     void setKernel(Kernel k) { kernel_ = k; }
 
     /** Current structure configuration (changes in phase mode). */
-    const AdaptiveConfig &currentConfig() const { return cur_cfg_; }
+    const AdaptiveConfig &currentConfig() const
+    {
+        return core_.currentConfig();
+    }
 
     /**
      * Run deep structural invariant checks (rename map vs free lists,
@@ -76,49 +70,26 @@ class Processor
      * every `every` front-end steps; 0 disables (the default). The
      * differential harness turns this on.
      */
-    void setInvariantCheckInterval(std::uint32_t every);
+    void setInvariantCheckInterval(std::uint32_t every)
+    {
+        core_.setInvariantCheckInterval(every);
+    }
 
     /** Panics with a description on any violated invariant. */
-    void validateInvariants() const;
+    void validateInvariants() const { core_.validateInvariants(); }
+
+    /** Read GALS_KERNEL (reference|event); EventDriven otherwise. */
+    static Kernel kernelFromEnv();
 
   private:
-    void snapshotBaselines(Tick now);
-    void finalizeStats(RunStats &stats) const;
-
-    MachineConfig cfg_;
-    WorkloadParams wl_params_;
-    AdaptiveConfig cur_cfg_;
-
     std::array<Clock, 4> clocks_;
-    CoreTiming timing_;
-    WakeHub hub_;
-    RunStats stats_;
-
-    // Domain units (each owns its structures and controllers).
-    FrontEnd fe_;
-    IssueCluster int_cluster_;
-    IssueCluster fp_cluster_;
-    LoadStoreUnit lsu_;
-
-    // Cross-domain port layer and shared services.
-    CorePorts ports_;
-    EpochBumpPort epoch_port_;
-    ReconfigUnit reconfig_;
-
+    WakeFabric fabric_;
+    Core core_;
     std::array<Domain *, 4> domain_table_;
+    std::array<EpochBumpPort *, 4> epoch_table_;
     DomainScheduler scheduler_;
 
     Kernel kernel_ = Kernel::EventDriven;
-
-    struct Baseline
-    {
-        std::uint64_t l1i_acc = 0, l1i_miss = 0, l1i_b = 0;
-        std::uint64_t l1d_acc = 0, l1d_miss = 0, l1d_b = 0;
-        std::uint64_t l2_acc = 0, l2_miss = 0, l2_b = 0;
-        std::uint64_t bp_lookups = 0, bp_miss = 0;
-        std::uint64_t flushes = 0;
-        std::uint64_t relocks = 0;
-    } base_;
 };
 
 } // namespace gals

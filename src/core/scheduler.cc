@@ -1,17 +1,35 @@
 #include "core/scheduler.hh"
 
+#include <array>
+
 #include "common/logging.hh"
 
 namespace gals
 {
 
-DomainScheduler::DomainScheduler(Domain *const *domains, Clock *clocks,
-                                 int count, WakeHub &hub,
-                                 EpochBumpPort &epochs)
-    : domains_(domains), clocks_(clocks), count_(count), hub_(hub),
-      epochs_(epochs)
+namespace
 {
-    GALS_ASSERT(count >= 1 && count <= kMaxSchedDomains,
+
+/** Sum of the cores' progress counters (deadlock watchdog). */
+std::uint64_t
+totalProgress(const CoreProgress *cores, int ncores)
+{
+    std::uint64_t sum = 0;
+    for (int c = 0; c < ncores; ++c)
+        sum += *cores[c].progress;
+    return sum;
+}
+
+} // namespace
+
+DomainScheduler::DomainScheduler(Domain *const *domains, Clock *clocks,
+                                 int count, WakeFabric &fabric,
+                                 EpochBumpPort *const *epochs)
+    : domains_(domains), clocks_(clocks), count_(count),
+      fabric_(fabric), epochs_(epochs)
+{
+    GALS_ASSERT(count >= 1 && count <= kMaxSchedDomains &&
+                    count % kNumDomains == 0,
                 "DomainScheduler domain count out of range");
 }
 
@@ -28,7 +46,9 @@ DomainScheduler::advanceClock(int d)
     c.advance();
     if (c.periodChanges() == before)
         return false;
-    epochs_.broadcast(d, landing);
+    // Grid epochs are per core: broadcast through the landing core's
+    // port, with the core-local changed-domain index.
+    epochs_[d]->broadcast(d % kNumDomains, landing);
     return true;
 }
 
@@ -46,16 +66,29 @@ DomainScheduler::advanceClockWhileBelow(int d, Tick t)
 }
 
 void
-DomainScheduler::runReference(const std::uint64_t &progress,
-                              std::uint64_t target)
+DomainScheduler::runReference(const CoreProgress *cores, int ncores)
 {
-    hub_.setEventMode(false);
+    GALS_ASSERT(ncores * kNumDomains == count_,
+                "stop conditions for %d cores against %d domains",
+                ncores, count_);
+    fabric_.setEventMode(false);
+    std::array<bool, kMaxCores> done{};
+    int active = 0;
+    for (int c = 0; c < ncores; ++c) {
+        done[static_cast<size_t>(c)] =
+            *cores[c].progress >= cores[c].target;
+        if (!done[static_cast<size_t>(c)])
+            ++active;
+    }
+
     std::uint64_t steps = 0;
-    std::uint64_t last_progress = progress;
-    while (progress < target) {
-        int d = 0;
-        Tick best = clocks_[0].nextEdge();
-        for (int i = 1; i < count_; ++i) {
+    std::uint64_t last_progress = totalProgress(cores, ncores);
+    while (active > 0) {
+        int d = -1;
+        Tick best = kTickMax;
+        for (int i = 0; i < count_; ++i) {
+            if (done[static_cast<size_t>(i / kNumDomains)])
+                continue;
             Tick e = clocks_[static_cast<size_t>(i)].nextEdge();
             if (e < best) {
                 best = e;
@@ -65,7 +98,14 @@ DomainScheduler::runReference(const std::uint64_t &progress,
         domains_[d]->step(best);
         advanceClock(d);
 
+        int c = d / kNumDomains;
+        if (*cores[c].progress >= cores[c].target) {
+            done[static_cast<size_t>(c)] = true;
+            --active;
+        }
+
         if (++steps >= 8'000'000) {
+            std::uint64_t progress = totalProgress(cores, ncores);
             GALS_ASSERT(progress != last_progress,
                         "no commit in 8M domain steps: deadlock at "
                         "t=%llu (committed=%llu)",
@@ -78,27 +118,45 @@ DomainScheduler::runReference(const std::uint64_t &progress,
 }
 
 void
-DomainScheduler::runEvent(const std::uint64_t &progress,
-                          std::uint64_t target)
+DomainScheduler::runEvent(const CoreProgress *cores, int ncores)
 {
-    hub_.setEventMode(true);
-    hub_.beginEventRun();
+    GALS_ASSERT(ncores * kNumDomains == count_,
+                "stop conditions for %d cores against %d domains",
+                ncores, count_);
+    fabric_.setEventMode(true);
+    fabric_.beginEventRun();
+
+    std::array<bool, kMaxCores> done{};
+    int active = 0;
+    for (int c = 0; c < ncores; ++c) {
+        bool fin = *cores[c].progress >= cores[c].target;
+        done[static_cast<size_t>(c)] = fin;
+        if (fin) {
+            for (int k = c * kNumDomains; k < (c + 1) * kNumDomains;
+                 ++k) {
+                fabric_.park(k);
+            }
+        } else {
+            ++active;
+        }
+    }
 
     std::uint64_t steps = 0;
-    std::uint64_t last_progress = progress;
-    while (progress < target) {
-        int d = hub_.head();
+    std::uint64_t last_progress = totalProgress(cores, ncores);
+    while (active > 0) {
+        int d = fabric_.head();
         size_t di = static_cast<size_t>(d);
-        GALS_ASSERT(hub_.key(d) != kTickMax,
+        GALS_ASSERT(fabric_.key(d) != kTickMax,
                     "event kernel: every domain parked at "
                     "committed=%llu (missing wakeup port)",
-                    static_cast<unsigned long long>(progress));
+                    static_cast<unsigned long long>(
+                        totalProgress(cores, ncores)));
         Tick edge = clocks_[di].nextEdge();
-        if (hub_.bound(d) > edge) {
+        if (fabric_.bound(d) > edge) {
             // Proven-idle edges: consume them without stepping, then
             // re-key on the first edge at or after the wake time.
-            advanceClockWhileBelow(d, hub_.bound(d));
-            hub_.setKey(d, clocks_[di].nextEdge());
+            advanceClockWhileBelow(d, fabric_.bound(d));
+            fabric_.setKey(d, clocks_[di].nextEdge());
             continue;
         }
         Tick raw = domains_[d]->step(edge);
@@ -107,13 +165,28 @@ DomainScheduler::runEvent(const std::uint64_t &progress,
         // such memo is stale — re-derive at the next edge (waking
         // early is a wasted no-op step, never a divergence).
         Tick w = advanceClock(d) ? 0 : domains_[d]->clampBound(raw);
-        hub_.setBound(d, w);
+        fabric_.setBound(d, w);
         if (w == kTickMax)
-            hub_.park(d);
+            fabric_.park(d);
         else
-            hub_.setKey(d, std::max(clocks_[di].nextEdge(), w));
+            fabric_.setKey(d, std::max(clocks_[di].nextEdge(), w));
+
+        int c = d / kNumDomains;
+        if (!done[static_cast<size_t>(c)] &&
+            *cores[c].progress >= cores[c].target) {
+            // Halt the finished core: park all its domains. Nothing
+            // re-arms them — cross-core traffic carries no wakes and
+            // the core's own ports publish only from its steps.
+            done[static_cast<size_t>(c)] = true;
+            --active;
+            for (int k = c * kNumDomains; k < (c + 1) * kNumDomains;
+                 ++k) {
+                fabric_.park(k);
+            }
+        }
 
         if (++steps >= 8'000'000) {
+            std::uint64_t progress = totalProgress(cores, ncores);
             GALS_ASSERT(progress != last_progress,
                         "no commit in 8M domain steps: deadlock at "
                         "t=%llu (committed=%llu)",
@@ -123,6 +196,22 @@ DomainScheduler::runEvent(const std::uint64_t &progress,
             last_progress = progress;
         }
     }
+}
+
+void
+DomainScheduler::runEvent(const std::uint64_t &progress,
+                          std::uint64_t target)
+{
+    CoreProgress one{&progress, target};
+    runEvent(&one, 1);
+}
+
+void
+DomainScheduler::runReference(const std::uint64_t &progress,
+                              std::uint64_t target)
+{
+    CoreProgress one{&progress, target};
+    runReference(&one, 1);
 }
 
 } // namespace gals

@@ -105,6 +105,71 @@ adaptiveSweepShardJson(const std::vector<AdaptivePointRuntime> &rows,
 }
 
 std::string
+cmpSweepShardJson(const std::vector<CmpPointResult> &rows,
+                  size_t suite_size,
+                  const std::vector<int> &core_counts, ShardSpec shard)
+{
+    std::string out = "{\n";
+    out += "  \"sweep\": \"cmp\",\n";
+    out += csprintf("  \"benchmarks\": %zu,\n", suite_size);
+    out += "  \"core_counts\": [";
+    for (size_t i = 0; i < core_counts.size(); ++i) {
+        out += csprintf("%s%d", i == 0 ? "" : ", ", core_counts[i]);
+    }
+    out += "],\n";
+    out += shardLine(shard);
+    out += "  \"rows\": [\n";
+    for (size_t k = 0; k < rows.size(); ++k) {
+        const CmpPointResult &r = rows[k];
+        out += csprintf("    {\"index\": %zu, \"cores\": %d, "
+                        "\"rotation\": %d, \"chip_ns\": %.17g, "
+                        "\"l2_misses\": %llu, "
+                        "\"bank_conflicts\": %llu, \"core_ns\": [",
+                        r.point_index, r.cores, r.rotation, r.chip_ns,
+                        static_cast<unsigned long long>(r.l2_misses),
+                        static_cast<unsigned long long>(
+                            r.bank_conflicts));
+        for (size_t c = 0; c < r.core_ns.size(); ++c) {
+            out += csprintf("%s%.17g", c == 0 ? "" : ", ",
+                            r.core_ns[c]);
+        }
+        out += k + 1 < rows.size() ? "]},\n" : "]}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+renderCmpSummary(const std::vector<CmpPointResult> &rows)
+{
+    TextTable table("Chip multiprocessor scaling: multiprogrammed "
+                    "mixes over the suite, per core count");
+    table.setHeader({"cores", "mixes", "avg makespan", "avg L2 miss",
+                     "avg bank conflicts"});
+    // Rows arrive grouped by core count (point order).
+    size_t i = 0;
+    while (i < rows.size()) {
+        int cores = rows[i].cores;
+        size_t n = 0;
+        double ns = 0.0;
+        double misses = 0.0;
+        double conflicts = 0.0;
+        for (; i < rows.size() && rows[i].cores == cores; ++i, ++n) {
+            ns += rows[i].chip_ns;
+            misses += static_cast<double>(rows[i].l2_misses);
+            conflicts +=
+                static_cast<double>(rows[i].bank_conflicts);
+        }
+        double dn = static_cast<double>(n);
+        table.addRow({csprintf("%d", cores), csprintf("%zu", n),
+                      csprintf("%.0f ns", ns / dn),
+                      csprintf("%.0f", misses / dn),
+                      csprintf("%.0f", conflicts / dn)});
+    }
+    return table.render();
+}
+
+std::string
 renderFigure6(const StudyResult &study)
 {
     TextTable table(

@@ -51,6 +51,17 @@ std::string adaptiveSweepShardJson(
     const std::vector<AdaptivePointRuntime> &rows,
     const std::string &benchmark, ShardSpec shard);
 
+/** Same contract for the multiprogrammed CMP sweep (`core_counts`
+ * belongs to the header: shards of one sweep must agree on it). */
+std::string cmpSweepShardJson(const std::vector<CmpPointResult> &rows,
+                              size_t suite_size,
+                              const std::vector<int> &core_counts,
+                              ShardSpec shard);
+
+/** Chip-level scaling table of a (merged) CMP sweep: per core count,
+ * average makespan and interconnect pressure across rotations. */
+std::string renderCmpSummary(const std::vector<CmpPointResult> &rows);
+
 } // namespace gals
 
 #endif // GALS_SIM_REPORT_HH

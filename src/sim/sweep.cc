@@ -6,9 +6,11 @@
 #include <cstring>
 #include <mutex>
 
+#include "cmp/chip.hh"
 #include "common/logging.hh"
 #include "sim/parallel.hh"
 #include "sim/simulation.hh"
+#include "workload/suite.hh"
 
 namespace gals
 {
@@ -195,6 +197,57 @@ sweepSynchronousRaw(const std::vector<WorkloadParams> &suite,
         MachineConfig mc = MachineConfig::synchronous(
             row.icache_opt, row.dcache, row.iq_int, row.iq_fp);
         row.runtime_ns[b] = runtimeNs(simulate(mc, suite[b]));
+    });
+    return out;
+}
+
+std::vector<CmpPointResult>
+sweepCmpRaw(const std::vector<WorkloadParams> &suite,
+            const std::vector<int> &core_counts, ShardSpec shard)
+{
+    GALS_ASSERT(!suite.empty(), "empty suite for CMP sweep");
+    GALS_ASSERT(!core_counts.empty(), "CMP sweep needs core counts");
+    for (int c : core_counts) {
+        GALS_ASSERT(c >= 1 && c <= kMaxCores,
+                    "CMP sweep core count %d out of range 1..%d", c,
+                    kMaxCores);
+    }
+
+    // The (core count, rotation) pair is the shard unit.
+    const size_t rotations = suite.size();
+    std::vector<CmpPointResult> out;
+    for (size_t ci = 0; ci < core_counts.size(); ++ci) {
+        for (size_t rot = 0; rot < rotations; ++rot) {
+            size_t p = ci * rotations + rot;
+            if (!shard.owns(p))
+                continue;
+            CmpPointResult row;
+            row.point_index = p;
+            row.cores = core_counts[ci];
+            row.rotation = static_cast<int>(rot);
+            out.push_back(std::move(row));
+        }
+    }
+
+    // Every chip run is deterministic and independent of thread and
+    // shard boundaries (same contract as the other raw sweeps).
+    parallelFor(out.size(), [&](size_t k) {
+        CmpPointResult &row = out[k];
+        ChipConfig cc;
+        cc.machine = MachineConfig::mcdProgram({});
+        cc.cores = row.cores;
+        Chip chip(cc, multiprogrammedMix(suite, row.cores,
+                                         row.rotation));
+        ChipRunStats s = chip.run();
+        row.chip_ns =
+            static_cast<double>(s.makespan_ps) / 1000.0;
+        row.core_ns.reserve(s.cores.size());
+        for (const RunStats &cs : s.cores) {
+            row.core_ns.push_back(
+                static_cast<double>(cs.time_ps) / 1000.0);
+        }
+        row.l2_misses = s.l2_misses;
+        row.bank_conflicts = s.bank_conflicts;
     });
     return out;
 }

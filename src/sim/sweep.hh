@@ -132,6 +132,39 @@ struct AdaptivePointRuntime
 std::vector<AdaptivePointRuntime>
 sweepAdaptiveRaw(const WorkloadParams &wl, ShardSpec shard = {});
 
+/**
+ * One point of the chip-multiprocessor sweep: a core count x suite
+ * rotation, run as one multiprogrammed chip (multiprogrammedMix
+ * fills the cores round-robin from the rotation) — the shardable
+ * unit of `sweep_cli --mode cmp`.
+ */
+struct CmpPointResult
+{
+    std::size_t point_index = 0;
+    int cores = 1;
+    int rotation = 0; //!< suite index the mix starts at.
+    /** Chip makespan (longest per-core window), ns. */
+    double chip_ns = 0.0;
+    /** Per-core measured-window runtime, ns. */
+    std::vector<double> core_ns;
+    /** Shared-L2 misses and cross-core bank conflicts (lifetime). */
+    std::uint64_t l2_misses = 0;
+    std::uint64_t bank_conflicts = 0;
+};
+
+/**
+ * The raw multiprogrammed CMP sweep over `suite`: one chip run per
+ * (core count, rotation) pair, core counts from `core_counts`,
+ * rotations over the whole suite, restricted to the points owned by
+ * `shard` (round-robin on the point index). Every chip run is a
+ * deterministic function of its point alone, so sharded rows are
+ * byte-for-byte the unsharded rows — the same merge contract as the
+ * other sweeps.
+ */
+std::vector<CmpPointResult>
+sweepCmpRaw(const std::vector<WorkloadParams> &suite,
+            const std::vector<int> &core_counts, ShardSpec shard = {});
+
 } // namespace gals
 
 #endif // GALS_SIM_SWEEP_HH

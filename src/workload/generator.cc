@@ -38,6 +38,7 @@ SyntheticWorkload::startPhase(int idx)
 {
     phase_idx_ = idx;
     instrs_in_phase_ = 0;
+    cur_phase_ = &params_.phases[static_cast<size_t>(idx)];
     const PhaseParams &p = phase();
 
     GALS_ASSERT(p.block_len >= 2, "block_len must be at least 2");
@@ -75,6 +76,28 @@ SyntheticWorkload::startPhase(int idx)
     }
     chain_idx_ = 0;
     ops_in_segment_ = 0;
+
+    // Hoist the phase-constant hot-path math (bit-exact: each cached
+    // value is the very expression the per-op code used to evaluate).
+    pc_.rand_pool = p.rand_bytes >= kLineBytes;
+    pc_.rand_base =
+        kStreamBase +
+        ((std::max<std::uint64_t>(p.stream_bytes, kLineBytes) +
+          3 * kLineBytes) /
+         kLineBytes) *
+            kLineBytes;
+    pc_.rand_lines = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(linesOf(p.rand_bytes),
+                                0xffffffffULL));
+    pc_.stream_region = std::max<std::uint64_t>(
+        p.stream_bytes, static_cast<std::uint64_t>(kLineBytes));
+    pc_.stream_stride =
+        std::max<std::uint64_t>(p.stream_stride_bytes, 1);
+    pc_.cross_chain = p.cross_chain_frac > 0.0 && chains_.size() > 1;
+    pc_.load_store_frac = p.load_frac + p.store_frac;
+    pc_.div_mul_frac = p.div_frac + p.mul_frac;
+    pc_.pattern_len =
+        static_cast<std::uint32_t>(p.branch_pattern_len);
 }
 
 std::int8_t
@@ -90,8 +113,11 @@ SyntheticWorkload::allocReg(Chain &chain)
 bool
 SyntheticWorkload::branchOutcome()
 {
-    const PhaseParams &p = phase();
-    size_t site = static_cast<size_t>(cur_line_ % total_lines_);
+    const PhaseParams &p = *cur_phase_;
+    // The walk keeps cur_line_ < total_lines_ (hot positions are
+    // reduced mod hot_lines_, excursions stay in [hot, total)), so
+    // the line *is* the site index.
+    size_t site = static_cast<size_t>(cur_line_);
     std::uint32_t &counter = site_counter_[site];
     ++counter;
 
@@ -108,9 +134,8 @@ SyntheticWorkload::branchOutcome()
     switch (kind) {
       case 1:
         // Loop backedge: taken except every pattern_len-th run.
-        taken = p.branch_pattern_len <= 1 ||
-                (counter % static_cast<std::uint32_t>(
-                     p.branch_pattern_len)) != 0;
+        taken = pc_.pattern_len <= 1 ||
+                (counter % pc_.pattern_len) != 0;
         break;
       case 2:
         taken = true;
@@ -180,30 +205,21 @@ SyntheticWorkload::advanceBlock()
 Addr
 SyntheticWorkload::dataAddress(Chain &chain)
 {
-    const PhaseParams &p = phase();
-    if (p.rand_bytes >= kLineBytes && rng_.chance(p.rand_frac)) {
+    const PhaseParams &p = *cur_phase_;
+    if (pc_.rand_pool && rng_.chance(p.rand_frac)) {
         // The pool sits contiguously after the streamed region (as a
         // real heap would), so small working sets do not suffer
         // artificial direct-mapped conflicts.
-        Addr rand_base =
-            kStreamBase +
-            ((std::max<std::uint64_t>(p.stream_bytes, kLineBytes) +
-              3 * kLineBytes) /
-             kLineBytes) *
-                kLineBytes;
-        std::uint64_t lines = linesOf(p.rand_bytes);
-        std::uint64_t line = rng_.nextBounded(
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(
-                lines, 0xffffffffULL)));
-        return rand_base + line * kLineBytes;
+        std::uint64_t line = rng_.nextBounded(pc_.rand_lines);
+        return pc_.rand_base + line * kLineBytes;
     }
-    std::uint64_t region = std::max<std::uint64_t>(
-        p.stream_bytes, static_cast<std::uint64_t>(kLineBytes));
-    chain.stream_pos =
-        (chain.stream_pos + std::max<std::uint64_t>(
-                                p.stream_stride_bytes, 1)) %
-        region;
-    return kStreamBase + chain.stream_pos;
+    // stream_pos stays < region, so one conditional reduction equals
+    // the modulo.
+    std::uint64_t pos = chain.stream_pos + pc_.stream_stride;
+    if (pos >= pc_.stream_region)
+        pos %= pc_.stream_region;
+    chain.stream_pos = pos;
+    return kStreamBase + pos;
 }
 
 MicroOp
@@ -213,7 +229,7 @@ SyntheticWorkload::makeBranch()
     op.cls = OpClass::Branch;
     Chain &chain = chains_[chain_idx_];
     bool data_dep = !chain.is_fp &&
-                    rng_.chance(phase().branch_dep_frac);
+                    rng_.chance(cur_phase_->branch_dep_frac);
     op.src1 = data_dep ? chain.tail : kZeroReg;
     op.src2 = -1;
     op.dst = -1;
@@ -224,14 +240,13 @@ SyntheticWorkload::makeBranch()
 MicroOp
 SyntheticWorkload::makeWork()
 {
-    const PhaseParams &p = phase();
+    const PhaseParams &p = *cur_phase_;
     Chain &chain = chains_[chain_idx_];
 
     MicroOp op;
     op.src1 = chain.tail;
     op.src2 = kZeroReg;
-    if (p.cross_chain_frac > 0.0 && chains_.size() > 1 &&
-        rng_.chance(p.cross_chain_frac)) {
+    if (pc_.cross_chain && rng_.chance(p.cross_chain_frac)) {
         size_t other = rng_.nextBounded(
             static_cast<std::uint32_t>(chains_.size()));
         op.src2 = chains_[other].tail;
@@ -244,7 +259,7 @@ SyntheticWorkload::makeWork()
         op.dst = allocReg(chain);
         if (rng_.chance(p.load_chain_frac))
             chain.tail = op.dst;
-    } else if (roll < p.load_frac + p.store_frac) {
+    } else if (roll < pc_.load_store_frac) {
         op.cls = OpClass::Store;
         op.mem_addr = dataAddress(chain);
         op.src2 = chain.tail;
@@ -253,12 +268,12 @@ SyntheticWorkload::makeWork()
         double alu = rng_.nextDouble();
         if (chain.is_fp) {
             op.cls = alu < p.div_frac ? OpClass::FpDiv
-                     : alu < p.div_frac + p.mul_frac ? OpClass::FpMul
-                                                     : OpClass::FpAlu;
+                     : alu < pc_.div_mul_frac ? OpClass::FpMul
+                                              : OpClass::FpAlu;
         } else {
             op.cls = alu < p.div_frac ? OpClass::IntDiv
-                     : alu < p.div_frac + p.mul_frac ? OpClass::IntMul
-                                                     : OpClass::IntAlu;
+                     : alu < pc_.div_mul_frac ? OpClass::IntMul
+                                              : OpClass::IntAlu;
         }
         op.dst = allocReg(chain);
         chain.tail = op.dst;
@@ -266,7 +281,8 @@ SyntheticWorkload::makeWork()
 
     if (++ops_in_segment_ >= p.chain_segment_len) {
         ops_in_segment_ = 0;
-        chain_idx_ = (chain_idx_ + 1) % chains_.size();
+        if (++chain_idx_ >= chains_.size())
+            chain_idx_ = 0;
     }
     return op;
 }
@@ -274,7 +290,7 @@ SyntheticWorkload::makeWork()
 MicroOp
 SyntheticWorkload::next()
 {
-    const PhaseParams &p = phase();
+    const PhaseParams &p = *cur_phase_;
 
     MicroOp op;
     bool end_of_block = instr_in_block_ == p.block_len - 1;

@@ -40,6 +40,11 @@ class SyntheticWorkload
   public:
     explicit SyntheticWorkload(const WorkloadParams &params);
 
+    // cur_phase_ points into this object's own params_; a copied or
+    // moved instance would keep aiming at the source's storage.
+    SyntheticWorkload(const SyntheticWorkload &) = delete;
+    SyntheticWorkload &operator=(const SyntheticWorkload &) = delete;
+
     /** Generate the next micro-op in program order. */
     MicroOp next();
 
@@ -76,8 +81,39 @@ class SyntheticWorkload
     MicroOp makeBranch();
     MicroOp makeWork();
 
+    /**
+     * Per-phase constants hoisted off the per-op hot path (the
+     * generator is ~10% of host time, and these divisions/maxima are
+     * pure functions of the phase). Recomputed at startPhase; every
+     * cached value is bit-exact with the inline expression it
+     * replaces, and no RNG draw moves — the determinism goldens and
+     * the pinned stream hashes (tests/test_workload.cc) verify the
+     * stream is unchanged.
+     */
+    struct PhaseCache
+    {
+        /** Base of the random pool (after the streamed region). */
+        Addr rand_base = 0;
+        /** Random-pool size in lines, clamped to 32 bits. */
+        std::uint32_t rand_lines = 1;
+        /** p.rand_bytes >= one line (pool draws enabled). */
+        bool rand_pool = false;
+        /** max(p.stream_bytes, line) / max(p.stream_stride_bytes, 1). */
+        std::uint64_t stream_region = 1;
+        std::uint64_t stream_stride = 1;
+        /** p.cross_chain_frac > 0 and more than one chain. */
+        bool cross_chain = false;
+        /** p.load_frac + p.store_frac / p.div_frac + p.mul_frac. */
+        double load_store_frac = 0.0;
+        double div_mul_frac = 0.0;
+        std::uint32_t pattern_len = 1;
+    };
+
     WorkloadParams params_;
     Pcg32 rng_;
+    /** Current phase (stable: params_.phases never resizes). */
+    const PhaseParams *cur_phase_ = nullptr;
+    PhaseCache pc_;
 
     int phase_idx_ = -1;
     std::uint64_t instrs_in_phase_ = 0;

@@ -601,4 +601,37 @@ findBenchmark(const std::string &name)
     fatal("unknown benchmark '%s'", name.c_str());
 }
 
+WorkloadParams
+perCoreWorkload(const WorkloadParams &wl, int core)
+{
+    if (core == 0)
+        return wl;
+    WorkloadParams out = wl;
+    // Golden-ratio reseed: an independent Pcg32 stream per core, far
+    // from the per-benchmark seeds, while core 0 stays untouched.
+    out.seed = wl.seed ^ (0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(core));
+    out.name = wl.name + "#c" + std::to_string(core);
+    return out;
+}
+
+std::vector<WorkloadParams>
+multiprogrammedMix(const std::vector<WorkloadParams> &suite, int cores,
+                   int rotation)
+{
+    GALS_ASSERT(!suite.empty(), "multiprogrammed mix over an empty "
+                                "suite");
+    GALS_ASSERT(cores >= 1, "multiprogrammed mix needs cores >= 1");
+    std::vector<WorkloadParams> mix;
+    mix.reserve(static_cast<size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        const WorkloadParams &wl =
+            suite[(static_cast<size_t>(rotation) +
+                   static_cast<size_t>(c)) %
+                  suite.size()];
+        mix.push_back(perCoreWorkload(wl, c));
+    }
+    return mix;
+}
+
 } // namespace gals

@@ -32,6 +32,26 @@ const std::vector<WorkloadParams> &benchmarkSuite();
 /** Look up one benchmark by name; fatal when unknown. */
 const WorkloadParams &findBenchmark(const std::string &name);
 
+/**
+ * The per-core stream of `wl` on core `core` of a chip. Core 0 is
+ * `wl` unchanged — a single-core chip replays the single-core stream
+ * bit-exactly — while higher cores get an independently re-seeded
+ * copy (tagged "#cN"), so two cores running the same benchmark do not
+ * execute in artificial lockstep.
+ */
+WorkloadParams perCoreWorkload(const WorkloadParams &wl, int core);
+
+/**
+ * A multiprogrammed mix for an N-core chip: `cores` benchmarks taken
+ * from `suite` round-robin starting at index `rotation`, each routed
+ * through perCoreWorkload for its core. Rotating through the suite
+ * gives every pairing a deterministic name without a combinatorial
+ * sweep.
+ */
+std::vector<WorkloadParams>
+multiprogrammedMix(const std::vector<WorkloadParams> &suite, int cores,
+                   int rotation);
+
 } // namespace gals
 
 #endif // GALS_WORKLOAD_SUITE_HH

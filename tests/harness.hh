@@ -26,7 +26,9 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "cmp/chip.hh"
 #include "common/random.hh"
 #include "core/machine_config.hh"
 #include "core/run_stats.hh"
@@ -161,6 +163,52 @@ randomWorkload(Pcg32 &rng)
     wl.sim_instrs = 2'000 + rng.nextBounded(4'000);
     wl.warmup_instrs = rng.nextBounded(1'500); // 0 = measure from t=0.
     return wl;
+}
+
+/**
+ * A random chip over the full machine space plus the shared-L2
+ * pressure shapes: few banks concentrate cross-core conflicts, tiny
+ * per-bank fill slots force bank-MSHR waits, and a fat occupancy
+ * window stretches every conflict — the hard cases for the
+ * cross-core interconnect arbitration and its publication-order
+ * bookkeeping.
+ */
+inline ChipConfig
+randomChipConfig(Pcg32 &rng, int cores)
+{
+    ChipConfig cc;
+    cc.machine = randomMachine(rng);
+    cc.cores = cores;
+    cc.l2_banks = 1 << rng.nextRange(0, 3); // 1..8 banks.
+    cc.l2_bank_mshrs = rng.nextRange(1, 4);
+    cc.l2_bank_occupancy_ps =
+        static_cast<Tick>(rng.nextRange(100, 1200));
+    return cc;
+}
+
+/**
+ * A multiprogrammed workload mix over short differential windows,
+ * occasionally reshaped toward shared-L2 pressure (large random
+ * pools and high random-access fractions drive cross-core misses
+ * into the same banks).
+ */
+inline std::vector<WorkloadParams>
+randomChipWorkloads(Pcg32 &rng, int cores)
+{
+    std::vector<WorkloadParams> mix;
+    mix.reserve(static_cast<size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        WorkloadParams wl = perCoreWorkload(randomWorkload(rng), c);
+        if (rng.chance(0.4)) {
+            for (PhaseParams &p : wl.phases) {
+                p.rand_bytes = 256 * 1024
+                               << rng.nextRange(0, 3); // up to 2MB.
+                p.rand_frac = 0.5 + 0.4 * rng.nextDouble();
+            }
+        }
+        mix.push_back(wl);
+    }
+    return mix;
 }
 
 /** One-line description of a case for SCOPED_TRACE. */

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Chip-multiprocessor tests.
+ *
+ * The CMP subsystem's contract has three legs, and each gets pinned
+ * here:
+ *
+ *  - *N=1 equivalence*: a single-core Chip routes through the shared
+ *    banked L2 and the interconnect port, yet must produce RunStats
+ *    bit-identical to the private-hierarchy Processor for any machine
+ *    x workload x jitter draw — the interconnect arbitrates only
+ *    across cores, so with one core it must be a timing no-op.
+ *  - *Kernel bit-identity at N>=2*: the event kernel must agree with
+ *    the step-every-edge reference oracle on multi-core chips too;
+ *    this is what makes every cross-core wake provably precise (a
+ *    late wake diverges, an early one is only a wasted step).
+ *  - *Interconnect semantics*: bank conflicts delay only cross-core
+ *    requests, per-bank fill slots (MSHRs) are arbitrated across
+ *    cores, in-flight merges hold only other cores' hits, the shared
+ *    row follows core 0, and a mis-ordered cross-core publication is
+ *    rejected by the port's tripwire, not silently delivered.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_l2.hh"
+#include "cmp/chip.hh"
+#include "harness.hh"
+#include "sim/report.hh"
+#include "sim/shard.hh"
+#include "sim/sweep.hh"
+#include "timing/frequency_model.hh"
+
+using namespace gals;
+using namespace gals::harness;
+
+namespace
+{
+
+/** Field-by-field equality of two chip runs (per-core + totals). */
+void
+expectSameChipStats(ChipRunStats &a, ChipRunStats &b)
+{
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (size_t c = 0; c < a.cores.size(); ++c) {
+        SCOPED_TRACE("core " + std::to_string(c));
+        expectSameStats(a.cores[c], b.cores[c]);
+    }
+    EXPECT_EQ(a.total_committed, b.total_committed);
+    EXPECT_EQ(a.makespan_ps, b.makespan_ps);
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+    EXPECT_EQ(a.l2_misses, b.l2_misses);
+    EXPECT_EQ(a.bank_conflicts, b.bank_conflicts);
+    EXPECT_EQ(a.bank_mshr_waits, b.bank_mshr_waits);
+    EXPECT_EQ(a.fill_merges, b.fill_merges);
+}
+
+/** A bare shared L2 + port for the arbitration unit tests. */
+SharedL2::Params
+bareParams(int cores, int banks, int bank_mshrs, Tick occupancy_ps)
+{
+    SharedL2::Params p;
+    p.size_bytes = 2048 * 1024;
+    p.ways = 8;
+    p.a_ways = 8;
+    p.phase_adaptive = false;
+    p.row = 0;
+    p.cores = cores;
+    p.banks = banks;
+    p.bank_mshrs = bank_mshrs;
+    p.bank_occupancy_ps = occupancy_ps;
+    return p;
+}
+
+constexpr Tick kPeriod = 300; // requester load/store period, ps.
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Interconnect arbitration semantics.
+// ---------------------------------------------------------------------
+
+TEST(CmpInterconnect, BankConflictDelaysOnlyCrossCoreRequests)
+{
+    SharedL2 l2(bareParams(2, 2, 0, 500));
+    InterconnectPort icp(l2, 2);
+
+    // Two different lines of the same bank (bank stride = banks *
+    // line bytes), plus one line of the other bank.
+    Addr a1 = 0x0000;  // bank 0
+    Addr a2 = 0x0080;  // bank 0 (banks=2: line 2)
+    Addr b1 = 0x0040;  // bank 1
+
+    L2Reply r1 = icp.requestLine(0, a1, 10'000, kPeriod, 10'000);
+    EXPECT_FALSE(r1.hit);
+    EXPECT_EQ(l2.bankConflicts(), 0u);
+
+    // Another core behind the busy bank: delayed by the occupancy
+    // window left on the bank.
+    L2Reply r2 = icp.requestLine(1, a2, 10'000, kPeriod, 10'000);
+    EXPECT_EQ(l2.bankConflicts(), 1u);
+    // The other bank at the same tick is free.
+    L2Reply r3 = icp.requestLine(1, b1, 10'000, kPeriod, 10'000);
+    EXPECT_EQ(l2.bankConflicts(), 1u);
+    // Both missed to memory; the conflicting one is exactly the bank
+    // occupancy later.
+    EXPECT_EQ(r2.done, r3.done + 500);
+
+    // Same-core back-to-back requests to one bank never conflict
+    // (own bandwidth is modeled by the core's mem ports and MSHRs).
+    SharedL2 own(bareParams(2, 1, 0, 500));
+    InterconnectPort own_icp(own, 2);
+    L2Reply o1 = own_icp.requestLine(0, a1, 10'000, kPeriod, 10'000);
+    L2Reply o2 = own_icp.requestLine(0, a2, 10'000, kPeriod, 10'000);
+    EXPECT_EQ(own.bankConflicts(), 0u);
+    EXPECT_EQ(o1.done, o2.done);
+}
+
+TEST(CmpInterconnect, BankMshrsArbitrateAcrossCoresOnly)
+{
+    // One bank, one fill slot, no occupancy window: pure fill-slot
+    // pressure.
+    SharedL2 l2(bareParams(2, 1, 1, 0));
+    InterconnectPort icp(l2, 2);
+    const Tick fill_ps = l2.memory().lineFillPs();
+
+    L2Reply r1 = icp.requestLine(1, 0x0000, 1'000, kPeriod, 1'000);
+    ASSERT_FALSE(r1.hit);
+
+    // A core is never blocked behind its own fills: core 1's second
+    // miss issues immediately even though its first fill holds the
+    // bank's only slot.
+    L2Reply r1b = icp.requestLine(1, 0x2000, 2'000, kPeriod, 2'000);
+    ASSERT_FALSE(r1b.hit);
+    EXPECT_EQ(l2.bankMshrWaits(), 0u);
+    EXPECT_EQ(r1b.done, r1.done + 1'000);
+
+    // The other core's miss must wait for core 1's in-flight fills
+    // to release the bank's only slot before its own fill can issue.
+    L2Reply r2 = icp.requestLine(0, 0x1000, 3'000, kPeriod, 3'000);
+    ASSERT_FALSE(r2.hit);
+    EXPECT_EQ(l2.bankMshrWaits(), 1u);
+    EXPECT_EQ(r2.done, r1b.done + fill_ps);
+}
+
+TEST(CmpInterconnect, InFlightMergeHoldsOnlyOtherCoresHits)
+{
+    SharedL2 l2(bareParams(2, 1, 0, 0));
+    InterconnectPort icp(l2, 2);
+
+    L2Reply miss = icp.requestLine(1, 0x0000, 1'000, kPeriod, 1'000);
+    ASSERT_FALSE(miss.hit);
+
+    // The tag is installed instantly (accounting-cache semantics), so
+    // the other core hits — but its data cannot arrive before the
+    // fill does.
+    L2Reply other = icp.requestLine(0, 0x0000, 2'000, kPeriod, 2'000);
+    EXPECT_TRUE(other.hit);
+    EXPECT_EQ(other.done, miss.done);
+    EXPECT_EQ(l2.fillMerges(), 1u);
+
+    // The filling core's own re-access keeps plain hit timing (its
+    // same-line serialization is the private hierarchy's concern).
+    L2Reply own = icp.requestLine(1, 0x0000, 3'000, kPeriod, 3'000);
+    EXPECT_TRUE(own.hit);
+    EXPECT_EQ(own.done,
+              3'000 + static_cast<Tick>(
+                          dcachePairConfig(0).l2_a_lat) *
+                          kPeriod);
+    EXPECT_EQ(l2.fillMerges(), 1u);
+}
+
+TEST(CmpInterconnect, SharedRowFollowsCoreZeroOnly)
+{
+    SharedL2 l2(bareParams(2, 1, 0, 0));
+    InterconnectPort icp(l2, 2);
+
+    icp.reconfigure(1, 3); // not the owner: L1-only decision.
+    EXPECT_EQ(l2.row(), 0);
+    icp.reconfigure(0, 3);
+    EXPECT_EQ(l2.row(), 3);
+    EXPECT_EQ(l2.cache().aWays(), dcachePairConfig(3).l2_adapt.assoc);
+}
+
+TEST(CmpInterconnect, PerCoreAccountingSplitsTraffic)
+{
+    SharedL2 l2(bareParams(2, 1, 0, 0));
+    InterconnectPort icp(l2, 2);
+
+    icp.requestLine(0, 0x0000, 1'000, kPeriod, 1'000);   // miss.
+    icp.requestLine(1, 0x0000, 2'000, kPeriod, 2'000);   // hit.
+    icp.requestIcacheLine(1, 0x4000, 3'000, kPeriod, 3'000); // miss.
+
+    EXPECT_EQ(l2.accesses(0), 1u);
+    EXPECT_EQ(l2.misses(0), 1u);
+    EXPECT_EQ(l2.accesses(1), 2u);
+    EXPECT_EQ(l2.misses(1), 1u);
+    EXPECT_EQ(l2.interval(0).accesses, 1u);
+    EXPECT_EQ(l2.interval(1).accesses, 2u);
+    icp.resetInterval(1);
+    EXPECT_EQ(l2.interval(1).accesses, 0u);
+    EXPECT_EQ(l2.accesses(1), 2u); // lifetime totals unaffected.
+}
+
+TEST(CmpPortsDeathTest, MisorderedCrossCorePublicationAsserts)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    SharedL2 l2(bareParams(2, 1, 0, 0));
+    InterconnectPort icp(l2, 2);
+
+    // Core 1's load/store unit (global domain 7) touches the bank at
+    // t; core 0's (global domain 3) claiming the same tick afterwards
+    // would consume state the reference kernel's step order provably
+    // hides from it — the tripwire must reject it.
+    icp.requestLine(1, 0x0000, 1'000, kPeriod, 1'000);
+    EXPECT_DEATH(icp.requestLine(0, 0x0080, 1'000, kPeriod, 1'000),
+                 "publication order");
+}
+
+// ---------------------------------------------------------------------
+// N=1: the shared path must be bit-identical to the Processor.
+// ---------------------------------------------------------------------
+
+TEST(CmpEquivalence, SingleCoreChipMatchesProcessorBitExactly)
+{
+    Pcg32 rng(0xC3A11);
+    for (int i = 0; i < 20; ++i) {
+        MachineConfig m = randomMachine(rng);
+        WorkloadParams wl = randomWorkload(rng);
+        SCOPED_TRACE("case " + std::to_string(i) + ": " +
+                     describe(m, wl));
+
+        ChipConfig cc;
+        cc.machine = m;
+        cc.cores = 1;
+        cc.l2_banks = 1 << rng.nextRange(0, 3);
+        cc.l2_bank_mshrs = rng.nextRange(0, 4);
+        cc.l2_bank_occupancy_ps =
+            static_cast<Tick>(rng.nextRange(100, 1200));
+
+        RunStats direct = simulateWithKernel(
+            m, wl, Processor::Kernel::EventDriven);
+        Chip chip(cc, {wl});
+        chip.setKernel(Processor::Kernel::EventDriven);
+        ChipRunStats cs = chip.run();
+        ASSERT_EQ(cs.cores.size(), 1u);
+        expectSameStats(direct, cs.cores[0]);
+        EXPECT_EQ(cs.bank_conflicts, 0u);
+        EXPECT_EQ(cs.bank_mshr_waits, 0u);
+        EXPECT_EQ(cs.fill_merges, 0u);
+
+        if (i % 4 == 0) {
+            RunStats ref = simulateWithKernel(
+                m, wl, Processor::Kernel::Reference);
+            Chip refchip(cc, {wl});
+            refchip.setKernel(Processor::Kernel::Reference);
+            ChipRunStats rcs = refchip.run();
+            expectSameStats(ref, rcs.cores[0]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// N>=2: event kernel vs reference oracle, and real interconnect
+// traffic.
+// ---------------------------------------------------------------------
+
+TEST(CmpDifferential, EventKernelMatchesReferenceOnMultiCoreChips)
+{
+    Pcg32 rng(0xD1FF2);
+    for (int i = 0; i < 12; ++i) {
+        int cores = rng.nextRange(2, static_cast<int>(kMaxCores));
+        ChipConfig cc = randomChipConfig(rng, cores);
+        std::vector<WorkloadParams> mix =
+            randomChipWorkloads(rng, cores);
+        SCOPED_TRACE("case " + std::to_string(i) + ": cores=" +
+                     std::to_string(cores) + " banks=" +
+                     std::to_string(cc.l2_banks) + " " +
+                     describe(cc.machine, mix[0]));
+
+        Chip event_chip(cc, mix);
+        event_chip.setKernel(Processor::Kernel::EventDriven);
+        if (i % 3 == 0)
+            event_chip.setInvariantCheckInterval(64);
+        ChipRunStats ev = event_chip.run();
+
+        Chip ref_chip(cc, mix);
+        ref_chip.setKernel(Processor::Kernel::Reference);
+        if (i % 3 == 0)
+            ref_chip.setInvariantCheckInterval(64);
+        ChipRunStats ref = ref_chip.run();
+
+        expectSameChipStats(ev, ref);
+    }
+}
+
+TEST(CmpDifferential, MultiprogrammedRunExercisesTheInterconnect)
+{
+    // A deliberately contended chip: one bank, one fill slot, large
+    // random pools on every core.
+    ChipConfig cc;
+    cc.machine = MachineConfig::mcdProgram({});
+    cc.cores = 2;
+    cc.l2_banks = 1;
+    cc.l2_bank_mshrs = 1;
+    cc.l2_bank_occupancy_ps = 900;
+
+    std::vector<WorkloadParams> mix =
+        multiprogrammedMix(benchmarkSuite(), 2, 0);
+    for (WorkloadParams &wl : mix) {
+        wl.sim_instrs = 6'000;
+        wl.warmup_instrs = 500;
+        for (PhaseParams &p : wl.phases) {
+            p.rand_bytes = 2 * 1024 * 1024;
+            p.rand_frac = 0.9;
+            p.load_frac = 0.4;
+        }
+    }
+
+    Chip chip(cc, mix);
+    ChipRunStats s = chip.run();
+    ASSERT_EQ(s.cores.size(), 2u);
+    EXPECT_GT(s.cores[0].committed, 0u);
+    EXPECT_GT(s.cores[1].committed, 0u);
+    EXPECT_GT(s.l2_accesses, 0u);
+    // Cross-core contention actually happened.
+    EXPECT_GT(s.bank_conflicts, 0u);
+    EXPECT_GT(s.total_committed,
+              s.cores[0].committed); // both cores contributed.
+}
+
+TEST(CmpDifferential, ChipRunsAreDeterministic)
+{
+    Pcg32 rng(0xDE7);
+    ChipConfig cc = randomChipConfig(rng, 3);
+    std::vector<WorkloadParams> mix = randomChipWorkloads(rng, 3);
+
+    Chip a(cc, mix);
+    ChipRunStats ra = a.run();
+    Chip b(cc, mix);
+    ChipRunStats rb = b.run();
+    expectSameChipStats(ra, rb);
+}
+
+// ---------------------------------------------------------------------
+// CMP sweep: sharding merges byte-identically.
+// ---------------------------------------------------------------------
+
+TEST(CmpSweep, ShardedRunsMergeByteIdentical)
+{
+    std::vector<WorkloadParams> suite(benchmarkSuite().begin(),
+                                      benchmarkSuite().begin() + 3);
+    for (WorkloadParams &wl : suite) {
+        wl.sim_instrs = 2'000;
+        wl.warmup_instrs = 200;
+    }
+    const std::vector<int> core_counts = {1, 2};
+
+    std::string unsharded = cmpSweepShardJson(
+        sweepCmpRaw(suite, core_counts), suite.size(), core_counts,
+        ShardSpec{});
+
+    std::vector<std::string> shards;
+    for (int i = 0; i < 3; ++i) {
+        ShardSpec spec{i, 3};
+        shards.push_back(cmpSweepShardJson(
+            sweepCmpRaw(suite, core_counts, spec), suite.size(),
+            core_counts, spec));
+    }
+    EXPECT_EQ(mergeShardJson(shards), unsharded);
+
+    // The summary renders one row per core count.
+    std::vector<CmpPointResult> rows = sweepCmpRaw(suite, core_counts);
+    std::string summary = renderCmpSummary(rows);
+    EXPECT_NE(summary.find("Chip multiprocessor scaling"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Workload layer: per-core streams.
+// ---------------------------------------------------------------------
+
+TEST(CmpWorkloads, PerCoreStreamsKeepCoreZeroExact)
+{
+    const WorkloadParams &gzip = findBenchmark("gzip");
+    WorkloadParams c0 = perCoreWorkload(gzip, 0);
+    EXPECT_EQ(c0.seed, gzip.seed);
+    EXPECT_EQ(c0.name, gzip.name);
+
+    WorkloadParams c1 = perCoreWorkload(gzip, 1);
+    WorkloadParams c2 = perCoreWorkload(gzip, 2);
+    EXPECT_NE(c1.seed, gzip.seed);
+    EXPECT_NE(c1.seed, c2.seed);
+    EXPECT_EQ(c1.name, "gzip#c1");
+
+    std::vector<WorkloadParams> mix =
+        multiprogrammedMix(benchmarkSuite(), 3, 1);
+    ASSERT_EQ(mix.size(), 3u);
+    EXPECT_EQ(mix[0].name, benchmarkSuite()[1].name); // rotation.
+    EXPECT_EQ(mix[1].name, benchmarkSuite()[2].name + "#c1");
+}

@@ -36,57 +36,60 @@ testClocks()
 TEST(Ports, PublishRespectsPublicationOrder)
 {
     std::array<Clock, 4> clocks = testClocks();
-    WakeHub hub(clocks.data(), kNumDomains);
-    hub.beginEventRun();
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
+    fabric.beginEventRun();
     // Park everything so the recorded wake bounds are visible.
     for (int d = 0; d < kNumDomains; ++d)
-        hub.setBound(d, kTickMax);
+        fabric.setBound(d, kTickMax);
 
     // Load/store (3) publishing to the front end (0): the front
     // end's step at t already ran, so the wake lands strictly after.
     WakePort up(hub, DomainId::LoadStore, DomainId::FrontEnd);
     up.publish(5000);
-    EXPECT_EQ(hub.bound(0), 5001u);
+    EXPECT_EQ(fabric.bound(0), 5001u);
 
     // Front end (0) publishing to the load/store unit (3): the
     // consumer steps after the producer on equal ticks, so the wake
     // lands at t itself.
     WakePort down(hub, DomainId::FrontEnd, DomainId::LoadStore);
     down.publish(5000);
-    EXPECT_EQ(hub.bound(3), 5000u);
+    EXPECT_EQ(fabric.bound(3), 5000u);
 
     // Self-publication is consumable at the same tick (the reference
     // kernel's next step of this domain is after t).
     WakePort self(hub, DomainId::Integer, DomainId::Integer);
     self.publish(7000);
-    EXPECT_EQ(hub.bound(1), 7000u);
+    EXPECT_EQ(fabric.bound(1), 7000u);
 }
 
 TEST(Ports, PublishAtAcceptsRuleRespectingTimes)
 {
     std::array<Clock, 4> clocks = testClocks();
-    WakeHub hub(clocks.data(), kNumDomains);
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
     for (int d = 0; d < kNumDomains; ++d)
-        hub.setBound(d, kTickMax);
+        fabric.setBound(d, kTickMax);
 
     WakePort up(hub, DomainId::Integer, DomainId::FrontEnd);
     up.publishAt(4000, 4001); // earliest legal tick.
-    EXPECT_EQ(hub.bound(0), 4001u);
+    EXPECT_EQ(fabric.bound(0), 4001u);
 
     WakePort down(hub, DomainId::FrontEnd, DomainId::Integer);
     down.publishAt(4000, 4000); // equal tick legal for dst > src.
-    EXPECT_EQ(hub.bound(1), 4000u);
+    EXPECT_EQ(fabric.bound(1), 4000u);
 
     // Wakes never move a bound later (monotone min).
     up.publishAt(4000, 9000);
-    EXPECT_EQ(hub.bound(0), 4001u);
+    EXPECT_EQ(fabric.bound(0), 4001u);
 }
 
 TEST(PortsDeathTest, MisorderedPublicationIsRejected)
 {
     testing::GTEST_FLAG(death_test_style) = "threadsafe";
     std::array<Clock, 4> clocks = testClocks();
-    WakeHub hub(clocks.data(), kNumDomains);
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
 
     // A wake at t toward a lower-indexed domain claims the consumer
     // can observe state its step at t provably did not see — exactly
@@ -105,19 +108,20 @@ TEST(PortsDeathTest, MisorderedPublicationIsRejected)
 TEST(Ports, DispatchPortWakesProducerOnlyOnPopFromFull)
 {
     std::array<Clock, 4> clocks = testClocks();
-    WakeHub hub(clocks.data(), kNumDomains);
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
     for (int d = 0; d < kNumDomains; ++d)
-        hub.setBound(d, kTickMax);
+        fabric.setBound(d, kTickMax);
 
     DispatchPort port(hub, DomainId::FrontEnd, DomainId::Integer, 2);
     port.push(7, 2000, 1000);
     // The consumer is woken for the entry's visibility time.
-    EXPECT_EQ(hub.bound(1), 2000u);
+    EXPECT_EQ(fabric.bound(1), 2000u);
 
     // Pop while the FIFO was not full: rename was not blocked on it,
     // so the producer must NOT be woken.
     port.consume(2000, [](size_t) { return true; });
-    EXPECT_EQ(hub.bound(0), kTickMax);
+    EXPECT_EQ(fabric.bound(0), kTickMax);
 
     // Fill it, then pop: the producer wakes strictly after the
     // consuming step's tick (Integer > FrontEnd).
@@ -125,39 +129,41 @@ TEST(Ports, DispatchPortWakesProducerOnlyOnPopFromFull)
     port.push(9, 3000, 2500);
     EXPECT_EQ(port.freeSlots(), 0u);
     port.consume(3000, [](size_t) { return true; });
-    EXPECT_EQ(hub.bound(0), 3001u);
+    EXPECT_EQ(fabric.bound(0), 3001u);
 }
 
 TEST(Ports, StoreBufferPortWakesFrontEndOnPopFromFull)
 {
     std::array<Clock, 4> clocks = testClocks();
-    WakeHub hub(clocks.data(), kNumDomains);
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
     for (int d = 0; d < kNumDomains; ++d)
-        hub.setBound(d, kTickMax);
+        fabric.setBound(d, kTickMax);
 
     StoreBufferPort sb(hub, 2);
     sb.push(0x10, 1000);
-    EXPECT_EQ(hub.bound(3), 1000u); // drain side woken at push tick.
+    EXPECT_EQ(fabric.bound(3), 1000u); // drain side woken at push tick.
     EXPECT_EQ(sb.pushes(), 1u);
 
     sb.pop(2000); // was not full: retire was not blocked.
-    EXPECT_EQ(hub.bound(0), kTickMax);
+    EXPECT_EQ(fabric.bound(0), kTickMax);
 
     sb.push(0x11, 3000);
     sb.push(0x12, 3000);
     EXPECT_TRUE(sb.full());
     sb.pop(4000); // pop-from-full unblocks retire, strictly after.
-    EXPECT_EQ(hub.bound(0), 4001u);
+    EXPECT_EQ(fabric.bound(0), 4001u);
     EXPECT_EQ(sb.pushes(), 3u);
 }
 
 TEST(Ports, EpochBumpBroadcastFollowsReferenceOrder)
 {
     std::array<Clock, 4> clocks = testClocks();
-    CoreTiming timing(clocks, false);
-    WakeHub hub(clocks.data(), kNumDomains);
+    CoreTiming timing(clocks.data(), false);
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
     for (int d = 0; d < kNumDomains; ++d)
-        hub.setBound(d, kTickMax);
+        fabric.setBound(d, kTickMax);
 
     EpochBumpPort port(hub, timing);
     std::uint32_t before = timing.epoch();
@@ -166,21 +172,22 @@ TEST(Ports, EpochBumpBroadcastFollowsReferenceOrder)
     // after; higher-indexed ones step at t itself.
     port.broadcast(2, 8000);
     EXPECT_EQ(timing.epoch(), before + 1);
-    EXPECT_EQ(hub.bound(0), 8001u);
-    EXPECT_EQ(hub.bound(1), 8001u);
-    EXPECT_EQ(hub.bound(2), kTickMax); // the changed domain itself.
-    EXPECT_EQ(hub.bound(3), 8000u);
+    EXPECT_EQ(fabric.bound(0), 8001u);
+    EXPECT_EQ(fabric.bound(1), 8001u);
+    EXPECT_EQ(fabric.bound(2), kTickMax); // the changed domain itself.
+    EXPECT_EQ(fabric.bound(3), 8000u);
 }
 
 TEST(Ports, WakeHubHeadPrefersEarliestThenLowestIndex)
 {
     std::array<Clock, 4> clocks = testClocks();
-    WakeHub hub(clocks.data(), kNumDomains);
-    hub.setKey(0, 5000);
-    hub.setKey(1, 4000);
-    hub.setKey(2, 4000);
-    hub.setKey(3, 6000);
-    EXPECT_EQ(hub.head(), 1); // earliest wins; ties to lowest index.
-    hub.park(1);
-    EXPECT_EQ(hub.head(), 2);
+    WakeFabric fabric(clocks.data(), kNumDomains);
+    WakeHub hub(fabric, 0, kNumDomains);
+    fabric.setKey(0, 5000);
+    fabric.setKey(1, 4000);
+    fabric.setKey(2, 4000);
+    fabric.setKey(3, 6000);
+    EXPECT_EQ(fabric.head(), 1); // earliest wins; ties to lowest index.
+    fabric.park(1);
+    EXPECT_EQ(fabric.head(), 2);
 }

@@ -233,3 +233,60 @@ TEST(Suite, SeedsAreUnique)
     for (const WorkloadParams &w : benchmarkSuite())
         EXPECT_TRUE(seeds.insert(w.seed).second) << w.name;
 }
+
+namespace
+{
+
+/** FNV-1a over every field of the first `n` ops of `wl`'s stream. */
+std::uint64_t
+streamHash(const WorkloadParams &wl, std::uint64_t n)
+{
+    SyntheticWorkload w(wl);
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (std::uint64_t i = 0; i < n; ++i) {
+        MicroOp op = w.next();
+        mix(static_cast<std::uint64_t>(op.cls));
+        mix(op.pc);
+        mix(op.mem_addr);
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint8_t>(op.src1)));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint8_t>(op.src2)));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint8_t>(op.dst)));
+        mix(op.taken ? 1 : 0);
+    }
+    return h;
+}
+
+} // namespace
+
+/**
+ * The generator's RNG stream is load-bearing: the determinism goldens
+ * and every paper table depend on the exact op sequence, so any
+ * generator fast-path change must preserve it bit-exactly. These
+ * hashes were captured before the phase-cache optimization and pin
+ * 50k ops of five representative benchmarks (multi-phase, fp,
+ * pointer-chasing, streaming).
+ */
+TEST(Generator, StreamHashesArePinned)
+{
+    const struct
+    {
+        const char *name;
+        std::uint64_t hash;
+    } kGolden[] = {
+        {"gzip", 0x90c9a47ecdb4ad00ULL},
+        {"mst", 0x84add5227e072731ULL},
+        {"art", 0x2b1dcad5a49cb967ULL},
+        {"apsi", 0x528d9cc013030823ULL},
+        {"em3d", 0x2dc54ea0721b977fULL},
+    };
+    for (const auto &g : kGolden)
+        EXPECT_EQ(streamHash(findBenchmark(g.name), 50'000), g.hash)
+            << g.name;
+}
