@@ -1,19 +1,30 @@
 /**
  * @file
  * Host-side throughput of multi-core chip simulation versus core
- * count, plus the interconnect-pressure counters of each point.
- * Useful for budgeting CMP sweep sizes and watching the shared-L2
- * arbitration cost; not a paper experiment.
+ * count and worker-thread count, plus the interconnect-pressure
+ * counters of each point. Useful for budgeting CMP sweep sizes and
+ * watching the shared-L2 arbitration cost; not a paper experiment.
  *
  * Items == total committed instructions across all cores, so the
  * items/s column shows how much of the added simulation work the
  * event kernel absorbs as cores (and interconnect arbitration
  * traffic) grow.
+ *
+ * The second benchmark argument is GALS_CHIP_THREADS: 1 is the
+ * sequential event kernel, >1 the horizon-parallel stepper (always
+ * bit-identical; the differential suite enforces that). Wall-clock
+ * ("Time") is the column to read for thread scaling — CPU time sums
+ * across workers. Speedup requires at least as many host CPUs as
+ * workers; on a single-CPU host the parallel points show the
+ * protocol's overhead floor instead.
  */
 
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 
 #include "cmp/chip.hh"
 #include "workload/suite.hh"
@@ -36,10 +47,24 @@ mixFor(int cores)
     return mix;
 }
 
+/** Scoped GALS_CHIP_THREADS setting (read per chip run). */
+class ThreadsEnv
+{
+  public:
+    explicit ThreadsEnv(int threads)
+    {
+        setenv("GALS_CHIP_THREADS", std::to_string(threads).c_str(),
+               1);
+    }
+    ~ThreadsEnv() { unsetenv("GALS_CHIP_THREADS"); }
+};
+
 void
 BM_ChipRun(benchmark::State &state)
 {
     int cores = static_cast<int>(state.range(0));
+    int threads = static_cast<int>(state.range(1));
+    ThreadsEnv env(threads);
     ChipConfig cc;
     cc.machine = MachineConfig::mcdProgram({});
     cc.cores = cores;
@@ -64,13 +89,28 @@ BM_ChipRun(benchmark::State &state)
         static_cast<double>(merges),
         benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_ChipRun)->Arg(1)->Arg(2)->Arg(4);
+// {cores, worker threads}: the threads=1 rows are the sequential
+// kernel (the default path); each core count then adds its parallel
+// points up to threads == cores.
+BENCHMARK(BM_ChipRun)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->UseRealTime();
 
-/** The contended corner: one bank, one fill slot per bank. */
+/** The contended corner: one bank, one fill slot per bank. Frequent
+ * in-flight fills clamp the parallel stepper's horizon to fill
+ * granularity, so this is its worst case (maximum rounds per unit of
+ * simulated time). */
 void
 BM_ChipRunContended(benchmark::State &state)
 {
     int cores = static_cast<int>(state.range(0));
+    int threads = static_cast<int>(state.range(1));
+    ThreadsEnv env(threads);
     ChipConfig cc;
     cc.machine = MachineConfig::mcdProgram({});
     cc.cores = cores;
@@ -88,7 +128,12 @@ BM_ChipRunContended(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
 }
-BENCHMARK(BM_ChipRunContended)->Arg(2)->Arg(4);
+BENCHMARK(BM_ChipRunContended)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->UseRealTime();
 
 } // namespace
 
@@ -98,5 +143,8 @@ main(int argc, char **argv)
     gals::benchBanner("Chip-multiprocessor host throughput",
                       "infrastructure measurement (items == total "
                       "committed instructions)");
+    std::printf("host CPUs: %u (parallel wall-clock speedup needs "
+                ">= as many as worker threads)\n",
+                std::thread::hardware_concurrency());
     return runRegisteredBenchmarks(argc, argv);
 }

@@ -35,18 +35,23 @@ namespace
  * multiprogrammed chip, metric = total committed instructions across
  * both cores) was introduced with the CMP subsystem in PR 5 and its
  * baseline is that introduction's measurement on the same container,
- * rounded — the container's run-to-run noise is ±5-15%, so current/
- * baseline ratios near 1.0 are parity, not regressions.
+ * rounded; cmp4 (a four-core multiprogrammed chip) was introduced
+ * with the horizon-parallel stepper in PR 6, same policy. The
+ * container's run-to-run noise is ±5-15%, so current/baseline ratios
+ * near 1.0 are parity, not regressions.
  */
-constexpr double kSeedBaseline[4] = {
+constexpr int kNumConfigs = 5;
+constexpr double kSeedBaseline[kNumConfigs] = {
     1.62e6, // synchronous
     1.36e6, // mcdProgram
     1.37e6, // mcdPhaseAdaptive
     2.00e6, // cmp2 (PR 5 introduction baseline)
+    2.50e6, // cmp4 (PR 6 introduction baseline)
 };
 
-const char *kConfigNames[4] = {"synchronous", "mcdProgram",
-                               "mcdPhaseAdaptive", "cmp2"};
+const char *kConfigNames[kNumConfigs] = {"synchronous", "mcdProgram",
+                                         "mcdPhaseAdaptive", "cmp2",
+                                         "cmp4"};
 
 MachineConfig
 configFor(int i)
@@ -141,14 +146,29 @@ cmpBenchMix()
     return {perCoreWorkload(a, 0), perCoreWorkload(b, 1)};
 }
 
-/** Total committed instructions per CPU-second for the cmp2 chip. */
+/** The tracked four-core multiprogrammed chip (suite rotation). */
+std::vector<WorkloadParams>
+cmp4BenchMix()
+{
+    std::vector<WorkloadParams> mix =
+        multiprogrammedMix(benchmarkSuite(), 4, 0);
+    for (WorkloadParams &wl : mix) {
+        wl.sim_instrs = 50'000;
+        wl.warmup_instrs = 5'000;
+    }
+    return mix;
+}
+
+/** Total committed instructions per CPU-second for an N-core chip
+ * (sequential kernel: the default GALS_CHIP_THREADS=1 path is what
+ * the tracked columns gate). */
 double
-measureCmpItemsPerSec()
+measureCmpItemsPerSec(int cores,
+                      const std::vector<WorkloadParams> &mix)
 {
     ChipConfig cc;
     cc.machine = MachineConfig::mcdProgram({});
-    cc.cores = 2;
-    std::vector<WorkloadParams> mix = cmpBenchMix();
+    cc.cores = cores;
     std::uint64_t per_run = 0;
     for (const WorkloadParams &wl : mix)
         per_run += wl.sim_instrs + wl.warmup_instrs;
@@ -185,14 +205,20 @@ writeJson()
     std::fprintf(f,
                  "  \"workload\": \"gzip 50k+5k instructions\",\n");
     std::fprintf(f, "  \"configs\": {\n");
-    for (int i = 0; i < 4; ++i) {
-        double now = i < 3 ? measureItemsPerSec(configFor(i))
-                           : measureCmpItemsPerSec();
+    for (int i = 0; i < kNumConfigs; ++i) {
+        double now;
+        if (i < 3)
+            now = measureItemsPerSec(configFor(i));
+        else if (i == 3)
+            now = measureCmpItemsPerSec(2, cmpBenchMix());
+        else
+            now = measureCmpItemsPerSec(4, cmp4BenchMix());
         std::fprintf(f,
                      "    \"%s\": {\"seed_baseline\": %.0f, "
                      "\"current\": %.0f, \"speedup\": %.2f}%s\n",
                      kConfigNames[i], kSeedBaseline[i], now,
-                     now / kSeedBaseline[i], i + 1 < 4 ? "," : "");
+                     now / kSeedBaseline[i],
+                     i + 1 < kNumConfigs ? "," : "");
         std::printf("JSON %-16s %8.0f items/s (seed %8.0f, %.2fx)\n",
                     kConfigNames[i], now, kSeedBaseline[i],
                     now / kSeedBaseline[i]);

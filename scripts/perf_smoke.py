@@ -18,6 +18,20 @@ import sys
 import tempfile
 from pathlib import Path
 
+# Columns the gate must always see in the committed reference file.
+# Dropping one there would silently un-gate its throughput (the
+# per-row loop below only covers what the reference lists), so the
+# set is pinned here and extended whenever a bench column is added:
+# cmp2 arrived with the CMP subsystem, cmp4 with the horizon-parallel
+# chip stepper.
+REQUIRED_CONFIGS = frozenset({
+    "synchronous",
+    "mcdProgram",
+    "mcdPhaseAdaptive",
+    "cmp2",
+    "cmp4",
+})
+
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
@@ -32,6 +46,11 @@ def main():
 
     bench = Path(args.bench).resolve()
     ref = json.loads(Path(args.ref).read_text())
+
+    missing = REQUIRED_CONFIGS - set(ref["configs"])
+    if missing:
+        sys.exit("committed reference lost tracked columns: "
+                 f"{', '.join(sorted(missing))}")
 
     with tempfile.TemporaryDirectory(prefix="perf_smoke_") as tmp:
         # --benchmark_filter=NONE skips the google-benchmark timings;

@@ -17,6 +17,8 @@ SharedL2::SharedL2(const Params &p)
     GALS_ASSERT(p.cores >= 1, "SharedL2 needs at least one core");
     GALS_ASSERT(p.banks >= 1, "SharedL2 needs at least one bank");
     GALS_ASSERT(p.bank_mshrs >= 0, "negative bank MSHR count");
+    if ((p.banks & (p.banks - 1)) == 0)
+        bank_mask_ = static_cast<Addr>(p.banks - 1);
     cache_.setPartition(p.a_ways, p.phase_adaptive);
     for (PerCore &pc : per_core_) {
         pc.interval.mru_hits.assign(static_cast<size_t>(p.ways), 0);
@@ -30,6 +32,19 @@ SharedL2::resetInterval(int core)
     std::fill(iv.mru_hits.begin(), iv.mru_hits.end(), 0);
     iv.misses = 0;
     iv.accesses = 0;
+}
+
+Tick
+SharedL2::nextFillCompletionAfter(Tick t) const
+{
+    Tick earliest = kTickMax;
+    for (const Bank &b : banks_) {
+        for (const Fill &f : b.fills) {
+            if (f.done > t && f.done < earliest)
+                earliest = f.done;
+        }
+    }
+    return earliest;
 }
 
 AccessOutcome

@@ -90,8 +90,13 @@ class SharedL2
     int banks() const { return static_cast<int>(banks_.size()); }
     int bankOf(Addr addr) const
     {
-        return static_cast<int>((addr >> cache_.lineShift()) %
-                                static_cast<Addr>(banks_.size()));
+        // Power-of-two bank counts (every config the sweeps and
+        // benches use) take the mask path: this sits on every L2
+        // request, and the general modulo costs a hardware divide.
+        Addr line = addr >> cache_.lineShift();
+        if (bank_mask_ != 0 || banks_.size() == 1)
+            return static_cast<int>(line & bank_mask_);
+        return static_cast<int>(line % static_cast<Addr>(banks_.size()));
     }
 
     // ------------------------------------------------------------------
@@ -124,6 +129,16 @@ class SharedL2
     std::uint64_t bankMshrWaits() const { return bank_mshr_waits_; }
     /** Hits on another core's in-flight line, held to the fill. */
     std::uint64_t fillMerges() const { return fill_merges_; }
+
+    /**
+     * Horizon input of the parallel chip stepper: the earliest
+     * in-flight fill completing strictly after `t`, across every
+     * bank (kTickMax when none). Completed fills are the only
+     * carriers a cross-core publication can ride — bank occupancy
+     * windows merely delay gated requests — so a round bounded by
+     * this never needs a wake merged into its own window.
+     */
+    Tick nextFillCompletionAfter(Tick t) const;
 
   private:
     friend class InterconnectPort;
@@ -163,6 +178,8 @@ class SharedL2
     AccountingCache cache_;
     MainMemory memory_;
     std::vector<Bank> banks_;
+    /** banks-1 when the bank count is a power of two, else 0. */
+    Addr bank_mask_ = 0;
     std::vector<PerCore> per_core_;
     int row_;
     std::uint64_t bank_conflicts_ = 0;

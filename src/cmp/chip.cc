@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <barrier>
 
 #include "common/logging.hh"
+#include "sim/parallel.hh"
 #include "timing/frequency_model.hh"
 
 namespace gals
@@ -13,6 +15,11 @@ namespace
 {
 
 constexpr std::uint64_t KB = 1024;
+
+/** Round cap when no cross-core traffic is in flight: a full
+ * epoch-length window (~a controller interval of simulated time), so
+ * an uncontended chip pays barriers at a negligible cadence. */
+constexpr Tick kChipEpochHorizonPs = 1'000'000;
 
 /** All cores' clocks, flat in global domain index order. */
 std::vector<Clock>
@@ -131,15 +138,23 @@ Chip::run()
 {
     std::array<CoreProgress, kMaxCores> progress{};
     for (int c = 0; c < cfg_.cores; ++c) {
-        progress[static_cast<size_t>(c)] = CoreProgress{
-            &cores_[static_cast<size_t>(c)]->committedRef(),
-            cores_[static_cast<size_t>(c)]->targetInstrs()};
+        progress[static_cast<size_t>(c)] =
+            cores_[static_cast<size_t>(c)]->progressStop();
     }
 
-    if (kernel_ == Processor::Kernel::Reference)
+    if (kernel_ == Processor::Kernel::Reference) {
+        // The oracle stays sequential: it defines the order the
+        // parallel kernel must reproduce.
         scheduler_.runReference(progress.data(), cfg_.cores);
-    else
-        scheduler_.runEvent(progress.data(), cfg_.cores);
+    } else {
+        unsigned threads = std::min<unsigned>(
+            chipThreads(), static_cast<unsigned>(cfg_.cores));
+        if (threads <= 1 || onPoolWorker())
+            scheduler_.runEvent(progress.data(), cfg_.cores);
+        else
+            runEventParallel(progress.data(),
+                             static_cast<int>(threads));
+    }
 
     ChipRunStats out;
     out.cores.reserve(cores_.size());
@@ -155,6 +170,121 @@ Chip::run()
     out.bank_mshr_waits = l2_.bankMshrWaits();
     out.fill_merges = l2_.fillMerges();
     return out;
+}
+
+Tick
+Chip::computeHorizon(Tick from) const
+{
+    Tick fill = l2_.nextFillCompletionAfter(from);
+    Tick cap = from + kChipEpochHorizonPs;
+    return fill < cap ? fill : cap;
+}
+
+void
+Chip::runEventParallel(const CoreProgress *progress, int nworkers)
+{
+    fabric_.setEventMode(true);
+    fabric_.beginEventRun();
+
+    // Static round-robin partition of cores over workers. Each
+    // worker steps its own cores' calendars in (time, lowest global
+    // index) order; the interconnect gates order the shared-bank
+    // touches across workers, so any partition is bit-identical to
+    // the sequential interleave.
+    ChipSyncState sync;
+    sync.nworkers = nworkers;
+    std::array<GroupRun, kMaxCores> groups{};
+    for (int c = 0; c < cfg_.cores; ++c) {
+        int w = c % nworkers;
+        sync.worker_of_core[static_cast<size_t>(c)] = w;
+        GroupRun &g = groups[static_cast<size_t>(w)];
+        int slot = g.nmembers++;
+        g.members[static_cast<size_t>(slot)] = c;
+        bool fin = *progress[c].progress >= progress[c].target;
+        g.done[static_cast<size_t>(slot)] = fin;
+        if (fin) {
+            for (int k = c * kNumDomains; k < (c + 1) * kNumDomains;
+                 ++k) {
+                fabric_.park(k);
+            }
+        } else {
+            ++g.active;
+        }
+    }
+    for (int w = 0; w < nworkers; ++w) {
+        GroupRun &g = groups[static_cast<size_t>(w)];
+        for (int mi = 0; mi < g.nmembers; ++mi) {
+            g.last_progress +=
+                *progress[g.members[static_cast<size_t>(mi)]].progress;
+        }
+    }
+
+    // Settle one round boundary: merge the deferred cross-core
+    // wakes, republish every worker's front from the settled
+    // calendar (a worker may otherwise race a peer's stale front
+    // from the previous round), and open the next window. Runs
+    // single-threaded — at init and inside the barrier's completion
+    // step, which the barrier orders against all workers.
+    Tick horizon = 0;
+    bool stop = false;
+    auto settleRound = [&]() noexcept {
+        icp_.drainDeferred(fabric_, horizon);
+        Tick from = kTickMax;
+        bool any_active = false;
+        for (int w = 0; w < nworkers; ++w) {
+            GroupRun &g = groups[static_cast<size_t>(w)];
+            int d = -1;
+            Tick best = kTickMax;
+            for (int mi = 0; mi < g.nmembers; ++mi) {
+                if (g.done[static_cast<size_t>(mi)])
+                    continue;
+                int c = g.members[static_cast<size_t>(mi)];
+                for (int k = c * kNumDomains;
+                     k < (c + 1) * kNumDomains; ++k) {
+                    Tick key = fabric_.key(k);
+                    if (key < best) {
+                        best = key;
+                        d = k;
+                    }
+                }
+            }
+            sync.fronts[static_cast<size_t>(w)].v.store(
+                d < 0 ? ChipSyncState::kDone
+                      : ChipSyncState::pack(best, d),
+                std::memory_order_release);
+            if (g.active > 0) {
+                any_active = true;
+                if (best < from)
+                    from = best;
+            }
+        }
+        if (!any_active) {
+            stop = true;
+            return;
+        }
+        GALS_ASSERT(from != kTickMax,
+                    "event kernel: every domain parked across all "
+                    "workers with no deferred wake (missing wakeup "
+                    "port)");
+        horizon = computeHorizon(from);
+    };
+    settleRound();
+    if (stop)
+        return;
+
+    icp_.beginParallel(&sync);
+    std::barrier bar(nworkers, settleRound);
+    chipParallelRun(static_cast<size_t>(nworkers), [&](size_t w) {
+        GroupRun &g = groups[w];
+        for (;;) {
+            scheduler_.stepGroupUntil(g, progress, horizon, &sync,
+                                      static_cast<int>(w));
+            bar.arrive_and_wait();
+            if (stop)
+                break;
+        }
+    });
+    icp_.endParallel();
 }
 
 } // namespace gals

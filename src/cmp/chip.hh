@@ -111,7 +111,25 @@ class Chip
     Core &core(int i) { return *cores_[static_cast<size_t>(i)]; }
     const SharedL2 &sharedL2() const { return l2_; }
 
+    /**
+     * End of the parallel round starting at `from`: the earliest
+     * tick a cross-core publication could first need consuming. A
+     * chip with no in-flight interconnect traffic gets a full
+     * epoch-length window; otherwise the earliest in-flight fill
+     * completing after `from` bounds the round (completed fills are
+     * the only carriers a cross-core wake can ride, and one landing
+     * exactly at the returned horizon is merged at the barrier
+     * before any core steps at or past it). Exposed for the
+     * horizon-safety tests.
+     */
+    Tick computeHorizon(Tick from) const;
+
   private:
+    /** Horizon-parallel event kernel: partition the cores over
+     * `nworkers` co-scheduled threads and run barrier-separated
+     * rounds (see docs/kernel.md). Bit-identical to runEvent. */
+    void runEventParallel(const CoreProgress *progress, int nworkers);
+
     ChipConfig cfg_;
     std::vector<Clock> clocks_;
     WakeFabric fabric_;

@@ -125,6 +125,12 @@ Core::finalizeStats(RunStats &stats) const
     stats.trace = reconfig_.trace();
 }
 
+CoreProgress
+Core::progressStop() const
+{
+    return CoreProgress{&committedRef(), targetInstrs()};
+}
+
 RunStats
 Core::collectStats()
 {

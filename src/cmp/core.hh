@@ -32,6 +32,7 @@
 #include "core/ports.hh"
 #include "core/reconfig.hh"
 #include "core/run_stats.hh"
+#include "core/scheduler.hh"
 
 namespace gals
 {
@@ -82,6 +83,10 @@ class Core
     {
         return wl_params_.warmup_instrs + wl_params_.sim_instrs;
     }
+    /** The scheduler stop condition for this core's window — the
+     * unit both the sequential interleave and a horizon-parallel
+     * worker group step to completion. */
+    CoreProgress progressStop() const;
 
     /** Measured-window statistics (after a run). */
     RunStats collectStats();

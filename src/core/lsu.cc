@@ -91,12 +91,12 @@ LoadStoreUnit::l2TotalBHits() const
 // ---------------------------------------------------------------------
 
 void
-LoadStoreUnit::applyDCache(int target)
+LoadStoreUnit::applyDCache(int target, Tick now)
 {
     const DCachePairConfig &dc = dcachePairConfig(target);
     l1d_->setPartition(dc.l1_adapt.assoc, cfg_.phase_adaptive);
     if (icp_ != nullptr)
-        icp_->reconfigure(core_index_, target);
+        icp_->reconfigure(core_index_, target, now);
     else
         l2_->setPartition(dc.l2_adapt.assoc, cfg_.phase_adaptive);
 }
@@ -333,7 +333,6 @@ LoadStoreUnit::step(Tick now)
     if (!arrived_any && !ls_sum_.must_walk && now < ls_sum_.min_time &&
         ls_sum_.agen_snap == agen_->issues() &&
         ls_sum_.wake_snap == lsq_.wakeEvents() &&
-        ls_sum_.sb_snap == sb_->pushes() &&
         ls_sum_.epoch_snap == timing_.epoch()) {
         if (!sb_->empty() && sb_->frontReadyAt() <= now &&
             mshr_min_free_ <= now) {
@@ -427,11 +426,15 @@ LoadStoreUnit::step(Tick now)
                 loads[keep++] = id;
                 continue;
             }
-            if (e.wait_kind == 2 && e.wait_snap == sb_->pushes() &&
-                now < e.wait_until) {
-                min_time = std::min(min_time, e.wait_until);
-                loads[keep++] = id; // MSHRs still busy, no new line.
-                continue;
+            if (e.wait_kind == 2) {
+                if (now < e.wait_until) {
+                    min_time = std::min(min_time, e.wait_until);
+                    loads[keep++] = id; // MSHRs still busy, no new
+                    continue;           // forwardable line pushed.
+                }
+                // The recorded MSHR free time passed: retire the
+                // waiter record along with the memo.
+                lsq_.removeMshrWaiter(e);
             }
             e.wait_kind = 0;
             if (e.arrived_at > now) {
@@ -459,11 +462,12 @@ LoadStoreUnit::step(Tick now)
                 lsq_.addBlockedWaiter(blocker, id);
             } else {
                 // Time-waited on the exact MSHR free time (which
-                // never moves earlier); a store-buffer push is the
-                // only event that can issue this load sooner.
+                // never moves earlier); a same-line store-buffer
+                // push is the only event that can issue this load
+                // sooner, and it finds the load via the waiter index.
                 e.wait_kind = 2;
-                e.wait_snap = sb_->pushes();
                 e.wait_until = mshr_min_free_;
+                lsq_.addMshrWaiter(id);
                 min_time = std::min(min_time, e.wait_until);
             }
             loads[keep++] = id;
@@ -477,7 +481,6 @@ LoadStoreUnit::step(Tick now)
     ls_sum_.min_time = min_time;
     ls_sum_.agen_snap = agen_->issues();
     ls_sum_.wake_snap = lsq_.wakeEvents();
-    ls_sum_.sb_snap = sb_->pushes();
     ls_sum_.epoch_snap = timing_.epoch();
     return wakeBound();
 }
@@ -488,13 +491,13 @@ LoadStoreUnit::wakeBound() const
     Tick w = kTickMax;
     if (!lsq_.empty()) {
         // Sleep on the walk summary. Wake sources are the agen port,
-        // the ls-event hooks (store retire and store-buffer push),
-        // recorded future times, and the epoch-bump port.
+        // the indexed LSQ wakes (store data capture/retirement and
+        // matching-line store-buffer pushes), recorded future times,
+        // and the epoch-bump port.
         if (ls_sum_.must_walk ||
             ls_sum_.epoch_snap != timing_.epoch() ||
             ls_sum_.agen_snap != agen_->issues() ||
-            ls_sum_.wake_snap != lsq_.wakeEvents() ||
-            ls_sum_.sb_snap != sb_->pushes()) {
+            ls_sum_.wake_snap != lsq_.wakeEvents()) {
             return 0;
         }
         w = std::min(w, ls_sum_.min_time);

@@ -86,7 +86,7 @@ class LoadStoreUnit final : public Domain
 
     /** Re-partition the D-cache pair to row `target` (ReconfigUnit;
      * cur_cfg_ already updated by the caller). */
-    void applyDCache(int target);
+    void applyDCache(int target, Tick now);
 
     // ------------------------------------------------------------------
     // Structure access (rename, retire, invariants, statistics).
@@ -136,14 +136,16 @@ class LoadStoreUnit final : public Domain
 
     /**
      * Walk summary for the combined LSQ walks of this domain. The
-     * event snapshots are the per-entry wake sources only: blocked-
-     * load chain wakes (a store's data capture or retirement) and
-     * store-buffer pushes (the one event that can make an MSHR-waiting
-     * load forwardable). MSHR claims and store-buffer pops invalidate
-     * nothing — they can only push wait bounds later, never enable an
-     * entry — so a walk whose waiters are all far in the future stays
-     * asleep through them (the seed design re-walked the whole queue
-     * on every such event).
+     * event snapshots are the per-entry wake sources only: the LSQ
+     * wake counter covers blocked-load chain wakes (a store's data
+     * capture or retirement) and matching-line store-buffer pushes
+     * (the one push that can make an MSHR-waiting load forwardable —
+     * found through the per-line waiter index, so unrelated pushes no
+     * longer force a walk). MSHR claims and store-buffer pops
+     * invalidate nothing — they can only push wait bounds later,
+     * never enable an entry — so a walk whose waiters are all far in
+     * the future stays asleep through them (the seed design re-walked
+     * the whole queue on every such event).
      */
     struct LsSummary
     {
@@ -152,7 +154,6 @@ class LoadStoreUnit final : public Domain
         Tick min_time = kTickMax;
         std::uint32_t agen_snap = 0;
         std::uint32_t wake_snap = 0;
-        std::uint32_t sb_snap = 0;
         std::uint32_t epoch_snap = 0;
     };
     LsSummary ls_sum_;

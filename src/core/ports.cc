@@ -1,6 +1,7 @@
 #include "core/ports.hh"
 
 #include <algorithm>
+#include <thread>
 
 #include "cache/shared_l2.hh"
 #include "core/machine_config.hh"
@@ -33,7 +34,7 @@ CorePorts::CorePorts(WakeHub &hub, CoreTiming &timing,
               dispatchCapacity(cfg, cfg.dispatchDepth())),
       disp_ls(hub, DomainId::FrontEnd, DomainId::LoadStore,
               dispatchCapacity(cfg, cfg.lsDispatchDepth())),
-      store_buffer(hub, cfg.store_buffer_entries),
+      store_buffer(hub, lsq, cfg.store_buffer_entries),
       completion(hub, regs, iq_int, iq_fp, rob),
       redirect(hub, timing),
       agen(hub, lsq),
@@ -53,6 +54,93 @@ InterconnectPort::InterconnectPort(SharedL2 &l2, int cores)
     GALS_ASSERT(l2.params().cores >= cores,
                 "shared L2 sized for fewer cores than the "
                 "interconnect serves");
+}
+
+void
+InterconnectPort::gate(int core, int consumer, Tick now) const
+{
+    const ChipSyncState *s = sync_;
+    if (s == nullptr)
+        return;
+    const std::uint64_t point = ChipSyncState::pack(now, consumer);
+    const int self = s->worker_of_core[static_cast<size_t>(core)];
+    for (int w = 0; w < s->nworkers; ++w) {
+        if (w == self)
+            continue;
+        // Wait until worker w's front is strictly past our order
+        // point (equality is impossible: distinct cores own distinct
+        // global domain indices). The acquire pairs with the front's
+        // release store, so every shared-bank write of w's earlier
+        // steps is visible here — and w cannot enter a request body
+        // while we are in ours, because its own gate spins on our
+        // front, which still sits at `point`.
+        std::uint64_t spins = 0;
+        while (s->fronts[static_cast<size_t>(w)].v.load(
+                   std::memory_order_acquire) <= point) {
+            if ((++spins & 0x3ff) == 0)
+                std::this_thread::yield();
+            GALS_ASSERT(spins < 20'000'000'000ull,
+                        "interconnect gate stalled: worker %d's front "
+                        "never passed t=%llu (global domain %d)",
+                        w, static_cast<unsigned long long>(now),
+                        consumer);
+        }
+    }
+}
+
+void
+InterconnectPort::deferWake(Tick pub_tick, int publisher, int consumer,
+                            Tick when)
+{
+    // Appends need no lock: production publishers sit inside gated
+    // request bodies, which the fronts make temporally exclusive.
+    deferred_.push_back(
+        DeferredWake{pub_tick, publisher, consumer, when});
+}
+
+void
+InterconnectPort::drainDeferred(WakeFabric &fabric, Tick window_end)
+{
+    Tick last_tick = 0;
+    int last_pub = -1;
+    for (const DeferredWake &dw : deferred_) {
+        GALS_ASSERT(dw.pub_tick > last_tick ||
+                        (dw.pub_tick == last_tick &&
+                         dw.publisher >= last_pub),
+                    "merge order violation: cross-core wake published "
+                    "at t=%llu by global domain %d queued after one "
+                    "from t=%llu by global domain %d",
+                    static_cast<unsigned long long>(dw.pub_tick),
+                    dw.publisher,
+                    static_cast<unsigned long long>(last_tick),
+                    last_pub);
+        last_tick = dw.pub_tick;
+        last_pub = dw.publisher;
+        // The cross-core publication order rule, same shape as
+        // WakeHub::consumableAt under the global (core-major) index.
+        Tick consumable = dw.consumer < dw.publisher ? dw.pub_tick + 1
+                                                     : dw.pub_tick;
+        GALS_ASSERT(dw.when >= consumable,
+                    "publication order violation: cross-core wake of "
+                    "global domain %d at t=%llu from global domain "
+                    "%d's step at t=%llu",
+                    dw.consumer,
+                    static_cast<unsigned long long>(dw.when),
+                    dw.publisher,
+                    static_cast<unsigned long long>(dw.pub_tick));
+        // Horizon safety: workers stepped strictly below window_end,
+        // so a wake landing before it would rewrite already-executed
+        // steps. The horizon computation clamps each round to the
+        // earliest in-flight carrier, making this unreachable — a
+        // fill landing exactly at the boundary is the tight case.
+        GALS_ASSERT(dw.when >= window_end,
+                    "horizon violation: cross-core wake at t=%llu "
+                    "inside the round window ending at t=%llu",
+                    static_cast<unsigned long long>(dw.when),
+                    static_cast<unsigned long long>(window_end));
+        fabric.wakeRaw(dw.consumer, dw.when);
+    }
+    deferred_.clear();
 }
 
 void
@@ -80,6 +168,7 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
     const int bank = l2_.bankOf(addr);
     const int consumer =
         core * kNumDomains + static_cast<int>(consumer_local);
+    gate(core, consumer, now);
     bankPublish(bank, consumer, now);
 
     SharedL2::Bank &b = l2_.banks_[static_cast<size_t>(bank)];
@@ -95,10 +184,14 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
     b.owner = core;
 
     // Prune completed fills (merge checks and fill-slot pressure only
-    // care about fills still in flight at `now`).
-    std::erase_if(b.fills, [now](const SharedL2::Fill &f) {
-        return f.done <= now;
-    });
+    // care about fills still in flight at `now`). Guarded: most
+    // requests find the bank's fill list empty, and this sits on
+    // every L2 access.
+    if (!b.fills.empty()) {
+        std::erase_if(b.fills, [now](const SharedL2::Fill &f) {
+            return f.done <= now;
+        });
+    }
 
     const DCachePairConfig &dc = dcachePairConfig(l2_.row_);
     AccessOutcome out = l2_.access(core, addr);
@@ -209,12 +302,17 @@ InterconnectPort::bHits(int core) const
 }
 
 void
-InterconnectPort::reconfigure(int core, int target)
+InterconnectPort::reconfigure(int core, int target, Tick now)
 {
     // The shared partition and latency row follow core 0's D-cache
     // controller only; other cores' votes reconfigure their L1.
     if (core != 0)
         return;
+    // The row/partition write is shared state read by every core's
+    // requests, so it is ordered like one: the decision runs inside
+    // core 0's load/store step at `now`.
+    gate(core, core * kNumDomains + static_cast<int>(DomainId::LoadStore),
+         now);
     l2_.row_ = target;
     const DCachePairConfig &dc = dcachePairConfig(target);
     l2_.cache_.setPartition(dc.l2_adapt.assoc, l2_.p_.phase_adaptive);

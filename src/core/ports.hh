@@ -32,7 +32,9 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "clock/sync_fifo.hh"
 #include "common/logging.hh"
@@ -118,6 +120,7 @@ class WakeFabric
 
   private:
     friend class WakeHub;
+    friend class InterconnectPort; // deferred-wake merge at a barrier.
 
     /**
      * Record that global domain `gd` may have work at `t`. Lazy key:
@@ -490,20 +493,24 @@ class AgenPort
 class StoreBufferPort
 {
   public:
-    StoreBufferPort(WakeHub &hub, int entries)
-        : buffer_(entries),
+    StoreBufferPort(WakeHub &hub, Lsq &lsq, int entries)
+        : buffer_(entries), lsq_(lsq),
           to_lsu_(hub, DomainId::FrontEnd, DomainId::LoadStore),
           to_fe_(hub, DomainId::LoadStore, DomainId::FrontEnd)
     {}
 
     // Retire (producer) side.
     size_t freeSlots() const { return buffer_.freeSlots(); }
-    /** Push a committed store and wake the drain side. */
+    /** Push a committed store and wake the drain side. A forwarding
+     * line appearing is the one event that can issue an MSHR-waiting
+     * load early, so the push probes the LSQ's per-line waiter index
+     * directly (the indexed replacement of the push-counter snapshot,
+     * which re-walked the whole queue on every committed store). */
     void
     push(Addr line_addr, Tick now)
     {
         buffer_.push(line_addr, now);
-        ++pushes_;
+        lsq_.wakeMshrWaiters(line_addr);
         to_lsu_.publish(now);
     }
 
@@ -529,18 +536,11 @@ class StoreBufferPort
             to_fe_.publish(now);
     }
 
-    /**
-     * Stores pushed so far. Memoized load-attempt failures that could
-     * be unblocked by a forwarding line appearing snapshot this
-     * counter (see the LSQ walk in core/lsu.cc).
-     */
-    std::uint32_t pushes() const { return pushes_; }
-
   private:
     StoreBuffer buffer_;
+    Lsq &lsq_;
     WakePort to_lsu_;
     WakePort to_fe_;
-    std::uint32_t pushes_ = 0;
 };
 
 /**
@@ -650,6 +650,54 @@ struct L2Reply
 };
 
 /**
+ * Shared ordering state of one horizon-parallel chip round (see
+ * docs/kernel.md). Each worker owns one *front*: a packed
+ * (tick, global domain index) order point promising that every step
+ * of the worker's cores ordered strictly below it has completed. A
+ * worker publishes its front (release) before executing the step at
+ * that point; an interconnect request at order point p spins
+ * (acquire) until every other worker's front is past p, which makes
+ * shared-bank touches globally ordered exactly as the sequential
+ * scheduler orders steps — the parallel kernel's bit-identity
+ * argument in one invariant. Two fronts can never be equal to a
+ * request's point (distinct cores own distinct global indices), so
+ * the gate is deadlock-free: the least-ordered blocked request always
+ * finds every other front beyond it.
+ */
+struct ChipSyncState
+{
+    /** Front of a worker that finished its window (orders after
+     * every real point). */
+    static constexpr std::uint64_t kDone = ~std::uint64_t{0};
+
+    /**
+     * Pack a (tick, global domain index) order point so that integer
+     * comparison is the reference kernel's step order: time, then
+     * lowest global index. 60 tick bits cover ~13 days of simulated
+     * picoseconds; saturate beyond (kTickMax keys order last).
+     */
+    static std::uint64_t
+    pack(Tick t, int gd)
+    {
+        if (t >= (Tick{1} << 59))
+            return kDone;
+        return (static_cast<std::uint64_t>(t) << 4) |
+               static_cast<std::uint64_t>(gd);
+    }
+
+    /** One cache line per front: workers republish theirs every
+     * step, and every gate polls the others. */
+    struct alignas(64) Front
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    std::array<Front, kMaxCores> fronts;
+    std::array<int, kMaxCores> worker_of_core{};
+    int nworkers = 0;
+};
+
+/**
  * The cross-core interconnect: the request/response channel between
  * each core's private L1s and the shared banked L2 (cache/shared_l2).
  *
@@ -696,12 +744,51 @@ class InterconnectPort
                               Tick period, Tick now);
 
     /**
-     * A core's D-cache controller chose configuration row `target`.
-     * The shared L2's partition and latency row are owned by core 0
-     * (a shared structure cannot follow every core's private
-     * decision); other cores' votes reconfigure their L1 only.
+     * A core's D-cache controller chose configuration row `target`
+     * during its load/store domain's step at `now`. The shared L2's
+     * partition and latency row are owned by core 0 (a shared
+     * structure cannot follow every core's private decision); other
+     * cores' votes reconfigure their L1 only.
      */
-    void reconfigure(int core, int target);
+    void reconfigure(int core, int target, Tick now);
+
+    // ------------------------------------------------------------------
+    // Horizon-parallel stepping (the chip's round driver).
+    // ------------------------------------------------------------------
+
+    /** Enter parallel mode: every request gates on the other
+     * workers' fronts until the round driver calls endParallel. */
+    void beginParallel(ChipSyncState *sync) { sync_ = sync; }
+    void endParallel() { sync_ = nullptr; }
+
+    /**
+     * Queue a cross-core wake published by global domain `publisher`'s
+     * step at `pub_tick` for delivery at the next round barrier:
+     * global domain `consumer` may have work at `when`. Cross-core
+     * traffic carries no wakes today, so this is the landing zone for
+     * future coherence messages — drainDeferred enforces its contract
+     * (merge order, publication order, horizon safety) now, so the
+     * first real publisher inherits a checked channel.
+     */
+    void deferWake(Tick pub_tick, int publisher, int consumer,
+                   Tick when);
+
+    /**
+     * Deliver the queued cross-core wakes into the fabric, in
+     * publication order. Called single-threaded at the round barrier
+     * with the just-finished window's horizon: every worker has
+     * stepped its cores up to (strictly below) `window_end`, so a
+     * wake landing before it would rewrite the past — the horizon
+     * computation exists to make that impossible, and this asserts
+     * it. The queue must already be in nondecreasing
+     * (pub_tick, publisher) order: gated requests execute in global
+     * step order, so an out-of-order entry means a publication
+     * escaped the gate (same divergence class bankPublish trips on).
+     */
+    void drainDeferred(WakeFabric &fabric, Tick window_end);
+
+    /** True when no cross-core wake is queued (round bookkeeping). */
+    bool deferredEmpty() const { return deferred_.empty(); }
 
     // Per-core accounting pass-through (the LSU's controller and
     // RunStats paths reach the shared cache only through the port).
@@ -722,11 +809,27 @@ class InterconnectPort
      */
     void bankPublish(int bank, int consumer, Tick now);
 
+    /** Spin until every other worker's front is past (now, consumer):
+     * the parallel kernel's shared-state ordering gate (no-op in
+     * sequential mode). */
+    void gate(int core, int consumer, Tick now) const;
+
     L2Reply request(int core, DomainId consumer_local, Addr addr,
                     Tick t_req, Tick period, Tick now);
 
+    /** One queued cross-core wake (see deferWake). */
+    struct DeferredWake
+    {
+        Tick pub_tick;
+        int publisher;
+        int consumer;
+        Tick when;
+    };
+
     SharedL2 &l2_;
     int cores_;
+    ChipSyncState *sync_ = nullptr;
+    std::vector<DeferredWake> deferred_;
 };
 
 } // namespace gals

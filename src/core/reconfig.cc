@@ -55,7 +55,7 @@ ReconfigUnit::currentIndexOf(Structure s) const
 }
 
 void
-ReconfigUnit::applyStructure(Structure s, int target, Tick)
+ReconfigUnit::applyStructure(Structure s, int target, Tick now)
 {
     switch (s) {
       case Structure::ICache:
@@ -64,7 +64,7 @@ ReconfigUnit::applyStructure(Structure s, int target, Tick)
         break;
       case Structure::DCachePair:
         cur_cfg_.dcache = target;
-        lsu_->applyDCache(target);
+        lsu_->applyDCache(target, now);
         break;
       case Structure::IntIssueQueue:
         cur_cfg_.iq_int = target;

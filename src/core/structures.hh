@@ -634,17 +634,20 @@ struct LsqEntry
      *       InFlightOp::lsq_id).
      *   2 — a load attempt failed on a busy MSHR; recheck once
      *       `wait_until` (the exact MSHR free time, which never moves
-     *       earlier) passes, or after a store-buffer push (`wait_snap`
-     *       vs the push counter — the only event that can make the
-     *       load forwardable, since MshrBusy implies it has no older
-     *       same-line store in the queue).
+     *       earlier) passes, or when a store-buffer push of the same
+     *       line makes the load forwardable — the only such event,
+     *       since MshrBusy implies it has no older same-line store in
+     *       the queue. The per-line waiter index (Lsq::wakeMshrWaiters)
+     *       wakes exactly those loads, so unrelated pushes no longer
+     *       re-walk the queue.
      *   3 — a load blocked on a specific older same-line store that
      *       lacks its data; chained on that store (`next_blocked`)
      *       and cleared by its data capture or its retirement
      *       (Lsq::wakeBlockedOn), never by unrelated events.
      */
     std::uint8_t wait_kind = 0;
-    std::uint32_t wait_snap = 0;
+    /** Kind-2 only: this entry's slot in the MSHR-waiter index. */
+    std::uint32_t mshr_wait_pos = 0;
     Tick wait_until = kTickMax;
     /** Stores: data captured (mirrors InFlightOp::store_ready; read
      * by the per-load disambiguation scan). */
@@ -841,12 +844,83 @@ class Lsq
         ++wake_events_;
     }
 
-    /** Blocked-load chain wakes so far (walk-summary snapshot). */
+    /** Indexed wake events so far (walk-summary snapshot): blocked-
+     * load chain wakes plus matching-line MSHR-waiter wakes. */
     std::uint32_t wakeEvents() const { return wake_events_; }
+
+    /**
+     * Register a kind-2 (MSHR-busy) load in the per-line waiter
+     * index. A store-buffer push of the same line is the only event
+     * that can issue the load before its recorded MSHR free time, so
+     * pushes probe exactly this list — replacing the push-counter
+     * snapshot that forced a full queue re-walk on every committed
+     * store. The entry memoizes its slot for O(1) removal.
+     */
+    void
+    addMshrWaiter(std::uint64_t load_id)
+    {
+        LsqEntry &e = byId(load_id);
+        e.mshr_wait_pos =
+            static_cast<std::uint32_t>(mshr_waiters_.size());
+        mshr_waiters_.push_back(MshrWaiter{e.line_addr, load_id});
+    }
+
+    /** Drop a kind-2 waiter whose memo the walk is clearing. */
+    void
+    removeMshrWaiter(LsqEntry &e)
+    {
+        size_t pos = e.mshr_wait_pos;
+        GALS_ASSERT(pos < mshr_waiters_.size() &&
+                        mshr_waiters_[pos].id == e.id,
+                    "LSQ MSHR-waiter index out of sync");
+        const MshrWaiter &back = mshr_waiters_.back();
+        if (back.id != e.id) {
+            byId(back.id).mshr_wait_pos =
+                static_cast<std::uint32_t>(pos);
+            mshr_waiters_[pos] = back;
+        }
+        mshr_waiters_.pop_back();
+    }
+
+    /**
+     * A committed store to `line` entered the store buffer: clear
+     * the wait memo of exactly the MSHR-busy loads the line makes
+     * forwardable. Bumps the wake counter only when some waiter
+     * matched, so unrelated pushes leave the walk summary (and the
+     * sleeping domain's wake bound) alone.
+     */
+    void
+    wakeMshrWaiters(Addr line)
+    {
+        bool any = false;
+        for (size_t i = mshr_waiters_.size(); i-- > 0;) {
+            if (mshr_waiters_[i].line != line)
+                continue;
+            LsqEntry &e = byId(mshr_waiters_[i].id);
+            GALS_ASSERT(e.wait_kind == 2,
+                        "LSQ MSHR-waiter index holds a non-waiting "
+                        "entry");
+            e.wait_kind = 0;
+            removeMshrWaiter(e);
+            any = true;
+        }
+        if (any)
+            ++wake_events_;
+    }
+
+    /** Live kind-2 waiters (tests pin the index's bookkeeping). */
+    size_t mshrWaiterCount() const { return mshr_waiters_.size(); }
 
     /** One in-queue store, in age order (flat: the disambiguation
      * scan touches only this dense list). */
     struct StoreRec
+    {
+        Addr line = 0;
+        std::uint64_t id = 0;
+    };
+
+    /** One kind-2 waiter of the per-line MSHR-wait index. */
+    struct MshrWaiter
     {
         Addr line = 0;
         std::uint64_t id = 0;
@@ -912,6 +986,9 @@ class Lsq
     size_t stores_head_ = 0;
     ArenaVector<std::uint64_t> pending_stores_;
     ArenaVector<std::uint64_t> waiting_loads_;
+    /** Kind-2 waiters, probed by store-buffer pushes (dense; each
+     * entry memoizes its slot in mshr_wait_pos). */
+    ArenaVector<MshrWaiter> mshr_waiters_;
     std::uint32_t wake_events_ = 0;
 };
 

@@ -175,9 +175,9 @@ TEST(CmpInterconnect, SharedRowFollowsCoreZeroOnly)
     SharedL2 l2(bareParams(2, 1, 0, 0));
     InterconnectPort icp(l2, 2);
 
-    icp.reconfigure(1, 3); // not the owner: L1-only decision.
+    icp.reconfigure(1, 3, 1'000); // not the owner: L1-only decision.
     EXPECT_EQ(l2.row(), 0);
-    icp.reconfigure(0, 3);
+    icp.reconfigure(0, 3, 2'000);
     EXPECT_EQ(l2.row(), 3);
     EXPECT_EQ(l2.cache().aWays(), dcachePairConfig(3).l2_adapt.assoc);
 }
@@ -398,4 +398,156 @@ TEST(CmpWorkloads, PerCoreStreamsKeepCoreZeroExact)
     ASSERT_EQ(mix.size(), 3u);
     EXPECT_EQ(mix[0].name, benchmarkSuite()[1].name); // rotation.
     EXPECT_EQ(mix[1].name, benchmarkSuite()[2].name + "#c1");
+}
+
+// ---------------------------------------------------------------------
+// Horizon-parallel stepping (GALS_CHIP_THREADS > 1): bit-identical
+// to the sequential event kernel, which is itself pinned to the
+// reference oracle above. The three-way agreement makes the fronts,
+// the horizon computation, and the deferred merge all provably
+// precise — any divergence in any of them shows up as a stats
+// mismatch on some random chip.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** One chip run with an explicit kernel and worker-thread count. */
+ChipRunStats
+runChipWithThreads(const ChipConfig &cc,
+                   const std::vector<WorkloadParams> &mix,
+                   Processor::Kernel kernel, int threads)
+{
+    setenv("GALS_CHIP_THREADS", std::to_string(threads).c_str(), 1);
+    Chip chip(cc, mix);
+    chip.setKernel(kernel);
+    ChipRunStats s = chip.run();
+    unsetenv("GALS_CHIP_THREADS");
+    return s;
+}
+
+} // namespace
+
+TEST(CmpParallel, ParallelStepperMatchesSequentialAndReference)
+{
+    Pcg32 rng(0x9A7A11E1);
+    for (int i = 0; i < 20; ++i) {
+        int cores = rng.nextRange(2, static_cast<int>(kMaxCores));
+        ChipConfig cc = randomChipConfig(rng, cores);
+        std::vector<WorkloadParams> mix =
+            randomChipWorkloads(rng, cores);
+        // Worker counts below the core count exercise multi-core
+        // groups; counts above it are clamped by the chip.
+        int threads = rng.nextRange(2, static_cast<int>(kMaxCores));
+        SCOPED_TRACE("case " + std::to_string(i) + ": cores=" +
+                     std::to_string(cores) + " threads=" +
+                     std::to_string(threads) + " banks=" +
+                     std::to_string(cc.l2_banks) + " " +
+                     describe(cc.machine, mix[0]));
+
+        ChipRunStats seq = runChipWithThreads(
+            cc, mix, Processor::Kernel::EventDriven, 1);
+        ChipRunStats par = runChipWithThreads(
+            cc, mix, Processor::Kernel::EventDriven, threads);
+        expectSameChipStats(par, seq);
+
+        if (i % 4 == 0) {
+            // The oracle ignores the thread knob by design: the
+            // reference order is what the parallel kernel reproduces.
+            ChipRunStats ref = runChipWithThreads(
+                cc, mix, Processor::Kernel::Reference, threads);
+            expectSameChipStats(par, ref);
+        }
+    }
+}
+
+TEST(CmpParallel, HorizonClampsToFillCompletionBoundary)
+{
+    // An in-flight fill is the only carrier a future cross-core wake
+    // can ride, so the round horizon must clamp to the earliest fill
+    // completion strictly after the round's start — a fill landing
+    // exactly at the horizon is consumed by the *next* round.
+    SharedL2 l2(bareParams(2, 1, 0, 0));
+    InterconnectPort icp(l2, 2);
+
+    L2Reply r = icp.requestLine(0, 0x0000, 10'000, kPeriod, 10'000);
+    ASSERT_FALSE(r.hit);
+
+    EXPECT_EQ(l2.nextFillCompletionAfter(0), r.done);
+    // The tight boundary: a round starting one tick earlier is still
+    // clamped by this fill...
+    EXPECT_EQ(l2.nextFillCompletionAfter(r.done - 1), r.done);
+    // ...and a round starting at the completion itself is not
+    // (strictly-after contract: the fill has landed by then).
+    EXPECT_EQ(l2.nextFillCompletionAfter(r.done), kTickMax);
+
+    // With nothing in flight, a chip's horizon is the full epoch
+    // window (the uncontended fast path pays barriers at a
+    // negligible cadence).
+    ChipConfig cc;
+    cc.machine = MachineConfig::mcdProgram({});
+    cc.cores = 2;
+    std::vector<WorkloadParams> mix =
+        multiprogrammedMix(benchmarkSuite(), 2, 0);
+    Chip chip(cc, mix);
+    EXPECT_EQ(chip.computeHorizon(5'000), 5'000 + 1'000'000);
+}
+
+TEST(CmpParallel, DeferredWakeAtHorizonBoundaryMerges)
+{
+    // The tight legal case of the deferred merge: a wake landing
+    // exactly at the round's window end (e.g. riding a fill that
+    // completes at the clamped horizon) must be delivered, not
+    // rejected.
+    std::vector<Clock> clocks(2 * kNumDomains, Clock(1000, 1000));
+    WakeFabric fabric(clocks.data(), 2 * kNumDomains);
+    for (int d = 0; d < 2 * kNumDomains; ++d)
+        fabric.setBound(d, kTickMax);
+
+    SharedL2 l2(bareParams(2, 1, 0, 0));
+    InterconnectPort icp(l2, 2);
+    icp.deferWake(1'000, 2, 6, 2'000);
+    EXPECT_FALSE(icp.deferredEmpty());
+    icp.drainDeferred(fabric, 2'000);
+    EXPECT_TRUE(icp.deferredEmpty());
+    EXPECT_EQ(fabric.bound(6), 2'000u);
+}
+
+TEST(CmpParallelDeathTest, DeferredMergeTripwiresAssert)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    std::vector<Clock> clocks(2 * kNumDomains, Clock(1000, 1000));
+    WakeFabric fabric(clocks.data(), 2 * kNumDomains);
+    for (int d = 0; d < 2 * kNumDomains; ++d)
+        fabric.setBound(d, kTickMax);
+
+    // Publications queued out of (tick, publisher) order: the merge
+    // would deliver wakes in an order the sequential interleave
+    // cannot produce.
+    {
+        SharedL2 l2(bareParams(2, 1, 0, 0));
+        InterconnectPort icp(l2, 2);
+        icp.deferWake(2'000, 5, 6, 10'000);
+        icp.deferWake(1'000, 4, 2, 10'000);
+        EXPECT_DEATH(icp.drainDeferred(fabric, 1'000),
+                     "merge order violation");
+    }
+    // A lower-indexed consumer woken at the publication tick itself:
+    // the cross-core publication order rule requires strictly after.
+    {
+        SharedL2 l2(bareParams(2, 1, 0, 0));
+        InterconnectPort icp(l2, 2);
+        icp.deferWake(1'000, 5, 2, 1'000);
+        EXPECT_DEATH(icp.drainDeferred(fabric, 1'000),
+                     "publication order violation");
+    }
+    // A wake inside the just-executed window: it would rewrite steps
+    // the workers already took.
+    {
+        SharedL2 l2(bareParams(2, 1, 0, 0));
+        InterconnectPort icp(l2, 2);
+        icp.deferWake(1'000, 2, 6, 1'500);
+        EXPECT_DEATH(icp.drainDeferred(fabric, 2'000),
+                     "horizon violation");
+    }
 }
