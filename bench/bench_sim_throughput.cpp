@@ -36,22 +36,26 @@ namespace
  * both cores) was introduced with the CMP subsystem in PR 5 and its
  * baseline is that introduction's measurement on the same container,
  * rounded; cmp4 (a four-core multiprogrammed chip) was introduced
- * with the horizon-parallel stepper in PR 6, same policy. The
+ * with the horizon-parallel stepper in PR 6, same policy; cmp2_shared
+ * (a two-core producer/consumer sharing mix — the coherence
+ * directory, invalidation and inbox paths on the hot loop) was
+ * introduced with cross-core L1 coherence in PR 7, same policy. The
  * container's run-to-run noise is ±5-15%, so current/baseline ratios
  * near 1.0 are parity, not regressions.
  */
-constexpr int kNumConfigs = 5;
+constexpr int kNumConfigs = 6;
 constexpr double kSeedBaseline[kNumConfigs] = {
     1.62e6, // synchronous
     1.36e6, // mcdProgram
     1.37e6, // mcdPhaseAdaptive
     2.00e6, // cmp2 (PR 5 introduction baseline)
     2.50e6, // cmp4 (PR 6 introduction baseline)
+    1.93e6, // cmp2_shared (PR 7 introduction baseline)
 };
 
-const char *kConfigNames[kNumConfigs] = {"synchronous", "mcdProgram",
-                                         "mcdPhaseAdaptive", "cmp2",
-                                         "cmp4"};
+const char *kConfigNames[kNumConfigs] = {
+    "synchronous", "mcdProgram", "mcdPhaseAdaptive",
+    "cmp2",        "cmp4",       "cmp2_shared"};
 
 MachineConfig
 configFor(int i)
@@ -159,6 +163,20 @@ cmp4BenchMix()
     return mix;
 }
 
+/** The tracked two-core sharing chip: both cores run gzip into a
+ * common 16KB coherent window, core 0 store-heavy (the producer). */
+std::vector<WorkloadParams>
+cmp2SharedBenchMix()
+{
+    std::vector<WorkloadParams> mix =
+        sharingMix(benchWorkload(), 2, "producer-consumer");
+    for (WorkloadParams &wl : mix) {
+        wl.sim_instrs = 50'000;
+        wl.warmup_instrs = 5'000;
+    }
+    return mix;
+}
+
 /** Total committed instructions per CPU-second for an N-core chip
  * (sequential kernel: the default GALS_CHIP_THREADS=1 path is what
  * the tracked columns gate). */
@@ -211,8 +229,10 @@ writeJson()
             now = measureItemsPerSec(configFor(i));
         else if (i == 3)
             now = measureCmpItemsPerSec(2, cmpBenchMix());
-        else
+        else if (i == 4)
             now = measureCmpItemsPerSec(4, cmp4BenchMix());
+        else
+            now = measureCmpItemsPerSec(2, cmp2SharedBenchMix());
         std::fprintf(f,
                      "    \"%s\": {\"seed_baseline\": %.0f, "
                      "\"current\": %.0f, \"speedup\": %.2f}%s\n",

@@ -23,13 +23,14 @@ from pathlib import Path
 # per-row loop below only covers what the reference lists), so the
 # set is pinned here and extended whenever a bench column is added:
 # cmp2 arrived with the CMP subsystem, cmp4 with the horizon-parallel
-# chip stepper.
+# chip stepper, cmp2_shared with cross-core L1 coherence.
 REQUIRED_CONFIGS = frozenset({
     "synchronous",
     "mcdProgram",
     "mcdPhaseAdaptive",
     "cmp2",
     "cmp4",
+    "cmp2_shared",
 })
 
 

@@ -160,6 +160,22 @@ AccountingCache::invalidateAll()
     std::fill(valid_.begin(), valid_.end(), 0);
 }
 
+bool
+AccountingCache::invalidate(Addr addr)
+{
+    size_t base = static_cast<size_t>(setIndex(addr)) *
+                  static_cast<size_t>(ways_);
+    Addr tag = tagOf(addr);
+    for (int w = 0; w < ways_; ++w) {
+        size_t i = base + static_cast<size_t>(w);
+        if (valid_[i] && tag_[i] == tag) {
+            valid_[i] = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 AccountingCache::resetInterval()
 {

@@ -104,6 +104,14 @@ class AccountingCache
     /** Drop every block (used on reconfiguration in disabled-B mode). */
     void invalidateAll();
 
+    /**
+     * Drop the single block holding `addr`'s line, if present
+     * (coherence invalidation). Leaves MRU order untouched: the
+     * vacated way is refilled on the next miss to the set. Returns
+     * whether the line was resident.
+     */
+    bool invalidate(Addr addr);
+
     /** Interval counters since the last resetInterval(). */
     const IntervalCounts &interval() const { return interval_; }
 

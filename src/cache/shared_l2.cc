@@ -23,6 +23,18 @@ SharedL2::SharedL2(const Params &p)
     for (PerCore &pc : per_core_) {
         pc.interval.mru_hits.assign(static_cast<size_t>(p.ways), 0);
     }
+    if (coherent()) {
+        GALS_ASSERT(p.cores <= 8,
+                    "directory sharer bitmask holds at most 8 cores");
+        GALS_ASSERT(p.coh_delay_ps > 0,
+                    "coherence delay must be positive");
+        size_t lines = static_cast<size_t>(
+            (p.shared_bytes + static_cast<std::uint64_t>(
+                                  cache_.lineBytes()) - 1) /
+            static_cast<std::uint64_t>(cache_.lineBytes()));
+        directory_.resize(lines);
+        inboxes_.resize(static_cast<size_t>(p.cores));
+    }
 }
 
 void

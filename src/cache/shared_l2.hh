@@ -75,6 +75,19 @@ class SharedL2
         /** Bank busy window charged per request for cross-core
          * arbitration (ps). */
         Tick bank_occupancy_ps = 600;
+
+        /**
+         * Coherent shared region [shared_base, shared_base +
+         * shared_bytes): lines here are tracked by the sharer/owner
+         * directory and stores publish invalidations to remote L1s.
+         * shared_bytes == 0 (the default) disables coherence
+         * entirely — no directory, no traffic, no timing change.
+         */
+        Addr shared_base = 0;
+        std::uint64_t shared_bytes = 0;
+        /** Fixed cross-core invalidation/ownership-transfer latency
+         * (ps): publication at t is visible remotely at t + delay. */
+        Tick coh_delay_ps = 24'000;
     };
 
     explicit SharedL2(const Params &p);
@@ -129,6 +142,29 @@ class SharedL2
     std::uint64_t bankMshrWaits() const { return bank_mshr_waits_; }
     /** Hits on another core's in-flight line, held to the fill. */
     std::uint64_t fillMerges() const { return fill_merges_; }
+    /** Coherence invalidations delivered to remote L1 sharers. */
+    std::uint64_t invalidationsSent() const
+    {
+        return invalidations_sent_;
+    }
+    /** Shared-line accesses delayed behind another core's store
+     * settling (ownership transfer). */
+    std::uint64_t ownershipTransfers() const
+    {
+        return ownership_transfers_;
+    }
+
+    /** True when `addr` falls in the coherent shared region. */
+    bool inShared(Addr addr) const
+    {
+        return addr >= p_.shared_base &&
+               addr - p_.shared_base < p_.shared_bytes;
+    }
+    /** True when coherence traffic can exist on this chip at all. */
+    bool coherent() const
+    {
+        return p_.shared_bytes != 0 && p_.cores > 1;
+    }
 
     /**
      * Horizon input of the parallel chip stepper: the earliest
@@ -170,9 +206,55 @@ class SharedL2
         IntervalCounts interval;
     };
 
+    /**
+     * Directory entry for one line of the coherent shared region.
+     * Sharer bits are a conservative superset of the lines actually
+     * resident in each core's L1D (silent L1 evictions are not
+     * reported, so a sharer may receive a spurious — deterministic,
+     * and in real directories common — invalidation).
+     */
+    struct DirEntry
+    {
+        /** Bitmask of cores whose L1D may hold the line. */
+        std::uint8_t sharers = 0;
+        /** Core that last stored to the line (-1: none yet). */
+        std::int8_t last_writer = -1;
+        /** Until when the last store's ownership transfer is in
+         * flight: other cores' loads/fills of the line are held to
+         * this point. */
+        Tick settle = 0;
+    };
+
+    /** One queued invalidation bound for a core's L1D. */
+    struct CohMsg
+    {
+        Addr line_base;
+        Tick deliver_at;
+    };
+
+    /**
+     * Per-core invalidation inboxes. Appended in publication order
+     * ((pub_tick, publisher) — the deferred-merge order), and since
+     * coh_delay is a single fixed chip parameter the deliver_at
+     * sequence per inbox is monotone: the LSU drains a simple FIFO.
+     */
+    struct Inbox
+    {
+        std::vector<CohMsg> msgs;
+        size_t head = 0;
+    };
+
     /** Shared tag/MRU access plus the per-core mirrors (called only
      * by the port, which owns the surrounding arbitration). */
     AccessOutcome access(int core, Addr addr);
+
+    /** Directory slot of a shared-region line (entries are sized at
+     * construction from shared_bytes; caller guarantees inShared). */
+    DirEntry &dirEntry(Addr addr)
+    {
+        return directory_[static_cast<size_t>(
+            (addr - p_.shared_base) >> cache_.lineShift())];
+    }
 
     Params p_;
     AccountingCache cache_;
@@ -181,10 +263,16 @@ class SharedL2
     /** banks-1 when the bank count is a power of two, else 0. */
     Addr bank_mask_ = 0;
     std::vector<PerCore> per_core_;
+    /** One entry per shared-region line (empty when not coherent). */
+    std::vector<DirEntry> directory_;
+    /** Per-core pending invalidations (mutated only by the port). */
+    std::vector<Inbox> inboxes_;
     int row_;
     std::uint64_t bank_conflicts_ = 0;
     std::uint64_t bank_mshr_waits_ = 0;
     std::uint64_t fill_merges_ = 0;
+    std::uint64_t invalidations_sent_ = 0;
+    std::uint64_t ownership_transfers_ = 0;
 };
 
 } // namespace gals

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "sim/parallel.hh"
 #include "timing/frequency_model.hh"
+#include "workload/generator.hh"
 
 namespace gals
 {
@@ -15,6 +16,11 @@ namespace
 {
 
 constexpr std::uint64_t KB = 1024;
+
+// GALS_CHIP_THREADS validation clamps to kMaxChipWorkers; a chip can
+// usefully employ one worker per core, so the two bounds move in step.
+static_assert(kMaxChipWorkers >= static_cast<unsigned>(kMaxCores),
+              "chip worker ceiling below the supported core count");
 
 /** Round cap when no cross-core traffic is in flight: a full
  * epoch-length window (~a controller interval of simulated time), so
@@ -38,7 +44,8 @@ buildClocks(const ChipConfig &cfg)
 /** Shared-L2 geometry mirroring the private L2 of the same machine
  * mode (what makes the N=1 chip bit-identical to the Processor). */
 SharedL2::Params
-sharedL2Params(const ChipConfig &cfg)
+sharedL2Params(const ChipConfig &cfg,
+               const std::vector<WorkloadParams> &workloads)
 {
     const MachineConfig &m = cfg.machine;
     const DCachePairConfig &dc = dcachePairConfig(m.adaptive.dcache);
@@ -59,6 +66,15 @@ sharedL2Params(const ChipConfig &cfg)
     p.banks = cfg.l2_banks;
     p.bank_mshrs = cfg.l2_bank_mshrs;
     p.bank_occupancy_ps = cfg.l2_bank_occupancy_ps;
+    // The coherent shared region spans the largest region any
+    // workload of the mix declares (they all address the same window
+    // at kSharedBase). No workload sharing anything leaves
+    // shared_bytes at 0: coherence fully disabled, as on every
+    // pre-existing mix.
+    p.shared_base = kSharedBase;
+    for (const WorkloadParams &wl : workloads)
+        p.shared_bytes = std::max(p.shared_bytes, wl.shared_bytes);
+    p.coh_delay_ps = cfg.coh_delay_ps;
     return p;
 }
 
@@ -116,7 +132,8 @@ Chip::Chip(const ChipConfig &config,
            const std::vector<WorkloadParams> &workloads)
     : cfg_(config), clocks_(buildClocks(config)),
       fabric_(clocks_.data(), config.cores * kNumDomains),
-      l2_(sharedL2Params(config)), icp_(l2_, config.cores),
+      l2_(sharedL2Params(config, workloads)),
+      icp_(l2_, config.cores),
       cores_(buildCores(cfg_, workloads, fabric_, clocks_, icp_)),
       domain_table_(buildDomainTable(cores_)),
       epoch_table_(buildEpochTable(cores_)),
@@ -124,7 +141,12 @@ Chip::Chip(const ChipConfig &config,
                  cfg_.cores * kNumDomains, fabric_,
                  epoch_table_.data()),
       kernel_(Processor::kernelFromEnv())
-{}
+{
+    // Sequential-mode coherence wakes deliver through the chip's
+    // fabric; the parallel stepper overrides this path with the
+    // deferred queue.
+    icp_.attachFabric(&fabric_);
+}
 
 void
 Chip::setInvariantCheckInterval(std::uint32_t every)
@@ -169,6 +191,8 @@ Chip::run()
     out.bank_conflicts = l2_.bankConflicts();
     out.bank_mshr_waits = l2_.bankMshrWaits();
     out.fill_merges = l2_.fillMerges();
+    out.invalidations = l2_.invalidationsSent();
+    out.ownership_transfers = l2_.ownershipTransfers();
     return out;
 }
 
@@ -177,6 +201,12 @@ Chip::computeHorizon(Tick from) const
 {
     Tick fill = l2_.nextFillCompletionAfter(from);
     Tick cap = from + kChipEpochHorizonPs;
+    // A coherent chip can publish an invalidation from any step in
+    // the round, delivered coh_delay later; capping the window at
+    // from + coh_delay guarantees every such wake lands at or after
+    // the window's end (the drain's horizon tripwire).
+    if (l2_.coherent())
+        cap = std::min(cap, from + l2_.params().coh_delay_ps);
     return fill < cap ? fill : cap;
 }
 
@@ -226,9 +256,10 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
     // single-threaded — at init and inside the barrier's completion
     // step, which the barrier orders against all workers.
     Tick horizon = 0;
+    Tick window_start = 0;
     bool stop = false;
     auto settleRound = [&]() noexcept {
-        icp_.drainDeferred(fabric_, horizon);
+        icp_.drainDeferred(fabric_, window_start, horizon);
         Tick from = kTickMax;
         bool any_active = false;
         for (int w = 0; w < nworkers; ++w) {
@@ -266,6 +297,7 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
                     "event kernel: every domain parked across all "
                     "workers with no deferred wake (missing wakeup "
                     "port)");
+        window_start = from;
         horizon = computeHorizon(from);
     };
     settleRound();

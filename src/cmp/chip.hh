@@ -55,6 +55,10 @@ struct ChipConfig
     int l2_bank_mshrs = 4;
     /** Bank busy window per request for cross-core arbitration. */
     Tick l2_bank_occupancy_ps = 600;
+    /** Cross-core coherence latency: an invalidation published at t
+     * delivers (and an ownership transfer settles) at t + this.
+     * Active only when some workload declares a shared region. */
+    Tick coh_delay_ps = 24'000;
 };
 
 /** Results of one chip run: per-core windows + chip-level totals. */
@@ -74,6 +78,9 @@ struct ChipRunStats
     std::uint64_t bank_conflicts = 0;
     std::uint64_t bank_mshr_waits = 0;
     std::uint64_t fill_merges = 0;
+    // Coherence traffic (lifetime).
+    std::uint64_t invalidations = 0;
+    std::uint64_t ownership_transfers = 0;
 
     /** Chip throughput: committed instructions per makespan ns. */
     double
@@ -110,6 +117,9 @@ class Chip
     int coreCount() const { return cfg_.cores; }
     Core &core(int i) { return *cores_[static_cast<size_t>(i)]; }
     const SharedL2 &sharedL2() const { return l2_; }
+    /** The chip's interconnect port (tests assert the deferred-wake
+     * channel genuinely carried traffic). */
+    const InterconnectPort &interconnect() const { return icp_; }
 
     /**
      * End of the parallel round starting at `from`: the earliest

@@ -308,7 +308,13 @@ LoadStoreUnit::drainStoreBuffer(Tick now, int &ports_used,
         // Retirement blocks only on a *full* store buffer, so only
         // the pop that frees the first slot needs to wake the front
         // end — the port handles that transition.
-        dataHierarchyTime(w.line_addr << l1d_->lineShift(), now);
+        Addr addr = w.line_addr << l1d_->lineShift();
+        dataHierarchyTime(addr, now);
+        // A drained store to the coherent shared region publishes
+        // invalidations to remote sharers through the interconnect
+        // (no-op for private addresses and single-core chips).
+        if (icp_ != nullptr)
+            icp_->publishStore(core_index_, addr, now);
         sb_->pop(now);
         ++ports_used;
     }
@@ -319,6 +325,18 @@ LoadStoreUnit::step(Tick now)
 {
     if (pending_->active)
         reconfig_->applyPending(id_, now);
+
+    // Cross-core coherence delivery: invalidations whose transfer
+    // latency has elapsed drop their lines from the L1D and charge
+    // one mem port each — the timing visibility that makes the
+    // publisher's remote wake load-bearing. Processing enables no
+    // LSQ entry earlier (it only slows future accesses), so the walk
+    // summary below stays valid.
+    int coh_ports = 0;
+    if (icp_ != nullptr) {
+        coh_ports =
+            icp_->consumeInvalidations(core_index_, now, *l1d_);
+    }
 
     bool arrived_any = false;
     disp_->consume(now, [&](size_t) {
@@ -336,7 +354,7 @@ LoadStoreUnit::step(Tick now)
         ls_sum_.epoch_snap == timing_.epoch()) {
         if (!sb_->empty() && sb_->frontReadyAt() <= now &&
             mshr_min_free_ <= now) {
-            int ports = 0;
+            int ports = coh_ports;
             drainStoreBuffer(now, ports, cfg_.mem_ports);
         }
         return wakeBound();
@@ -394,7 +412,7 @@ LoadStoreUnit::step(Tick now)
         pending.resize(keep);
     }
 
-    int ports_used = 0;
+    int ports_used = coh_ports;
     // When the store buffer is nearly full it blocks retirement; give
     // it one port first.
     bool sb_pressure = sb_->size() + 1 >= sb_->capacity();
@@ -508,6 +526,11 @@ LoadStoreUnit::wakeBound() const
         w = std::min(w,
                      std::max(sb_->frontReadyAt(), mshr_min_free_));
     }
+    // An undelivered coherence invalidation bounds the sleep: without
+    // this term a step between the publication and its delivery would
+    // clobber the fabric wake when the scheduler refolds the bound.
+    if (icp_ != nullptr)
+        w = std::min(w, icp_->nextCoherenceAt(core_index_));
     return w;
 }
 

@@ -90,20 +90,31 @@ InterconnectPort::gate(int core, int consumer, Tick now) const
 
 void
 InterconnectPort::deferWake(Tick pub_tick, int publisher, int consumer,
-                            Tick when)
+                            Tick when, int target_core, Addr line_base)
 {
     // Appends need no lock: production publishers sit inside gated
     // request bodies, which the fronts make temporally exclusive.
-    deferred_.push_back(
-        DeferredWake{pub_tick, publisher, consumer, when});
+    deferred_.push_back(DeferredWake{pub_tick, publisher, consumer,
+                                     when, target_core, line_base});
 }
 
 void
-InterconnectPort::drainDeferred(WakeFabric &fabric, Tick window_end)
+InterconnectPort::drainDeferred(WakeFabric &fabric, Tick window_start,
+                                Tick window_end)
 {
     Tick last_tick = 0;
     int last_pub = -1;
     for (const DeferredWake &dw : deferred_) {
+        // Stale publication: the publisher's step ran inside the
+        // just-finished window, so its tick cannot precede the
+        // window's start — an earlier tick means the wake survived a
+        // previous round's drain or was forged outside a gated body.
+        GALS_ASSERT(dw.pub_tick >= window_start,
+                    "stale publication: cross-core wake published at "
+                    "t=%llu before the round window starting at "
+                    "t=%llu",
+                    static_cast<unsigned long long>(dw.pub_tick),
+                    static_cast<unsigned long long>(window_start));
         GALS_ASSERT(dw.pub_tick > last_tick ||
                         (dw.pub_tick == last_tick &&
                          dw.publisher >= last_pub),
@@ -138,7 +149,16 @@ InterconnectPort::drainDeferred(WakeFabric &fabric, Tick window_end)
                     "inside the round window ending at t=%llu",
                     static_cast<unsigned long long>(dw.when),
                     static_cast<unsigned long long>(window_end));
+        // Inbox payloads land here, single-threaded, in the same
+        // (pub_tick, publisher) order the sequential kernel pushes
+        // them in — the consumer's mid-round drain never races a
+        // producer.
+        if (dw.target_core >= 0) {
+            l2_.inboxes_[static_cast<size_t>(dw.target_core)]
+                .msgs.push_back(SharedL2::CohMsg{dw.line_base, dw.when});
+        }
         fabric.wakeRaw(dw.consumer, dw.when);
+        ++deferred_drained_;
     }
     deferred_.clear();
 }
@@ -217,42 +237,61 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
             r.done = fill_done;
             ++l2_.fill_merges_;
         }
-        return r;
-    }
-
-    // Miss: probe both live partitions, then fill from memory through
-    // one of this bank's fill slots, arbitrated across cores — the
-    // miss waits while `bank_mshrs` fills from other cores are still
-    // in flight.
-    Tick probe = static_cast<Tick>(
-        dc.l2_a_lat +
-        (l2_.cache_.bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat : 0));
-    Tick issue_at = start + probe * period;
-    if (l2_.p_.bank_mshrs > 0) {
-        Tick other_done[kMaxCores * 16];
-        int k = 0;
-        for (const SharedL2::Fill &f : b.fills) {
-            if (f.core != core && f.done > issue_at) {
-                GALS_ASSERT(k < static_cast<int>(
-                                    std::size(other_done)),
-                            "bank %d carries more than %zu other-core "
-                            "in-flight fills (per-core MSHR counts "
-                            "beyond the model's sizing)",
-                            bank, std::size(other_done));
-                other_done[k++] = f.done;
+    } else {
+        // Miss: probe both live partitions, then fill from memory
+        // through one of this bank's fill slots, arbitrated across
+        // cores — the miss waits while `bank_mshrs` fills from other
+        // cores are still in flight.
+        Tick probe = static_cast<Tick>(
+            dc.l2_a_lat +
+            (l2_.cache_.bEnabled() && dc.l2_b_lat > 0 ? dc.l2_b_lat
+                                                      : 0));
+        Tick issue_at = start + probe * period;
+        if (l2_.p_.bank_mshrs > 0) {
+            Tick other_done[kMaxCores * kMaxCoreMshrs];
+            int k = 0;
+            for (const SharedL2::Fill &f : b.fills) {
+                if (f.core != core && f.done > issue_at) {
+                    GALS_ASSERT(k < static_cast<int>(
+                                        std::size(other_done)),
+                                "bank %d carries more than %zu "
+                                "other-core in-flight fills (per-core "
+                                "MSHR counts beyond the model's "
+                                "sizing)",
+                                bank, std::size(other_done));
+                    other_done[k++] = f.done;
+                }
+            }
+            if (k >= l2_.p_.bank_mshrs) {
+                // Wait for releases until only bank_mshrs-1 other
+                // fills remain: the (k - bank_mshrs + 1)-th earliest
+                // release.
+                std::sort(other_done, other_done + k);
+                issue_at = other_done[k - l2_.p_.bank_mshrs];
+                ++l2_.bank_mshr_waits_;
             }
         }
-        if (k >= l2_.p_.bank_mshrs) {
-            // Wait for releases until only bank_mshrs-1 other fills
-            // remain: the (k - bank_mshrs + 1)-th earliest release.
-            std::sort(other_done, other_done + k);
-            issue_at = other_done[k - l2_.p_.bank_mshrs];
-            ++l2_.bank_mshr_waits_;
+        r.done = l2_.memory_.issueFill(issue_at);
+        r.hit = false;
+        b.fills.push_back(SharedL2::Fill{line, r.done, core});
+    }
+
+    // Coherence tail: a D-side request for a shared-region line
+    // installs the line in the requester's L1D, so the directory
+    // registers it as a sharer (a conservative superset — silent L1
+    // evictions are not reported). If another core's store to the
+    // line is still settling, the data cannot be forwarded before the
+    // ownership transfer completes, hit or miss.
+    if (consumer_local == DomainId::LoadStore && l2_.coherent() &&
+        l2_.inShared(addr)) {
+        SharedL2::DirEntry &e = l2_.dirEntry(addr);
+        e.sharers |= static_cast<std::uint8_t>(1u << core);
+        if (e.last_writer >= 0 && e.last_writer != core &&
+            e.settle > r.done) {
+            r.done = e.settle;
+            ++l2_.ownership_transfers_;
         }
     }
-    r.done = l2_.memory_.issueFill(issue_at);
-    r.hit = false;
-    b.fills.push_back(SharedL2::Fill{line, r.done, core});
     return r;
 }
 
@@ -269,6 +308,87 @@ InterconnectPort::requestIcacheLine(int core, Addr pc, Tick t_req,
                                     Tick period, Tick now)
 {
     return request(core, DomainId::FrontEnd, pc, t_req, period, now);
+}
+
+void
+InterconnectPort::publishStore(int core, Addr addr, Tick now)
+{
+    if (!l2_.coherent() || !l2_.inShared(addr))
+        return;
+    GALS_ASSERT(core >= 0 && core < cores_,
+                "coherence publication from an unknown core");
+    const int publisher =
+        core * kNumDomains + static_cast<int>(DomainId::LoadStore);
+    // Directory state is shared bank state: order the publication
+    // exactly like a request (and let the tripwire reject a
+    // same-tick publication after a higher-indexed touch).
+    gate(core, publisher, now);
+    bankPublish(l2_.bankOf(addr), publisher, now);
+
+    const Addr line_base = addr & ~static_cast<Addr>(
+                                      l2_.cache_.lineBytes() - 1);
+    const Tick when = now + l2_.p_.coh_delay_ps;
+    SharedL2::DirEntry &e = l2_.dirEntry(addr);
+    e.last_writer = static_cast<std::int8_t>(core);
+    e.settle = when;
+
+    // Invalidate every remote sharer: each message wakes that core's
+    // load/store unit at the delivery time. `when` is strictly after
+    // `now` (coh_delay > 0), so the cross-core publication-order rule
+    // holds for any consumer index. Under the parallel stepper the
+    // wake and its inbox payload ride the deferred queue and merge at
+    // the round barrier; sequentially they are delivered in place —
+    // both paths append to the inbox in (pub_tick, publisher) order.
+    const std::uint8_t self = static_cast<std::uint8_t>(1u << core);
+    std::uint8_t remote = e.sharers & static_cast<std::uint8_t>(~self);
+    e.sharers = self;
+    for (int c = 0; remote != 0; ++c, remote >>= 1) {
+        if (!(remote & 1u))
+            continue;
+        const int consumer =
+            c * kNumDomains + static_cast<int>(DomainId::LoadStore);
+        ++l2_.invalidations_sent_;
+        if (sync_ != nullptr) {
+            deferWake(now, publisher, consumer, when, c, line_base);
+        } else {
+            l2_.inboxes_[static_cast<size_t>(c)].msgs.push_back(
+                SharedL2::CohMsg{line_base, when});
+            if (fabric_ != nullptr)
+                fabric_->wakeRaw(consumer, when);
+        }
+    }
+}
+
+int
+InterconnectPort::consumeInvalidations(int core, Tick now,
+                                       AccountingCache &l1d)
+{
+    if (!l2_.coherent())
+        return 0;
+    SharedL2::Inbox &in = l2_.inboxes_[static_cast<size_t>(core)];
+    int n = 0;
+    while (in.head < in.msgs.size() &&
+           in.msgs[in.head].deliver_at <= now) {
+        l1d.invalidate(in.msgs[in.head].line_base);
+        ++in.head;
+        ++n;
+    }
+    if (in.head == in.msgs.size() && in.head != 0) {
+        in.msgs.clear();
+        in.head = 0;
+    }
+    return n;
+}
+
+Tick
+InterconnectPort::nextCoherenceAt(int core) const
+{
+    if (!l2_.coherent())
+        return kTickMax;
+    const SharedL2::Inbox &in =
+        l2_.inboxes_[static_cast<size_t>(core)];
+    return in.head < in.msgs.size() ? in.msgs[in.head].deliver_at
+                                    : kTickMax;
 }
 
 const IntervalCounts &

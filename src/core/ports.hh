@@ -53,6 +53,11 @@ constexpr int kMaxCores = 4;
  * (a core uses four; a chip uses four per core). */
 constexpr int kMaxSchedDomains = kMaxCores * kNumDomains;
 
+/** Per-core in-flight fill (MSHR) ceiling assumed by the ordered
+ * request gate's stack sizing — a bound on the private hierarchy's
+ * MSHR count, not on the shared banks'. */
+constexpr int kMaxCoreMshrs = 16;
+
 /**
  * Chip-level wake storage shared by every port of every core:
  * per-domain earliest-possible-work bounds (indexed by *global*
@@ -637,6 +642,7 @@ struct CorePorts
     ReclockPort reclock;
 };
 
+class AccountingCache;
 class SharedL2;
 struct IntervalCounts;
 
@@ -670,6 +676,15 @@ struct ChipSyncState
      * every real point). */
     static constexpr std::uint64_t kDone = ~std::uint64_t{0};
 
+    /** Bits of the packed order point reserved for the global
+     * domain index; the remaining 64 - kDomainBits carry the tick. */
+    static constexpr int kDomainBits = 4;
+    static_assert(kMaxSchedDomains <= (1 << kDomainBits),
+                  "the packed front's global-domain field cannot "
+                  "encode every scheduler domain: raising kMaxCores "
+                  "requires widening kDomainBits (and shrinking the "
+                  "tick field) in step");
+
     /**
      * Pack a (tick, global domain index) order point so that integer
      * comparison is the reference kernel's step order: time, then
@@ -681,7 +696,7 @@ struct ChipSyncState
     {
         if (t >= (Tick{1} << 59))
             return kDone;
-        return (static_cast<std::uint64_t>(t) << 4) |
+        return (static_cast<std::uint64_t>(t) << kDomainBits) |
                static_cast<std::uint64_t>(gd);
     }
 
@@ -753,6 +768,46 @@ class InterconnectPort
     void reconfigure(int core, int target, Tick now);
 
     // ------------------------------------------------------------------
+    // Cross-core coherence (the first genuine cross-core wakes).
+    // ------------------------------------------------------------------
+
+    /**
+     * Attach the chip's wake fabric: the delivery target of
+     * sequential-mode coherence wakes (the parallel stepper instead
+     * routes them through deferWake and the round barrier's drain).
+     * Unit tests that never publish may skip this.
+     */
+    void attachFabric(WakeFabric *fabric) { fabric_ = fabric; }
+
+    /**
+     * A store to the coherent shared region drained from `core`'s
+     * store buffer during its load/store step at `now`. Updates the
+     * line's directory entry (last writer + ownership settle time)
+     * and publishes one invalidation per remote sharer, delivered to
+     * that core's load/store unit at `now + coh_delay_ps` — a real
+     * cross-core wake, obeying the same publication-order rule as
+     * every other port. No-op on non-coherent chips or private
+     * addresses, so N=1 and legacy workloads are bit-unchanged.
+     */
+    void publishStore(int core, Addr addr, Tick now);
+
+    /**
+     * Drain the invalidations due for `core`'s L1D at `now` (called
+     * at the head of the load/store unit's step): each message whose
+     * delivery time has arrived invalidates its line in `l1d`.
+     * Returns the number processed — the LSU charges one mem port
+     * per message, which is what makes the wake timing-visible.
+     */
+    int consumeInvalidations(int core, Tick now, AccountingCache &l1d);
+
+    /**
+     * Earliest undelivered invalidation bound for `core` (kTickMax
+     * when none). Folded into the load/store unit's wakeBound so an
+     * intervening step cannot clobber the pending coherence wake.
+     */
+    Tick nextCoherenceAt(int core) const;
+
+    // ------------------------------------------------------------------
     // Horizon-parallel stepping (the chip's round driver).
     // ------------------------------------------------------------------
 
@@ -764,31 +819,41 @@ class InterconnectPort
     /**
      * Queue a cross-core wake published by global domain `publisher`'s
      * step at `pub_tick` for delivery at the next round barrier:
-     * global domain `consumer` may have work at `when`. Cross-core
-     * traffic carries no wakes today, so this is the landing zone for
-     * future coherence messages — drainDeferred enforces its contract
-     * (merge order, publication order, horizon safety) now, so the
-     * first real publisher inherits a checked channel.
+     * global domain `consumer` may have work at `when`. Coherence
+     * invalidations are the production publisher (publishStore routes
+     * here under the parallel stepper); such wakes carry a payload —
+     * the line to drop into `target_core`'s inbox when the wake is
+     * merged — so the inbox push happens single-threaded at the
+     * barrier rather than racing the consumer's drain mid-round.
+     * Payload-free wakes (target_core < 0) stay legal for tests.
      */
     void deferWake(Tick pub_tick, int publisher, int consumer,
-                   Tick when);
+                   Tick when, int target_core = -1, Addr line_base = 0);
 
     /**
      * Deliver the queued cross-core wakes into the fabric, in
      * publication order. Called single-threaded at the round barrier
-     * with the just-finished window's horizon: every worker has
-     * stepped its cores up to (strictly below) `window_end`, so a
-     * wake landing before it would rewrite the past — the horizon
-     * computation exists to make that impossible, and this asserts
-     * it. The queue must already be in nondecreasing
-     * (pub_tick, publisher) order: gated requests execute in global
-     * step order, so an out-of-order entry means a publication
-     * escaped the gate (same divergence class bankPublish trips on).
+     * with the just-finished window `[window_start, window_end)`:
+     * every worker has stepped its cores up to (strictly below)
+     * `window_end`, so a wake landing before it would rewrite the
+     * past — the horizon computation exists to make that impossible,
+     * and this asserts it. A publication tick before `window_start`
+     * is equally impossible (the publisher's step ran inside the
+     * window) and is rejected as a stale publication. The queue must
+     * already be in nondecreasing (pub_tick, publisher) order: gated
+     * requests execute in global step order, so an out-of-order entry
+     * means a publication escaped the gate (same divergence class
+     * bankPublish trips on).
      */
-    void drainDeferred(WakeFabric &fabric, Tick window_end);
+    void drainDeferred(WakeFabric &fabric, Tick window_start,
+                       Tick window_end);
 
     /** True when no cross-core wake is queued (round bookkeeping). */
     bool deferredEmpty() const { return deferred_.empty(); }
+
+    /** Cross-core wakes merged at round barriers so far: the proof a
+     * run genuinely exercised the deferred channel. */
+    std::uint64_t deferredDrained() const { return deferred_drained_; }
 
     // Per-core accounting pass-through (the LSU's controller and
     // RunStats paths reach the shared cache only through the port).
@@ -824,12 +889,18 @@ class InterconnectPort
         int publisher;
         int consumer;
         Tick when;
+        /** Inbox payload: core whose inbox receives `line_base` at
+         * the merge (-1: pure wake, no payload). */
+        int target_core;
+        Addr line_base;
     };
 
     SharedL2 &l2_;
     int cores_;
+    WakeFabric *fabric_ = nullptr;
     ChipSyncState *sync_ = nullptr;
     std::vector<DeferredWake> deferred_;
+    std::uint64_t deferred_drained_ = 0;
 };
 
 } // namespace gals

@@ -151,6 +151,14 @@ DomainScheduler::runEvent(const CoreProgress *cores, int ncores)
                     "committed=%llu (missing wakeup port)",
                     static_cast<unsigned long long>(
                         totalProgress(cores, ncores)));
+        if (done[static_cast<size_t>(d / kNumDomains)]) {
+            // A coherence wake re-armed a halted core's domain (a
+            // remote sharer may finish before its invalidations
+            // deliver). The reference kernel never steps a done
+            // core, so neither may we: re-park and move on.
+            fabric_.park(d);
+            continue;
+        }
         Tick edge = clocks_[di].nextEdge();
         if (fabric_.bound(d) > edge) {
             // Proven-idle edges: consume them without stepping, then
@@ -174,9 +182,9 @@ DomainScheduler::runEvent(const CoreProgress *cores, int ncores)
         int c = d / kNumDomains;
         if (!done[static_cast<size_t>(c)] &&
             *cores[c].progress >= cores[c].target) {
-            // Halt the finished core: park all its domains. Nothing
-            // re-arms them — cross-core traffic carries no wakes and
-            // the core's own ports publish only from its steps.
+            // Halt the finished core: park all its domains. A
+            // coherence invalidation may still re-arm one — the
+            // head check above re-parks it without stepping.
             done[static_cast<size_t>(c)] = true;
             --active;
             for (int k = c * kNumDomains; k < (c + 1) * kNumDomains;

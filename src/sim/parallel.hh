@@ -34,6 +34,7 @@
 #define GALS_SIM_PARALLEL_HH
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
@@ -41,6 +42,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace gals
 {
@@ -337,32 +340,73 @@ class ChipPool
 
 } // namespace detail
 
-/** Worker cap: GALS_THREADS when set (>0), else hardware threads. */
+/**
+ * Largest worker count GALS_CHIP_THREADS may request. The chip pool
+ * co-schedules its slots (they spin on each other's interconnect
+ * fronts), so a count beyond the host's threads is legal — required,
+ * even, to test the parallel kernel on small hosts — but only up to
+ * the widest chip the build supports (kMaxCores in core/ports.hh;
+ * chip.cc asserts the two stay in step). Anything larger is a
+ * misconfiguration that would spawn useless co-resident threads.
+ */
+constexpr unsigned kMaxChipWorkers = 4;
+
+/**
+ * Strictly parse a thread-count environment variable. The entire
+ * string must be a decimal integer in [1, ceiling]; empty, trailing
+ * garbage, non-numeric, zero, negative, or out-of-range input falls
+ * back (garbage to `fallback`, overlarge clamped to `ceiling`) with
+ * a logged warning instead of silently misconfiguring the pool —
+ * the old unchecked strtol read "8x" as 8 and "-3" as "unset".
+ */
+inline unsigned
+threadCountFromEnv(const char *name, const char *text,
+                   unsigned fallback, unsigned ceiling)
+{
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v < 1) {
+        warn("%s=\"%s\" is not a positive integer; using %u", name,
+             text, fallback);
+        return fallback;
+    }
+    if (static_cast<unsigned long>(v) > ceiling) {
+        warn("%s=%ld exceeds the supported maximum of %u; clamping",
+             name, v, ceiling);
+        return ceiling;
+    }
+    return static_cast<unsigned>(v);
+}
+
+/** Worker cap: GALS_THREADS when set (validated, clamped to the
+ * hardware thread count), else hardware threads. */
 inline unsigned
 sweepThreads()
 {
-    if (const char *env = std::getenv("GALS_THREADS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    if (hw == 0)
+        hw = 1;
+    if (const char *env = std::getenv("GALS_THREADS")) {
+        // Sweep work items are independent, so threads beyond the
+        // hardware's only add scheduling overhead: clamp there.
+        return threadCountFromEnv("GALS_THREADS", env, hw, hw);
+    }
+    return hw;
 }
 
 /**
- * Intra-chip stepping threads: GALS_CHIP_THREADS when set (>0), else
- * 1 — the sequential kernel, so every existing single-threaded gate
- * is unchanged by default. Re-read on every chip run so tests can
- * toggle it with setenv.
+ * Intra-chip stepping threads: GALS_CHIP_THREADS when set (validated;
+ * garbage falls back to 1, the sequential kernel, so every existing
+ * single-threaded gate is unchanged by default). Re-read on every
+ * chip run so tests can toggle it with setenv.
  */
 inline unsigned
 chipThreads()
 {
     if (const char *env = std::getenv("GALS_CHIP_THREADS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
+        return threadCountFromEnv("GALS_CHIP_THREADS", env, 1,
+                                  kMaxChipWorkers);
     }
     return 1;
 }

@@ -80,12 +80,23 @@ SyntheticWorkload::startPhase(int idx)
     // Hoist the phase-constant hot-path math (bit-exact: each cached
     // value is the very expression the per-op code used to evaluate).
     pc_.rand_pool = p.rand_bytes >= kLineBytes;
+    pc_.stream_base = kStreamBase + params_.addr_offset;
     pc_.rand_base =
-        kStreamBase +
+        pc_.stream_base +
         ((std::max<std::uint64_t>(p.stream_bytes, kLineBytes) +
           3 * kLineBytes) /
          kLineBytes) *
             kLineBytes;
+    // Shared draws need both a declared window (workload-level) and a
+    // nonzero per-phase fraction; either alone leaves the stream --
+    // including its RNG consumption -- bit-identical to a workload
+    // without the knobs.
+    pc_.shared_lines =
+        (p.shared_frac > 0.0 &&
+         params_.shared_bytes >= static_cast<std::uint64_t>(kLineBytes))
+            ? static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                  linesOf(params_.shared_bytes), 0xffffffffULL))
+            : 0;
     pc_.rand_lines = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(linesOf(p.rand_bytes),
                                 0xffffffffULL));
@@ -206,6 +217,14 @@ Addr
 SyntheticWorkload::dataAddress(Chain &chain)
 {
     const PhaseParams &p = *cur_phase_;
+    if (pc_.shared_lines != 0 && rng_.chance(p.shared_frac)) {
+        // Chip-shared window: every sharing core draws lines from the
+        // same [kSharedBase, kSharedBase + shared_bytes) range, so
+        // stores here are the (only) source of cross-core coherence
+        // traffic.
+        std::uint64_t line = rng_.nextBounded(pc_.shared_lines);
+        return kSharedBase + line * kLineBytes;
+    }
     if (pc_.rand_pool && rng_.chance(p.rand_frac)) {
         // The pool sits contiguously after the streamed region (as a
         // real heap would), so small working sets do not suffer
@@ -219,7 +238,7 @@ SyntheticWorkload::dataAddress(Chain &chain)
     if (pos >= pc_.stream_region)
         pos %= pc_.stream_region;
     chain.stream_pos = pos;
-    return kStreamBase + pos;
+    return pc_.stream_base + pos;
 }
 
 MicroOp

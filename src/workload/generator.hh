@@ -33,6 +33,14 @@ namespace gals
  */
 constexpr Addr kCodeBase = 0x0001'0000;
 constexpr Addr kStreamBase = 0x1000'0000;
+/**
+ * Base of the chip-shared coherent window. Every workload that
+ * declares shared_bytes addresses the same lines here, far above any
+ * private region (per-core addr_offsets are bounded well below it),
+ * so the shared-L2 directory covers exactly [kSharedBase,
+ * kSharedBase + shared_bytes).
+ */
+constexpr Addr kSharedBase = 0x4000'0000;
 
 /** The synthetic benchmark instruction stream. */
 class SyntheticWorkload
@@ -92,8 +100,13 @@ class SyntheticWorkload
      */
     struct PhaseCache
     {
+        /** Base of the streamed region (kStreamBase + addr_offset). */
+        Addr stream_base = 0;
         /** Base of the random pool (after the streamed region). */
         Addr rand_base = 0;
+        /** Shared-window size in lines; 0 disables shared draws (and
+         * with them the extra RNG consumption) entirely. */
+        std::uint32_t shared_lines = 0;
         /** Random-pool size in lines, clamped to 32 bits. */
         std::uint32_t rand_lines = 1;
         /** p.rand_bytes >= one line (pool draws enabled). */

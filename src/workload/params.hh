@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace gals
 {
 
@@ -88,6 +90,14 @@ struct PhaseParams
     std::uint64_t rand_bytes = 16 * 1024;
     /** Fraction of data accesses that go to the random pool. */
     double rand_frac = 0.3;
+    /**
+     * Fraction of data accesses that go to the chip-shared window at
+     * kSharedBase (drawn before the stream/random split). Only
+     * meaningful on a multi-core chip whose WorkloadParams declares
+     * shared_bytes > 0; otherwise no RNG draw is consumed and the
+     * stream is bit-identical to a workload without the knob.
+     */
+    double shared_frac = 0.0;
 
     /**
      * Branch-site population: a loop-branch minority follows a
@@ -118,6 +128,20 @@ struct WorkloadParams
     std::uint64_t seed = 1;
     /** Phase schedule, cycled for the whole run. */
     std::vector<PhaseParams> phases;
+
+    /**
+     * Size of the chip-shared coherent window this workload touches
+     * (0 = private workload; every phase's shared_frac is inert).
+     * All sharers address the same window at kSharedBase.
+     */
+    std::uint64_t shared_bytes = 0;
+    /**
+     * Displacement added to the private regions (code stays put;
+     * stream/random pools shift). Multiprogrammed mixes give each
+     * core a distinct offset so private footprints never alias the
+     * shared window or each other in the physically-shared L2.
+     */
+    Addr addr_offset = 0;
 
     /** The paper's original simulation window, for Tables 6-8. */
     std::string paper_window;

@@ -616,6 +616,54 @@ perCoreWorkload(const WorkloadParams &wl, int core)
 }
 
 std::vector<WorkloadParams>
+sharingMix(const WorkloadParams &base, int cores,
+           const std::string &kind)
+{
+    GALS_ASSERT(cores >= 1, "sharing mix needs cores >= 1");
+    std::vector<WorkloadParams> mix;
+    mix.reserve(static_cast<size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+        WorkloadParams wl = perCoreWorkload(base, c);
+        // Disjoint private footprints: 64MB apart, all far below
+        // kSharedBase, so only the shared window ever aliases across
+        // cores. Core 0 keeps offset 0 (its private stream matches
+        // the single-core layout).
+        wl.addr_offset = static_cast<Addr>(c) * 0x0400'0000;
+        wl.name += "+" + kind;
+        if (kind == "producer-consumer") {
+            wl.shared_bytes = 16 * KB;
+            for (PhaseParams &p : wl.phases) {
+                p.shared_frac = c == 0 ? 0.35 : 0.25;
+                if (c == 0) {
+                    p.store_frac = std::max(p.store_frac, 0.20);
+                } else {
+                    p.load_frac = std::max(p.load_frac, 0.30);
+                    p.store_frac = std::min(p.store_frac, 0.02);
+                }
+            }
+        } else if (kind == "migratory") {
+            wl.shared_bytes = 8 * KB;
+            for (PhaseParams &p : wl.phases) {
+                p.shared_frac = 0.25;
+                p.load_frac = std::max(p.load_frac, 0.25);
+                p.store_frac = std::max(p.store_frac, 0.12);
+            }
+        } else if (kind == "lock") {
+            // A handful of lines, hit hard by everyone's stores.
+            wl.shared_bytes = 256;
+            for (PhaseParams &p : wl.phases) {
+                p.shared_frac = 0.30;
+                p.store_frac = std::max(p.store_frac, 0.18);
+            }
+        } else {
+            fatal("unknown sharing-mix kind '%s'", kind.c_str());
+        }
+        mix.push_back(std::move(wl));
+    }
+    return mix;
+}
+
+std::vector<WorkloadParams>
 multiprogrammedMix(const std::vector<WorkloadParams> &suite, int cores,
                    int rotation)
 {

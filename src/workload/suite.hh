@@ -52,6 +52,26 @@ std::vector<WorkloadParams>
 multiprogrammedMix(const std::vector<WorkloadParams> &suite, int cores,
                    int rotation);
 
+/**
+ * A sharing mix for an N-core chip: every core runs `base` (routed
+ * through perCoreWorkload, with a per-core addr_offset keeping the
+ * private footprints disjoint in the shared L2) plus data traffic
+ * into the common coherent window at kSharedBase. `kind` selects the
+ * communication pattern:
+ *  - "producer-consumer": core 0 writes the window heavily, the
+ *    others mostly read it — a steady stream of invalidations from
+ *    one writer to many sharers;
+ *  - "migratory": every core reads and writes the window in turn —
+ *    ownership bounces between cores (the classic migratory-line
+ *    pattern);
+ *  - "lock": all cores hammer a handful of hot lines with stores —
+ *    maximal invalidation pressure on minimal footprint, as lock and
+ *    barrier words behave.
+ */
+std::vector<WorkloadParams>
+sharingMix(const WorkloadParams &base, int cores,
+           const std::string &kind);
+
 } // namespace gals
 
 #endif // GALS_WORKLOAD_SUITE_HH

@@ -183,6 +183,10 @@ randomChipConfig(Pcg32 &rng, int cores)
     cc.l2_bank_mshrs = rng.nextRange(1, 4);
     cc.l2_bank_occupancy_ps =
         static_cast<Tick>(rng.nextRange(100, 1200));
+    // Coherence latency draw: short delays pack invalidation delivery
+    // tight against the publishing store (many short parallel rounds),
+    // long ones stretch the stale-sharer window.
+    cc.coh_delay_ps = static_cast<Tick>(rng.nextRange(20'000, 40'000));
     return cc;
 }
 
@@ -190,11 +194,33 @@ randomChipConfig(Pcg32 &rng, int cores)
  * A multiprogrammed workload mix over short differential windows,
  * occasionally reshaped toward shared-L2 pressure (large random
  * pools and high random-access fractions drive cross-core misses
- * into the same banks).
+ * into the same banks). Multi-core draws are routed through a
+ * sharing mix half the time, with the shared window and access
+ * fraction re-randomized, so the differential gate covers
+ * invalidation and ownership-transfer traffic too.
  */
 inline std::vector<WorkloadParams>
 randomChipWorkloads(Pcg32 &rng, int cores)
 {
+    if (cores > 1 && rng.chance(0.5)) {
+        static const char *kKinds[] = {"producer-consumer",
+                                       "migratory", "lock"};
+        std::vector<WorkloadParams> mix = sharingMix(
+            randomWorkload(rng), cores,
+            kKinds[rng.nextRange(0, 2)]);
+        // Stress both extremes: a near-lock window of a few lines up
+        // to one spanning many directory entries, under access
+        // fractions from occasional to dominant.
+        std::uint64_t shared_bytes =
+            64ULL << rng.nextRange(2, 9); // 256B..32KB.
+        double shared_frac = 0.1 + 0.4 * rng.nextDouble();
+        for (WorkloadParams &wl : mix) {
+            wl.shared_bytes = shared_bytes;
+            for (PhaseParams &p : wl.phases)
+                p.shared_frac = shared_frac;
+        }
+        return mix;
+    }
     std::vector<WorkloadParams> mix;
     mix.reserve(static_cast<size_t>(cores));
     for (int c = 0; c < cores; ++c) {

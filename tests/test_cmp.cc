@@ -23,13 +23,18 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "cache/accounting_cache.hh"
 #include "cache/shared_l2.hh"
 #include "cmp/chip.hh"
 #include "harness.hh"
+#include "sim/parallel.hh"
 #include "sim/report.hh"
 #include "sim/shard.hh"
 #include "sim/sweep.hh"
 #include "timing/frequency_model.hh"
+#include "workload/generator.hh"
 
 using namespace gals;
 using namespace gals::harness;
@@ -53,6 +58,8 @@ expectSameChipStats(ChipRunStats &a, ChipRunStats &b)
     EXPECT_EQ(a.bank_conflicts, b.bank_conflicts);
     EXPECT_EQ(a.bank_mshr_waits, b.bank_mshr_waits);
     EXPECT_EQ(a.fill_merges, b.fill_merges);
+    EXPECT_EQ(a.invalidations, b.invalidations);
+    EXPECT_EQ(a.ownership_transfers, b.ownership_transfers);
 }
 
 /** A bare shared L2 + port for the arbitration unit tests. */
@@ -73,6 +80,17 @@ bareParams(int cores, int banks, int bank_mshrs, Tick occupancy_ps)
 }
 
 constexpr Tick kPeriod = 300; // requester load/store period, ps.
+
+/** bareParams plus a coherent shared window at kSharedBase. */
+SharedL2::Params
+sharedParams(int cores, std::uint64_t shared_bytes, Tick coh_delay_ps)
+{
+    SharedL2::Params p = bareParams(cores, 1, 0, 0);
+    p.shared_base = kSharedBase;
+    p.shared_bytes = shared_bytes;
+    p.coh_delay_ps = coh_delay_ps;
+    return p;
+}
 
 } // namespace
 
@@ -461,6 +479,47 @@ TEST(CmpParallel, ParallelStepperMatchesSequentialAndReference)
     }
 }
 
+TEST(CmpParallel, ThreadCountEnvParsingFallsBackAndClamps)
+{
+    // Strict full-string parsing: garbage falls back (with a logged
+    // warning) instead of silently half-parsing — the old unchecked
+    // strtol read "8x" as 8 and treated "-3" as unset.
+    setenv("GALS_CHIP_THREADS", "3", 1);
+    EXPECT_EQ(chipThreads(), 3u);
+    setenv("GALS_CHIP_THREADS", "banana", 1);
+    EXPECT_EQ(chipThreads(), 1u);
+    setenv("GALS_CHIP_THREADS", "8x", 1);
+    EXPECT_EQ(chipThreads(), 1u);
+    setenv("GALS_CHIP_THREADS", "-3", 1);
+    EXPECT_EQ(chipThreads(), 1u);
+    setenv("GALS_CHIP_THREADS", "0", 1);
+    EXPECT_EQ(chipThreads(), 1u);
+    setenv("GALS_CHIP_THREADS", "", 1);
+    EXPECT_EQ(chipThreads(), 1u);
+    // Oversized requests clamp to the chip-worker ceiling, NOT to the
+    // host's thread count: the chip pool co-schedules spinning slots,
+    // so small hosts must still be able to drive a 4-worker chip (the
+    // parallel differential gates depend on it).
+    setenv("GALS_CHIP_THREADS", "64", 1);
+    EXPECT_EQ(chipThreads(), kMaxChipWorkers);
+    unsetenv("GALS_CHIP_THREADS");
+    EXPECT_EQ(chipThreads(), 1u);
+
+    // Sweep workers are independent: garbage falls back to hardware
+    // concurrency, and oversized requests clamp there.
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    setenv("GALS_THREADS", "not-a-number", 1);
+    EXPECT_EQ(sweepThreads(), hw);
+    setenv("GALS_THREADS", "1000000", 1);
+    EXPECT_EQ(sweepThreads(), hw);
+    setenv("GALS_THREADS", "1", 1);
+    EXPECT_EQ(sweepThreads(), 1u);
+    unsetenv("GALS_THREADS");
+    EXPECT_EQ(sweepThreads(), hw);
+}
+
 TEST(CmpParallel, HorizonClampsToFillCompletionBoundary)
 {
     // An in-flight fill is the only carrier a future cross-core wake
@@ -508,9 +567,10 @@ TEST(CmpParallel, DeferredWakeAtHorizonBoundaryMerges)
     InterconnectPort icp(l2, 2);
     icp.deferWake(1'000, 2, 6, 2'000);
     EXPECT_FALSE(icp.deferredEmpty());
-    icp.drainDeferred(fabric, 2'000);
+    icp.drainDeferred(fabric, 0, 2'000);
     EXPECT_TRUE(icp.deferredEmpty());
     EXPECT_EQ(fabric.bound(6), 2'000u);
+    EXPECT_EQ(icp.deferredDrained(), 1u);
 }
 
 TEST(CmpParallelDeathTest, DeferredMergeTripwiresAssert)
@@ -529,7 +589,7 @@ TEST(CmpParallelDeathTest, DeferredMergeTripwiresAssert)
         InterconnectPort icp(l2, 2);
         icp.deferWake(2'000, 5, 6, 10'000);
         icp.deferWake(1'000, 4, 2, 10'000);
-        EXPECT_DEATH(icp.drainDeferred(fabric, 1'000),
+        EXPECT_DEATH(icp.drainDeferred(fabric, 0, 1'000),
                      "merge order violation");
     }
     // A lower-indexed consumer woken at the publication tick itself:
@@ -538,7 +598,7 @@ TEST(CmpParallelDeathTest, DeferredMergeTripwiresAssert)
         SharedL2 l2(bareParams(2, 1, 0, 0));
         InterconnectPort icp(l2, 2);
         icp.deferWake(1'000, 5, 2, 1'000);
-        EXPECT_DEATH(icp.drainDeferred(fabric, 1'000),
+        EXPECT_DEATH(icp.drainDeferred(fabric, 0, 1'000),
                      "publication order violation");
     }
     // A wake inside the just-executed window: it would rewrite steps
@@ -547,7 +607,182 @@ TEST(CmpParallelDeathTest, DeferredMergeTripwiresAssert)
         SharedL2 l2(bareParams(2, 1, 0, 0));
         InterconnectPort icp(l2, 2);
         icp.deferWake(1'000, 2, 6, 1'500);
-        EXPECT_DEATH(icp.drainDeferred(fabric, 2'000),
+        EXPECT_DEATH(icp.drainDeferred(fabric, 0, 2'000),
                      "horizon violation");
     }
+    // A publication from before the round's window even opened: the
+    // publisher would have had to step inside an already-settled
+    // round, which the per-worker front order forbids.
+    {
+        SharedL2 l2(bareParams(2, 1, 0, 0));
+        InterconnectPort icp(l2, 2);
+        icp.deferWake(500, 2, 6, 10'000);
+        EXPECT_DEATH(icp.drainDeferred(fabric, 1'000, 2'000),
+                     "stale publication");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-core L1 coherence: sharer directory, invalidation delivery,
+// ownership transfers — the messages whose remote wakes land in the
+// PR 6 deferred queue.
+// ---------------------------------------------------------------------
+
+TEST(CmpCoherence, SharerDirectoryInvalidatesRemoteL1s)
+{
+    SharedL2 l2(sharedParams(2, 4096, 5'000));
+    InterconnectPort icp(l2, 2);
+    EXPECT_TRUE(l2.coherent());
+    const Addr line = kSharedBase;
+
+    // Both cores install the line: both become sharers.
+    icp.requestLine(0, line, 1'000, kPeriod, 1'000);
+    icp.requestLine(1, line, 2'000, kPeriod, 2'000);
+
+    // Core 0 stores into the line (sub-line address maps to it): one
+    // invalidation to the remote sharer only, delivered coh_delay
+    // later.
+    icp.publishStore(0, line + 8, 3'000);
+    EXPECT_EQ(l2.invalidationsSent(), 1u);
+    EXPECT_EQ(icp.nextCoherenceAt(1), 8'000u);
+    EXPECT_EQ(icp.nextCoherenceAt(0), kTickMax);
+
+    // Delivery drops the line from the target's L1D — and not one
+    // tick before the transfer latency has elapsed.
+    AccountingCache l1d("l1d", 32 * 1024, 4);
+    l1d.access(line);
+    EXPECT_EQ(icp.consumeInvalidations(1, 7'999, l1d), 0);
+    EXPECT_EQ(icp.nextCoherenceAt(1), 8'000u);
+    EXPECT_EQ(icp.consumeInvalidations(1, 8'000, l1d), 1);
+    EXPECT_FALSE(l1d.invalidate(line)); // already dropped.
+    EXPECT_EQ(icp.nextCoherenceAt(1), kTickMax);
+
+    // The store left the writer as the only sharer: a second store
+    // finds no remote copy to invalidate.
+    icp.publishStore(0, line, 9'000);
+    EXPECT_EQ(l2.invalidationsSent(), 1u);
+
+    // Private addresses never touch the directory.
+    icp.publishStore(0, 0x1000, 10'000);
+    EXPECT_EQ(l2.invalidationsSent(), 1u);
+}
+
+TEST(CmpCoherence, OwnershipTransferDelaysRemoteReadersOnly)
+{
+    // A transfer latency far above any fill completion, so the settle
+    // time provably dominates the reply.
+    SharedL2 l2(sharedParams(2, 4096, 2'000'000));
+    InterconnectPort icp(l2, 2);
+    const Addr line = kSharedBase + 0x40;
+
+    icp.requestLine(1, line, 1'000, kPeriod, 1'000);
+    // The writer is its only sharer: no invalidations, but the store
+    // starts a transfer window.
+    icp.publishStore(1, line, 2'000);
+    EXPECT_EQ(l2.invalidationsSent(), 0u);
+
+    // A remote read before the store settles waits for the ownership
+    // transfer...
+    L2Reply r = icp.requestLine(0, line, 3'000, kPeriod, 3'000);
+    EXPECT_EQ(r.done, 2'000u + 2'000'000u);
+    EXPECT_EQ(l2.ownershipTransfers(), 1u);
+    // ...the writer's own re-read does not...
+    L2Reply own = icp.requestLine(1, line, 4'000, kPeriod, 4'000);
+    EXPECT_LT(own.done, 2'000u + 2'000'000u);
+    EXPECT_EQ(l2.ownershipTransfers(), 1u);
+    // ...and once settled, remote reads run at plain timing again.
+    L2Reply late = icp.requestLine(0, line, 2'010'000, kPeriod,
+                                   2'010'000);
+    EXPECT_LT(late.done, 2'010'000u + 2'000'000u);
+    EXPECT_EQ(l2.ownershipTransfers(), 1u);
+}
+
+TEST(CmpCoherenceDeathTest, MisorderedCoherencePublicationAsserts)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    SharedL2 l2(sharedParams(2, 4096, 5'000));
+    InterconnectPort icp(l2, 2);
+
+    // Core 1's store publishes directory state at t through its bank;
+    // core 0's load/store unit (lower global domain index) claiming
+    // the same tick afterwards is an order the reference kernel
+    // cannot produce — the same tripwire that guards requests.
+    icp.publishStore(1, kSharedBase, 1'000);
+    EXPECT_DEATH(icp.publishStore(0, kSharedBase, 1'000),
+                 "publication order");
+}
+
+TEST(CmpCoherence, SingleCoreSharingChipMatchesProcessorBitExactly)
+{
+    // With one core the directory is inert (coherent() needs a second
+    // core), so a sharing workload on a single-core chip must still
+    // replay the Processor bit-exactly — the N=1 gate extended over
+    // the new knobs.
+    Pcg32 rng(0x51A8E);
+    for (int i = 0; i < 6; ++i) {
+        MachineConfig m = randomMachine(rng);
+        WorkloadParams wl = randomWorkload(rng);
+        wl.shared_bytes = 64ULL << rng.nextRange(2, 9);
+        for (PhaseParams &p : wl.phases)
+            p.shared_frac = 0.15 + 0.35 * rng.nextDouble();
+        SCOPED_TRACE("case " + std::to_string(i) + ": " +
+                     describe(m, wl));
+
+        ChipConfig cc;
+        cc.machine = m;
+        cc.cores = 1;
+
+        RunStats direct = simulateWithKernel(
+            m, wl, Processor::Kernel::EventDriven);
+        Chip chip(cc, {wl});
+        chip.setKernel(Processor::Kernel::EventDriven);
+        ChipRunStats cs = chip.run();
+        ASSERT_EQ(cs.cores.size(), 1u);
+        expectSameStats(direct, cs.cores[0]);
+        EXPECT_EQ(cs.invalidations, 0u);
+        EXPECT_EQ(cs.ownership_transfers, 0u);
+    }
+}
+
+TEST(CmpCoherence, SharingMixesAgreeAcrossKernelsAndCarryRealWakes)
+{
+    // The tentpole gate: randomized sharing chips must agree 3-ways
+    // (parallel stepper == sequential event kernel == reference
+    // oracle), produce genuine invalidation traffic, and route at
+    // least some of it through the deferred cross-core wake queue —
+    // the first production traffic that channel carries.
+    Pcg32 rng(0xC0E7EA);
+    static const char *kKinds[] = {"producer-consumer", "migratory",
+                                   "lock"};
+    std::uint64_t total_invalidations = 0;
+    std::uint64_t total_deferred = 0;
+    for (int i = 0; i < 20; ++i) {
+        int cores = rng.nextRange(2, static_cast<int>(kMaxCores));
+        ChipConfig cc = randomChipConfig(rng, cores);
+        std::vector<WorkloadParams> mix =
+            sharingMix(randomWorkload(rng), cores, kKinds[i % 3]);
+        SCOPED_TRACE("case " + std::to_string(i) + ": cores=" +
+                     std::to_string(cores) + " kind=" + kKinds[i % 3] +
+                     " " + describe(cc.machine, mix[0]));
+
+        ChipRunStats seq = runChipWithThreads(
+            cc, mix, Processor::Kernel::EventDriven, 1);
+
+        setenv("GALS_CHIP_THREADS", "4", 1);
+        Chip par_chip(cc, mix);
+        par_chip.setKernel(Processor::Kernel::EventDriven);
+        ChipRunStats par = par_chip.run();
+        unsetenv("GALS_CHIP_THREADS");
+        total_deferred += par_chip.interconnect().deferredDrained();
+        expectSameChipStats(par, seq);
+        total_invalidations += par.invalidations;
+
+        if (i % 4 == 0) {
+            ChipRunStats ref = runChipWithThreads(
+                cc, mix, Processor::Kernel::Reference, 4);
+            expectSameChipStats(par, ref);
+        }
+    }
+    EXPECT_GT(total_invalidations, 0u);
+    EXPECT_GT(total_deferred, 0u);
 }
