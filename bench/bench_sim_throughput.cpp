@@ -13,13 +13,19 @@
 
 #include "bench_util.hh"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <ctime>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "cmp/chip.hh"
+#include "sim/result_store.hh"
+#include "sim/shard.hh"
 #include "sim/simulation.hh"
+#include "sim/sweep.hh"
 #include "workload/suite.hh"
 
 using namespace gals;
@@ -39,11 +45,16 @@ namespace
  * with the horizon-parallel stepper in PR 6, same policy; cmp2_shared
  * (a two-core producer/consumer sharing mix — the coherence
  * directory, invalidation and inbox paths on the hot loop) was
- * introduced with cross-core L1 coherence in PR 7, same policy. The
- * container's run-to-run noise is ±5-15%, so current/baseline ratios
- * near 1.0 are parity, not regressions.
+ * introduced with cross-core L1 coherence in PR 7, same policy;
+ * sweep_warm (a 64-point adaptive sweep served entirely from the
+ * content-addressed result store — metric is the warm-cache
+ * *equivalent* committed instructions per second, i.e. the
+ * simulation work a hit avoids, so it gates record lookup +
+ * deserialization throughput) was introduced with the result store
+ * in PR 8, same policy. The container's run-to-run noise is ±5-15%,
+ * so current/baseline ratios near 1.0 are parity, not regressions.
  */
-constexpr int kNumConfigs = 6;
+constexpr int kNumConfigs = 7;
 constexpr double kSeedBaseline[kNumConfigs] = {
     1.62e6, // synchronous
     1.36e6, // mcdProgram
@@ -51,11 +62,12 @@ constexpr double kSeedBaseline[kNumConfigs] = {
     2.00e6, // cmp2 (PR 5 introduction baseline)
     2.50e6, // cmp4 (PR 6 introduction baseline)
     1.93e6, // cmp2_shared (PR 7 introduction baseline)
+    2.00e8, // sweep_warm (PR 8 introduction baseline)
 };
 
 const char *kConfigNames[kNumConfigs] = {
-    "synchronous", "mcdProgram", "mcdPhaseAdaptive",
-    "cmp2",        "cmp4",       "cmp2_shared"};
+    "synchronous", "mcdProgram", "mcdPhaseAdaptive", "cmp2",
+    "cmp4",        "cmp2_shared", "sweep_warm"};
 
 MachineConfig
 configFor(int i)
@@ -205,6 +217,47 @@ measureCmpItemsPerSec(int cores,
     return static_cast<double>(instrs) / elapsed;
 }
 
+/**
+ * Warm-cache equivalent committed instructions per CPU-second: a
+ * 64-point slice of the adaptive sweep is prefilled into a result
+ * store once (cold, untimed), then swept repeatedly warm. Each warm
+ * point is one record lookup + RunStats deserialization standing in
+ * for (sim+warmup) instructions of simulation, so the column tracks
+ * the store's hit path; a regression here means lookups got slower.
+ */
+double
+measureWarmSweepItemsPerSec()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("gals_bench_cache_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    configureResultStore(dir.string());
+
+    WorkloadParams wl = benchWorkload();
+    wl.sim_instrs = 4'000;
+    wl.warmup_instrs = 800;
+    const ShardSpec shard{0, 4}; // 64 of the 256 adaptive points.
+    sweepAdaptiveRaw(wl, shard); // cold prefill (untimed).
+
+    const std::uint64_t per_sweep =
+        64 * (wl.sim_instrs + wl.warmup_instrs);
+    std::uint64_t instrs = 0;
+    double elapsed = 0.0;
+    double t0 = cpuSeconds();
+    do {
+        auto rows = sweepAdaptiveRaw(wl, shard);
+        benchmark::DoNotOptimize(rows.data());
+        instrs += per_sweep;
+        elapsed = cpuSeconds() - t0;
+    } while (elapsed < 1.2);
+
+    configureResultStore("");
+    fs::remove_all(dir);
+    return static_cast<double>(instrs) / elapsed;
+}
+
 void
 writeJson()
 {
@@ -231,8 +284,10 @@ writeJson()
             now = measureCmpItemsPerSec(2, cmpBenchMix());
         else if (i == 4)
             now = measureCmpItemsPerSec(4, cmp4BenchMix());
-        else
+        else if (i == 5)
             now = measureCmpItemsPerSec(2, cmp2SharedBenchMix());
+        else
+            now = measureWarmSweepItemsPerSec();
         std::fprintf(f,
                      "    \"%s\": {\"seed_baseline\": %.0f, "
                      "\"current\": %.0f, \"speedup\": %.2f}%s\n",

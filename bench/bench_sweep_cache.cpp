@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cold-versus-warm wall clock for the 256-point exhaustive
+ * Program-Adaptive sweep through the content-addressed result store
+ * (sim/result_store.hh). The cold pass simulates every point and
+ * checkpoints it; the warm pass replays the identical sweep from the
+ * store. Both produce byte-identical shard JSON (asserted here), and
+ * the cold/warm ratio is the speedup a resumed or repeated sweep
+ * actually sees — the store's reason to exist. Infrastructure
+ * measurement, not a paper experiment.
+ *
+ * main() writes BENCH_sweep_cache.json with both wall-clock times,
+ * the ratio, and the store's hit/miss counters, so the trajectory
+ * file pins that the warm pass was 100% hits.
+ */
+
+#include "bench_util.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "sim/report.hh"
+#include "sim/result_store.hh"
+#include "sim/shard.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace gals;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using clk = std::chrono::steady_clock;
+
+WorkloadParams
+sweepWorkload()
+{
+    // Full 256-point sweep at a reduced (but still phase-exercising)
+    // window: cold takes O(10s) on the reference container, which is
+    // enough signal for a wall-clock ratio without bloating CI.
+    WorkloadParams wl = findBenchmark("gzip");
+    wl.sim_instrs = 20'000;
+    wl.warmup_instrs = 2'000;
+    return wl;
+}
+
+double
+seconds(clk::time_point a, clk::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+void
+BM_WarmSweepPoint(benchmark::State &state)
+{
+    // Steady-state warm lookups (store prefilled by main() below or
+    // by the first iteration here): one 256-point sweep per
+    // iteration, items = points served from the store.
+    WorkloadParams wl = sweepWorkload();
+    std::uint64_t points = 0;
+    for (auto _ : state) {
+        auto rows = sweepAdaptiveRaw(wl, ShardSpec{});
+        benchmark::DoNotOptimize(rows.data());
+        points += rows.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_WarmSweepPoint);
+
+int
+report()
+{
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("gals_bench_sweep_cache_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    configureResultStore(dir.string());
+    if (!resultStore().enabled()) {
+        std::fprintf(stderr, "cannot open result store under %s\n",
+                     dir.string().c_str());
+        return 1;
+    }
+
+    WorkloadParams wl = sweepWorkload();
+
+    clk::time_point t0 = clk::now();
+    std::string cold_json = adaptiveSweepShardJson(
+        sweepAdaptiveRaw(wl, ShardSpec{}), wl.name, ShardSpec{});
+    clk::time_point t1 = clk::now();
+    std::string warm_json = adaptiveSweepShardJson(
+        sweepAdaptiveRaw(wl, ShardSpec{}), wl.name, ShardSpec{});
+    clk::time_point t2 = clk::now();
+
+    const double cold_s = seconds(t0, t1);
+    const double warm_s = seconds(t1, t2);
+    const double ratio = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+    const ResultStore::Counters c = resultStore().counters();
+    const bool identical = cold_json == warm_json;
+
+    std::printf("cold sweep: %8.3f s (256 points simulated)\n",
+                cold_s);
+    std::printf("warm sweep: %8.3f s (%llu hits, %llu misses)\n",
+                warm_s, static_cast<unsigned long long>(c.hits),
+                static_cast<unsigned long long>(c.misses));
+    std::printf("speedup:    %8.1fx, JSON byte-identical: %s\n",
+                ratio, identical ? "yes" : "NO");
+
+    std::FILE *f = std::fopen("BENCH_sweep_cache.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr,
+                     "warning: cannot write BENCH_sweep_cache.json\n");
+    } else {
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"sweep_cache\",\n");
+        std::fprintf(f,
+                     "  \"workload\": \"gzip 20k+2k instructions, "
+                     "256-point adaptive sweep\",\n");
+        std::fprintf(f, "  \"cold_seconds\": %.3f,\n", cold_s);
+        std::fprintf(f, "  \"warm_seconds\": %.3f,\n", warm_s);
+        std::fprintf(f, "  \"speedup\": %.1f,\n", ratio);
+        std::fprintf(f, "  \"warm_hits\": %llu,\n",
+                     static_cast<unsigned long long>(c.hits));
+        std::fprintf(f, "  \"warm_misses\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         c.misses - 256)); // cold pass owns 256.
+        std::fprintf(f, "  \"json_byte_identical\": %s\n",
+                     identical ? "true" : "false");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+    }
+
+    // Leave the store warm for BM_WarmSweepPoint; the dir dies with
+    // the process's temp cleanup or the next run's remove_all.
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    gals::benchBanner("Sweep result-store cold vs warm",
+                      "infrastructure measurement (content-addressed "
+                      "result store, sim/result_store.hh)");
+    if (int rc = report(); rc != 0)
+        return rc;
+    return runRegisteredBenchmarks(argc, argv);
+}

@@ -11,7 +11,7 @@
  *   sweep_cli [--mode study|sync|adaptive|cmp] [--shard i/n]
  *             [--out FILE] [--benchmarks N] [--bench NAME]
  *             [--cores LIST] [--sim INSTRS] [--warmup INSTRS]
- *             [--full] [--verbose]
+ *             [--cache-dir DIR] [--resume] [--full] [--verbose]
  *   sweep_cli --merge OUT IN1 IN2 ...
  *
  * `--mode adaptive` runs the 256-point exhaustive Program-Adaptive
@@ -28,6 +28,18 @@
  * the suite to its first N entries and `--sim/--warmup` shrink the
  * measured window (defaults keep the suite's own windows) — both are
  * deterministic, so sharded and unsharded runs stay comparable.
+ *
+ * `--cache-dir DIR` enables the content-addressed result store
+ * (sim/result_store.hh) on DIR, overriding GALS_RESULT_CACHE:
+ * previously computed points — by any earlier run, shard or code
+ * version-compatible PR — are served from the store, and each fresh
+ * point is checkpointed there the moment it completes, so a killed
+ * shard resumes instead of recomputing. Cached rows are value-exact,
+ * so output stays byte-identical to a cache-off run. A stats line
+ * ("result-store: H hits, M misses ...") goes to stderr when the
+ * store is active. `--resume` is an explicit resume request: it
+ * fails fast when no usable cache directory is configured (without
+ * it, a dead cache dir degrades to a cold run with a warning).
  */
 
 #include <cstdio>
@@ -40,6 +52,7 @@
 #include "common/logging.hh"
 #include "core/ports.hh"
 #include "sim/report.hh"
+#include "sim/result_store.hh"
 #include "sim/shard.hh"
 #include "sim/study.hh"
 #include "sim/sweep.hh"
@@ -59,7 +72,8 @@ usage()
         "                 [--shard i/n] [--out FILE]\n"
         "                 [--benchmarks N] [--bench NAME]\n"
         "                 [--cores LIST] [--sim INSTRS]\n"
-        "                 [--warmup INSTRS] [--full] [--verbose]\n"
+        "                 [--warmup INSTRS] [--cache-dir DIR]\n"
+        "                 [--resume] [--full] [--verbose]\n"
         "       sweep_cli --merge OUT IN1 IN2 ...\n");
     return 2;
 }
@@ -113,12 +127,14 @@ main(int argc, char **argv)
     std::string bench;
     std::string cores = "1,2,4";
     std::string out_path;
+    std::string cache_dir;
     ShardSpec shard = shardFromEnv();
     size_t benchmarks = 0; // 0 = whole suite.
     std::uint64_t sim_instrs = 0;
     std::uint64_t warmup_instrs = ~0ULL;
     bool full = false;
     bool verbose = false;
+    bool resume = false;
 
     for (int a = 1; a < argc; ++a) {
         std::string arg = argv[a];
@@ -163,6 +179,10 @@ main(int argc, char **argv)
         } else if (arg == "--warmup") {
             warmup_instrs =
                 static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (arg == "--full") {
             full = true;
         } else if (arg == "--verbose") {
@@ -170,6 +190,15 @@ main(int argc, char **argv)
         } else {
             return usage();
         }
+    }
+
+    // --cache-dir overrides GALS_RESULT_CACHE; either enables the
+    // content-addressed result store for every leaf simulation below.
+    if (!cache_dir.empty())
+        configureResultStore(cache_dir);
+    if (resume && !resultStore().enabled()) {
+        fatal("--resume needs a usable result cache (give --cache-dir "
+              "or set GALS_RESULT_CACHE)");
     }
 
     std::vector<WorkloadParams> suite = benchmarkSuite();
@@ -224,6 +253,13 @@ main(int argc, char **argv)
         writeFile(out_path, json);
         std::printf("shard %d/%d -> %s\n", shard.index, shard.count,
                     out_path.c_str());
+    }
+
+    // Hit/miss telemetry on stderr (stdout carries the JSON): the CI
+    // warm-cache gate parses this line for "0 misses".
+    if (resultStore().enabled()) {
+        std::fprintf(stderr, "%s\n",
+                     resultStore().statsLine().c_str());
     }
     return 0;
 }

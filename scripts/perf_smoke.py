@@ -23,7 +23,8 @@ from pathlib import Path
 # per-row loop below only covers what the reference lists), so the
 # set is pinned here and extended whenever a bench column is added:
 # cmp2 arrived with the CMP subsystem, cmp4 with the horizon-parallel
-# chip stepper, cmp2_shared with cross-core L1 coherence.
+# chip stepper, cmp2_shared with cross-core L1 coherence, sweep_warm
+# with the content-addressed result store.
 REQUIRED_CONFIGS = frozenset({
     "synchronous",
     "mcdProgram",
@@ -31,6 +32,7 @@ REQUIRED_CONFIGS = frozenset({
     "cmp2",
     "cmp4",
     "cmp2_shared",
+    "sweep_warm",
 })
 
 

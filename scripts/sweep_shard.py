@@ -16,6 +16,21 @@ Examples:
     scripts/sweep_shard.py --bin build/sweep_cli --shards 4 \\
         --out study.json --check -- --mode study --benchmarks 8
 
+    # Same, through the content-addressed result store: the shards
+    # run cold and checkpoint every point; the --check reference run
+    # is then warm (pure cache hits) and must still merge
+    # byte-identical -- this is the CI warm-cache gate:
+    scripts/sweep_shard.py --bin build/sweep_cli --shards 4 \\
+        --cache-dir /tmp/gals-cache --out study.json --check \\
+        -- --mode study --benchmarks 8
+
+``--cache-dir`` enables the content-addressed result store
+(sim/result_store.hh) in every shard process *and* in the ``--check``
+reference run. Because each shard checkpoints every completed point
+into the store, a killed driver invocation resumes from where it died
+when rerun with the same cache dir (``--resume`` makes that intent
+explicit and fails fast if the cache is unusable).
+
 The ``--preserve-baselines`` option grafts any ``seed_baseline``
 values found in an existing JSON file into the merged output before
 writing (used when a sweep refresh must not touch a frozen baseline
@@ -62,6 +77,17 @@ def main():
     parser.add_argument("--preserve-baselines", metavar="FILE",
                         help="graft seed_baseline values from FILE "
                              "into the merged output")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="enable the content-addressed result "
+                             "store on DIR for every shard process "
+                             "and the --check reference run; killed "
+                             "runs rerun with the same DIR resume "
+                             "from their checkpointed points")
+    parser.add_argument("--resume", action="store_true",
+                        help="pass --resume to each shard: fail fast "
+                             "unless a usable result cache is "
+                             "configured (--cache-dir here or "
+                             "GALS_RESULT_CACHE in the environment)")
     parser.add_argument("--threads-per-shard", type=int, default=0,
                         help="GALS_THREADS for each shard process "
                              "(default: cpu_count // shards, so "
@@ -93,6 +119,16 @@ def main():
     if threads > 0:
         env["GALS_THREADS"] = str(threads)
 
+    # Result-store plumbing: the same flags go to every shard and to
+    # the --check reference run, so with a cache dir the reference is
+    # a warm rerun over the shards' checkpointed points -- --check
+    # then proves warm-cache byte-identity, not just merge identity.
+    cache_args = []
+    if args.cache_dir:
+        cache_args += ["--cache-dir", args.cache_dir]
+    if args.resume:
+        cache_args += ["--resume"]
+
     with tempfile.TemporaryDirectory(prefix="sweep_shard_") as tmp:
         tmpdir = Path(tmp)
         shard_files = []
@@ -100,7 +136,7 @@ def main():
         for i in range(args.shards):
             out = tmpdir / f"shard_{i}.json"
             shard_files.append(out)
-            cmd = [str(binary), *args.extra,
+            cmd = [str(binary), *args.extra, *cache_args,
                    "--shard", f"{i}/{args.shards}",
                    "--out", str(out)]
             procs.append((i, subprocess.Popen(cmd, env=env)))
@@ -114,15 +150,30 @@ def main():
 
         if args.check:
             ref = tmpdir / "unsharded.json"
-            subprocess.run(
-                [str(binary), *args.extra, "--shard", "0/1",
-                 "--out", str(ref)],
-                check=True)
+            # With a cache dir the reference run replays the shards'
+            # checkpointed points, so its stderr stats line must show
+            # a 100% hit rate -- capture it and gate on "0 misses".
+            proc = subprocess.run(
+                [str(binary), *args.extra, *cache_args,
+                 "--shard", "0/1", "--out", str(ref)],
+                check=True, stderr=subprocess.PIPE, text=True)
+            sys.stderr.write(proc.stderr)
             merged_bytes = Path(args.out).read_bytes()
             ref_bytes = ref.read_bytes()
             if merged_bytes != ref_bytes:
                 sys.exit("FAIL: merged output differs from the "
                          "unsharded run")
+            if args.cache_dir:
+                stats = [line for line in proc.stderr.splitlines()
+                         if line.startswith("result-store:")]
+                if not stats:
+                    sys.exit("FAIL: no result-store stats line from "
+                             "the warm reference run")
+                if " 0 misses" not in stats[-1]:
+                    sys.exit("FAIL: warm reference run was not 100% "
+                             f"cache hits: {stats[-1]}")
+                print("warm-cache check OK: reference run served "
+                      "entirely from the result store")
             print(f"check OK: {args.out} is byte-identical to the "
                   f"unsharded sweep ({len(merged_bytes)} bytes)")
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/result_store.hh"
 #include "sim/simulation.hh"
 
 namespace gals
@@ -96,14 +97,16 @@ runStudy(const std::vector<WorkloadParams> &suite, SweepMode mode,
         r.name = wl.name;
         r.suite = wl.suite;
 
-        r.sync_ns = runtimeNs(simulate(sync, wl));
+        // All three study legs are result-store leaves (cache hits
+        // with GALS_RESULT_CACHE set, plain simulate() otherwise).
+        r.sync_ns = runtimeNs(cachedSimulate(sync, wl));
 
         ProgramAdaptiveResult pa = findBestAdaptive(wl, mode);
         r.program_ns = runtimeNs(pa.best_stats);
         r.program_cfg = pa.best;
         r.runs = pa.runs_performed + 2;
 
-        r.phase_stats = simulate(phase, wl);
+        r.phase_stats = cachedSimulate(phase, wl);
         r.phase_ns = runtimeNs(r.phase_stats);
 
         out.benchmarks[i] = std::move(r);

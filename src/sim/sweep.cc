@@ -9,6 +9,7 @@
 #include "cmp/chip.hh"
 #include "common/logging.hh"
 #include "sim/parallel.hh"
+#include "sim/result_store.hh"
 #include "sim/simulation.hh"
 #include "workload/suite.hh"
 
@@ -40,11 +41,13 @@ allAdaptiveConfigs()
 namespace
 {
 
-/** Run one whole-program adaptive config; returns window stats. */
+/** Run one whole-program adaptive config; returns window stats.
+ * Routed through the result store (sim/result_store.hh): with
+ * caching disabled — the default — this is exactly simulate(). */
 RunStats
 runAdaptive(const WorkloadParams &wl, const AdaptiveConfig &cfg)
 {
-    return simulate(MachineConfig::mcdProgram(cfg), wl);
+    return cachedSimulate(MachineConfig::mcdProgram(cfg), wl);
 }
 
 ProgramAdaptiveResult
@@ -196,7 +199,7 @@ sweepSynchronousRaw(const std::vector<WorkloadParams> &suite,
         SyncPointRuntimes &row = out[r];
         MachineConfig mc = MachineConfig::synchronous(
             row.icache_opt, row.dcache, row.iq_int, row.iq_fp);
-        row.runtime_ns[b] = runtimeNs(simulate(mc, suite[b]));
+        row.runtime_ns[b] = runtimeNs(cachedSimulate(mc, suite[b]));
     });
     return out;
 }
@@ -236,9 +239,8 @@ sweepCmpRaw(const std::vector<WorkloadParams> &suite,
         ChipConfig cc;
         cc.machine = MachineConfig::mcdProgram({});
         cc.cores = row.cores;
-        Chip chip(cc, multiprogrammedMix(suite, row.cores,
-                                         row.rotation));
-        ChipRunStats s = chip.run();
+        ChipRunStats s = cachedChipRun(
+            cc, multiprogrammedMix(suite, row.cores, row.rotation));
         row.chip_ns =
             static_cast<double>(s.makespan_ps) / 1000.0;
         row.core_ns.reserve(s.cores.size());
