@@ -73,6 +73,8 @@ BM_ChipRun(benchmark::State &state)
     std::uint64_t instrs = 0;
     std::uint64_t conflicts = 0;
     std::uint64_t merges = 0;
+    std::uint64_t rounds = 0;
+    double cpu0 = cpuProcessSeconds();
     for (auto _ : state) {
         Chip chip(cc, mix);
         ChipRunStats s = chip.run();
@@ -80,13 +82,28 @@ BM_ChipRun(benchmark::State &state)
         instrs += s.total_committed;
         conflicts += s.bank_conflicts;
         merges += s.fill_merges;
+        rounds += s.parallel_rounds;
     }
+    double cpu = cpuProcessSeconds() - cpu0;
     state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
     state.counters["bank_conflicts"] = benchmark::Counter(
         static_cast<double>(conflicts),
         benchmark::Counter::kAvgIterations);
     state.counters["fill_merges"] = benchmark::Counter(
         static_cast<double>(merges),
+        benchmark::Counter::kAvgIterations);
+    state.counters["rounds"] = benchmark::Counter(
+        static_cast<double>(rounds),
+        benchmark::Counter::kAvgIterations);
+    // Process CPU time split per worker, per iteration: on a 1-CPU
+    // host (the reference container) the wall-clock column cannot
+    // show thread scaling, but this one can — a parallel point whose
+    // per-worker CPU time beats the threads=1 row's means each
+    // worker does genuinely less work per run (the spin/settle
+    // overhead is more than covered), so it would scale on a wider
+    // host.
+    state.counters["cpu_per_worker_s"] = benchmark::Counter(
+        cpu / static_cast<double>(threads),
         benchmark::Counter::kAvgIterations);
 }
 // {cores, worker threads}: the threads=1 rows are the sequential
@@ -99,6 +116,12 @@ BENCHMARK(BM_ChipRun)
     ->Args({4, 1})
     ->Args({4, 2})
     ->Args({4, 4})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({16, 16})
     ->UseRealTime();
 
 /** The contended corner: one bank, one fill slot per bank. Frequent

@@ -46,28 +46,32 @@ namespace
  * (a two-core producer/consumer sharing mix — the coherence
  * directory, invalidation and inbox paths on the hot loop) was
  * introduced with cross-core L1 coherence in PR 7, same policy;
- * sweep_warm (a 64-point adaptive sweep served entirely from the
- * content-addressed result store — metric is the warm-cache
- * *equivalent* committed instructions per second, i.e. the
- * simulation work a hit avoids, so it gates record lookup +
- * deserialization throughput) was introduced with the result store
- * in PR 8, same policy. The container's run-to-run noise is ±5-15%,
- * so current/baseline ratios near 1.0 are parity, not regressions.
+ * cmp8 (an eight-core multiprogrammed chip) was introduced with the
+ * many-core scale-up in PR 9, same policy; sweep_warm (a 64-point
+ * adaptive sweep served entirely from the content-addressed result
+ * store — metric is the warm-cache *equivalent* committed
+ * instructions per second, i.e. the simulation work a hit avoids, so
+ * it gates record lookup + deserialization throughput) was
+ * introduced with the result store in PR 8, same policy. The
+ * container's run-to-run noise is ±5-15%, so current/baseline ratios
+ * near 1.0 are parity, not regressions.
  */
-constexpr int kNumConfigs = 7;
+constexpr int kNumConfigs = 8;
 constexpr double kSeedBaseline[kNumConfigs] = {
     1.62e6, // synchronous
     1.36e6, // mcdProgram
     1.37e6, // mcdPhaseAdaptive
     2.00e6, // cmp2 (PR 5 introduction baseline)
     2.50e6, // cmp4 (PR 6 introduction baseline)
+    2.10e6, // cmp8 (PR 9 introduction baseline)
     1.93e6, // cmp2_shared (PR 7 introduction baseline)
     2.00e8, // sweep_warm (PR 8 introduction baseline)
 };
 
 const char *kConfigNames[kNumConfigs] = {
-    "synchronous", "mcdProgram", "mcdPhaseAdaptive", "cmp2",
-    "cmp4",        "cmp2_shared", "sweep_warm"};
+    "synchronous", "mcdProgram",  "mcdPhaseAdaptive",
+    "cmp2",        "cmp4",        "cmp8",
+    "cmp2_shared", "sweep_warm"};
 
 MachineConfig
 configFor(int i)
@@ -126,10 +130,7 @@ BENCHMARK(BM_McdPhaseAdaptive);
 double
 cpuSeconds()
 {
-    timespec ts{};
-    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) +
-           static_cast<double>(ts.tv_nsec) * 1e-9;
+    return cpuProcessSeconds();
 }
 
 /** items per CPU-second over ~1.2s for one machine type. */
@@ -168,6 +169,19 @@ cmp4BenchMix()
 {
     std::vector<WorkloadParams> mix =
         multiprogrammedMix(benchmarkSuite(), 4, 0);
+    for (WorkloadParams &wl : mix) {
+        wl.sim_instrs = 50'000;
+        wl.warmup_instrs = 5'000;
+    }
+    return mix;
+}
+
+/** The tracked eight-core multiprogrammed chip (suite rotation). */
+std::vector<WorkloadParams>
+cmp8BenchMix()
+{
+    std::vector<WorkloadParams> mix =
+        multiprogrammedMix(benchmarkSuite(), 8, 0);
     for (WorkloadParams &wl : mix) {
         wl.sim_instrs = 50'000;
         wl.warmup_instrs = 5'000;
@@ -285,6 +299,8 @@ writeJson()
         else if (i == 4)
             now = measureCmpItemsPerSec(4, cmp4BenchMix());
         else if (i == 5)
+            now = measureCmpItemsPerSec(8, cmp8BenchMix());
+        else if (i == 6)
             now = measureCmpItemsPerSec(2, cmp2SharedBenchMix());
         else
             now = measureWarmSweepItemsPerSec();

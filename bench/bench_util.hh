@@ -11,9 +11,21 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <ctime>
 
 namespace gals
 {
+
+/** Process CPU seconds (sums across threads; immune to co-runner
+ * contention, which makes it the stable column on shared hosts). */
+inline double
+cpuProcessSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
 
 /** Banner separating the reproduction report from the micro-bench. */
 inline void

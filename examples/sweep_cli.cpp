@@ -21,7 +21,7 @@
  * `--mode cmp` runs the multiprogrammed chip-multiprocessor sweep:
  * one chip per (core count, suite rotation) pair, sharded over those
  * points. `--cores` is a comma-separated core-count list (default
- * "1,2,4").
+ * "1,2,4,8,16" — the power-of-two ladder up to kMaxCores).
  *
  * `--shard` falls back to the GALS_SHARDS environment variable
  * ("i/n"); unset means the whole sweep. `--benchmarks N` restricts
@@ -125,7 +125,7 @@ main(int argc, char **argv)
 {
     std::string mode = "study";
     std::string bench;
-    std::string cores = "1,2,4";
+    std::string cores = "1,2,4,8,16";
     std::string out_path;
     std::string cache_dir;
     ShardSpec shard = shardFromEnv();

@@ -24,13 +24,15 @@ from pathlib import Path
 # set is pinned here and extended whenever a bench column is added:
 # cmp2 arrived with the CMP subsystem, cmp4 with the horizon-parallel
 # chip stepper, cmp2_shared with cross-core L1 coherence, sweep_warm
-# with the content-addressed result store.
+# with the content-addressed result store, cmp8 with the many-core
+# scale-up.
 REQUIRED_CONFIGS = frozenset({
     "synchronous",
     "mcdProgram",
     "mcdPhaseAdaptive",
     "cmp2",
     "cmp4",
+    "cmp8",
     "cmp2_shared",
     "sweep_warm",
 })

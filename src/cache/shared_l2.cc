@@ -24,8 +24,8 @@ SharedL2::SharedL2(const Params &p)
         pc.interval.mru_hits.assign(static_cast<size_t>(p.ways), 0);
     }
     if (coherent()) {
-        GALS_ASSERT(p.cores <= 8,
-                    "directory sharer bitmask holds at most 8 cores");
+        GALS_ASSERT(p.cores <= 16,
+                    "directory sharer bitmask holds at most 16 cores");
         GALS_ASSERT(p.coh_delay_ps > 0,
                     "coherence delay must be positive");
         size_t lines = static_cast<size_t>(

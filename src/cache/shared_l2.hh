@@ -215,8 +215,9 @@ class SharedL2
      */
     struct DirEntry
     {
-        /** Bitmask of cores whose L1D may hold the line. */
-        std::uint8_t sharers = 0;
+        /** Bitmask of cores whose L1D may hold the line (wide
+         * enough for kMaxCores = 16). */
+        std::uint16_t sharers = 0;
         /** Core that last stored to the line (-1: none yet). */
         std::int8_t last_writer = -1;
         /** Until when the last store's ownership transfer is in

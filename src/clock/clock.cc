@@ -35,6 +35,16 @@ void
 Clock::advanceWhileBelow(Tick t)
 {
     while (next_edge_ < t) {
+        if (pending_period_ != 0 && nominal_next_ >= pending_when_) {
+            // The pending change lands on this edge. Jitter can
+            // deliver the landing edge *below* the caller's skip
+            // target even though its nominal position is at/after
+            // the change-due time the wake bounds were clamped to —
+            // so the landing is not skippable: it must be consumed
+            // by a real scheduler step (which broadcasts the epoch
+            // bump). Stop and leave it pending.
+            return;
+        }
         if (jitter_sigma_ps_ == 0.0 && pending_period_ == 0) {
             // Clean grid: every skipped edge is one period apart, so
             // the whole stretch collapses to one jump. nominal_next_
@@ -46,8 +56,8 @@ Clock::advanceWhileBelow(Tick t)
             next_edge_ = nominal_next_;
             return;
         }
-        // Jitter draws and the period-change edge must happen exactly
-        // as they would have without skipping.
+        // Jitter draws must happen exactly as they would have
+        // without skipping.
         advance();
     }
 }

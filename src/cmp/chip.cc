@@ -164,6 +164,9 @@ Chip::run()
             cores_[static_cast<size_t>(c)]->progressStop();
     }
 
+    worker_claims_.clear();
+    parallel_rounds_ = 0;
+
     if (kernel_ == Processor::Kernel::Reference) {
         // The oracle stays sequential: it defines the order the
         // parallel kernel must reproduce.
@@ -193,6 +196,8 @@ Chip::run()
     out.fill_merges = l2_.fillMerges();
     out.invalidations = l2_.invalidationsSent();
     out.ownership_transfers = l2_.ownershipTransfers();
+    out.worker_claims = worker_claims_;
+    out.parallel_rounds = parallel_rounds_;
     return out;
 }
 
@@ -216,80 +221,66 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
     fabric_.setEventMode(true);
     fabric_.beginEventRun();
 
-    // Static round-robin partition of cores over workers. Each
-    // worker steps its own cores' calendars in (time, lowest global
-    // index) order; the interconnect gates order the shared-bank
-    // touches across workers, so any partition is bit-identical to
-    // the sequential interleave.
     ChipSyncState sync;
     sync.nworkers = nworkers;
-    std::array<GroupRun, kMaxCores> groups{};
+
+    // Chip-level per-core done flags: the per-round groups are
+    // rebuilt from these at every claim phase. Written mid-round
+    // only by the core's owning worker and read only at/after the
+    // barrier, so no two threads ever race on an entry.
+    std::array<bool, kMaxCores> core_done{};
     for (int c = 0; c < cfg_.cores; ++c) {
-        int w = c % nworkers;
-        sync.worker_of_core[static_cast<size_t>(c)] = w;
-        GroupRun &g = groups[static_cast<size_t>(w)];
-        int slot = g.nmembers++;
-        g.members[static_cast<size_t>(slot)] = c;
         bool fin = *progress[c].progress >= progress[c].target;
-        g.done[static_cast<size_t>(slot)] = fin;
+        core_done[static_cast<size_t>(c)] = fin;
         if (fin) {
             for (int k = c * kNumDomains; k < (c + 1) * kNumDomains;
                  ++k) {
                 fabric_.park(k);
             }
-        } else {
-            ++g.active;
-        }
-    }
-    for (int w = 0; w < nworkers; ++w) {
-        GroupRun &g = groups[static_cast<size_t>(w)];
-        for (int mi = 0; mi < g.nmembers; ++mi) {
-            g.last_progress +=
-                *progress[g.members[static_cast<size_t>(mi)]].progress;
         }
     }
 
+    // Work-stealing round state: the round's live cores (ascending)
+    // plus the atomic cursor workers race on after each barrier. The
+    // cursor hands each live core to exactly one worker; since the
+    // worklist is ascending and a worker's claims are a subsequence
+    // of it, every group's members stay sorted by core index — which
+    // keeps the group-head tie-break (lowest global index) equal to
+    // the reference kernel's.
+    std::array<int, kMaxCores> round_cores{};
+    int nclaim = 0;
+    std::atomic<int> claim_next{0};
+
+    std::array<GroupRun, kMaxChipWorkers> groups{};
+    worker_claims_.assign(static_cast<size_t>(nworkers), 0);
+    parallel_rounds_ = 0;
+
     // Settle one round boundary: merge the deferred cross-core
-    // wakes, republish every worker's front from the settled
-    // calendar (a worker may otherwise race a peer's stale front
-    // from the previous round), and open the next window. Runs
-    // single-threaded — at init and inside the barrier's completion
-    // step, which the barrier orders against all workers.
+    // wakes, rebuild the live-core worklist, zero every front (order
+    // point 0 precedes every real point, so all gates conservatively
+    // block until each worker has claimed its cores and published a
+    // genuine front), and open the next window. Runs single-threaded
+    // — at init and inside the barrier's completion step, which the
+    // barrier orders against all workers.
     Tick horizon = 0;
     Tick window_start = 0;
     bool stop = false;
     auto settleRound = [&]() noexcept {
         icp_.drainDeferred(fabric_, window_start, horizon);
         Tick from = kTickMax;
-        bool any_active = false;
-        for (int w = 0; w < nworkers; ++w) {
-            GroupRun &g = groups[static_cast<size_t>(w)];
-            int d = -1;
-            Tick best = kTickMax;
-            for (int mi = 0; mi < g.nmembers; ++mi) {
-                if (g.done[static_cast<size_t>(mi)])
-                    continue;
-                int c = g.members[static_cast<size_t>(mi)];
-                for (int k = c * kNumDomains;
-                     k < (c + 1) * kNumDomains; ++k) {
-                    Tick key = fabric_.key(k);
-                    if (key < best) {
-                        best = key;
-                        d = k;
-                    }
-                }
-            }
-            sync.fronts[static_cast<size_t>(w)].v.store(
-                d < 0 ? ChipSyncState::kDone
-                      : ChipSyncState::pack(best, d),
-                std::memory_order_release);
-            if (g.active > 0) {
-                any_active = true;
-                if (best < from)
-                    from = best;
+        nclaim = 0;
+        for (int c = 0; c < cfg_.cores; ++c) {
+            if (core_done[static_cast<size_t>(c)])
+                continue;
+            round_cores[static_cast<size_t>(nclaim++)] = c;
+            for (int k = c * kNumDomains; k < (c + 1) * kNumDomains;
+                 ++k) {
+                Tick key = fabric_.key(k);
+                if (key < from)
+                    from = key;
             }
         }
-        if (!any_active) {
+        if (nclaim == 0) {
             stop = true;
             return;
         }
@@ -299,6 +290,12 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
                     "port)");
         window_start = from;
         horizon = computeHorizon(from);
+        claim_next.store(0, std::memory_order_relaxed);
+        for (int w = 0; w < nworkers; ++w) {
+            sync.fronts[static_cast<size_t>(w)].v.store(
+                0, std::memory_order_release);
+        }
+        ++parallel_rounds_;
     };
     settleRound();
     if (stop)
@@ -309,8 +306,44 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
     chipParallelRun(static_cast<size_t>(nworkers), [&](size_t w) {
         GroupRun &g = groups[w];
         for (;;) {
+            // Claim phase: race the cursor over this round's live
+            // cores. worker_of_core is written by the claiming
+            // worker and read only by that worker's own gates this
+            // round; cross-round handoffs are ordered by the
+            // barrier. Which worker wins a core cannot change
+            // results — the interconnect gates and the deferred
+            // merge order every shared-state touch by global step
+            // order regardless of the partition.
+            g.nmembers = 0;
+            g.active = 0;
+            g.steps = 0;
+            g.last_progress = 0;
+            for (;;) {
+                int i = claim_next.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (i >= nclaim)
+                    break;
+                int c = round_cores[static_cast<size_t>(i)];
+                sync.worker_of_core[static_cast<size_t>(c)] =
+                    static_cast<int>(w);
+                g.members[static_cast<size_t>(g.nmembers)] = c;
+                g.done[static_cast<size_t>(g.nmembers)] = false;
+                ++g.nmembers;
+                ++g.active;
+                g.last_progress += *progress[c].progress;
+            }
+            worker_claims_[w] +=
+                static_cast<std::uint64_t>(g.nmembers);
+            // Publishes the group's real front before its first step
+            // (kDone immediately when this worker claimed nothing).
             scheduler_.stepGroupUntil(g, progress, horizon, &sync,
                                       static_cast<int>(w));
+            for (int mi = 0; mi < g.nmembers; ++mi) {
+                if (g.done[static_cast<size_t>(mi)]) {
+                    core_done[static_cast<size_t>(
+                        g.members[static_cast<size_t>(mi)])] = true;
+                }
+            }
             bar.arrive_and_wait();
             if (stop)
                 break;

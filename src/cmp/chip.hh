@@ -82,6 +82,18 @@ struct ChipRunStats
     std::uint64_t invalidations = 0;
     std::uint64_t ownership_transfers = 0;
 
+    /**
+     * Horizon-parallel stepper telemetry — empty/zero after
+     * sequential, reference, or single-worker runs. Deliberately
+     * excluded from the bit-identity comparisons (which worker steps
+     * a core is scheduling, not simulation) and from the result-store
+     * payload (a cached row is partition-free by definition).
+     */
+    /** Cores claimed by each worker, summed across rounds. */
+    std::vector<std::uint64_t> worker_claims;
+    /** Barrier-separated stepping rounds the run took. */
+    std::uint64_t parallel_rounds = 0;
+
     /** Chip throughput: committed instructions per makespan ns. */
     double
     throughputInstrsPerNs() const
@@ -135,10 +147,15 @@ class Chip
     Tick computeHorizon(Tick from) const;
 
   private:
-    /** Horizon-parallel event kernel: partition the cores over
-     * `nworkers` co-scheduled threads and run barrier-separated
-     * rounds (see docs/kernel.md). Bit-identical to runEvent. */
+    /** Horizon-parallel event kernel: `nworkers` co-scheduled
+     * threads claim cores per round through an atomic cursor
+     * (work-stealing) and step between barrier-separated sync
+     * horizons (see docs/kernel.md). Bit-identical to runEvent. */
     void runEventParallel(const CoreProgress *progress, int nworkers);
+
+    // Telemetry of the last parallel run (copied into ChipRunStats).
+    std::vector<std::uint64_t> worker_claims_;
+    std::uint64_t parallel_rounds_ = 0;
 
     ChipConfig cfg_;
     std::vector<Clock> clocks_;

@@ -129,8 +129,15 @@ FrontEnd::doFetch(Tick now)
                  fetch_queue_.freeOps()));
     int fetched = 0;
     while (fetched < space) {
-        if (!staged_op_)
-            staged_op_ = workload_.next();
+        if (!staged_op_) {
+            if (op_batch_head_ == op_batch_count_) {
+                workload_.nextBatch(op_batch_.data(), kOpBatch);
+                op_batch_head_ = 0;
+                op_batch_count_ = kOpBatch;
+            }
+            staged_op_ =
+                op_batch_[static_cast<size_t>(op_batch_head_++)];
+        }
         Addr line = staged_op_->pc >> line_shift;
 
         if (line == cur_fetch_line_) {

@@ -15,6 +15,7 @@
 #ifndef GALS_CORE_FRONT_END_HH
 #define GALS_CORE_FRONT_END_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -149,6 +150,20 @@ class FrontEnd final : public Domain
     /** L1I A/B latencies of the live config (hoisted off doFetch). */
     int fetch_a_lat_ = 2;
     int fetch_b_lat_ = -1;
+    /**
+     * Pre-generated op batch: fetch refills it with one tight
+     * nextBatch() call instead of generating one op per fetch slot.
+     * Under the horizon-parallel chip stepper the refill runs inside
+     * the owning worker's round (fetch executes there), which is
+     * what takes the generator off the serial per-op path; streams
+     * are bit-exact by construction (generation is open-loop). Ops
+     * past the progress target are generated but never consumed —
+     * the generator has no side effects outside its own state.
+     */
+    static constexpr int kOpBatch = 32;
+    std::array<MicroOp, kOpBatch> op_batch_{};
+    int op_batch_head_ = 0;
+    int op_batch_count_ = 0;
     std::optional<MicroOp> staged_op_;
     Addr cur_fetch_line_ = ~0ULL;
     Tick fetch_line_ready_ = 0;

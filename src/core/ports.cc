@@ -285,7 +285,7 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
     if (consumer_local == DomainId::LoadStore && l2_.coherent() &&
         l2_.inShared(addr)) {
         SharedL2::DirEntry &e = l2_.dirEntry(addr);
-        e.sharers |= static_cast<std::uint8_t>(1u << core);
+        e.sharers |= static_cast<std::uint16_t>(1u << core);
         if (e.last_writer >= 0 && e.last_writer != core &&
             e.settle > r.done) {
             r.done = e.settle;
@@ -339,8 +339,11 @@ InterconnectPort::publishStore(int core, Addr addr, Tick now)
     // wake and its inbox payload ride the deferred queue and merge at
     // the round barrier; sequentially they are delivered in place —
     // both paths append to the inbox in (pub_tick, publisher) order.
-    const std::uint8_t self = static_cast<std::uint8_t>(1u << core);
-    std::uint8_t remote = e.sharers & static_cast<std::uint8_t>(~self);
+    static_assert(kMaxCores <= 16,
+                  "DirEntry::sharers is a 16-bit core mask");
+    const std::uint16_t self = static_cast<std::uint16_t>(1u << core);
+    std::uint16_t remote =
+        static_cast<std::uint16_t>(e.sharers & ~self);
     e.sharers = self;
     for (int c = 0; remote != 0; ++c, remote >>= 1) {
         if (!(remote & 1u))

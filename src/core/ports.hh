@@ -47,7 +47,7 @@ namespace gals
 {
 
 /** Most cores one chip composition can carry. */
-constexpr int kMaxCores = 4;
+constexpr int kMaxCores = 16;
 
 /** Upper bound on domains one scheduler/fabric instance can serve
  * (a core uses four; a chip uses four per core). */
@@ -669,6 +669,16 @@ struct L2Reply
  * request's point (distinct cores own distinct global indices), so
  * the gate is deadlock-free: the least-ordered blocked request always
  * finds every other front beyond it.
+ *
+ * Core ownership is per *round*, not per run: at each round barrier
+ * the driver zeroes every front (order point 0 precedes every real
+ * point, so all gates conservatively block) and workers then race an
+ * atomic cursor over the round's live-core worklist, writing their
+ * claims into `worker_of_core` before publishing a real front. Which
+ * worker wins a core cannot change results — the gate and the
+ * deferred-wake merge order shared-state touches by global step
+ * order regardless of the partition — so the claim race is benign by
+ * construction (the 3-way differential gate pins it).
  */
 struct ChipSyncState
 {
@@ -677,8 +687,9 @@ struct ChipSyncState
     static constexpr std::uint64_t kDone = ~std::uint64_t{0};
 
     /** Bits of the packed order point reserved for the global
-     * domain index; the remaining 64 - kDomainBits carry the tick. */
-    static constexpr int kDomainBits = 4;
+     * domain index; the remaining 64 - kDomainBits carry the tick.
+     * 6 bits cover the 64 global domains of a 16-core chip. */
+    static constexpr int kDomainBits = 6;
     static_assert(kMaxSchedDomains <= (1 << kDomainBits),
                   "the packed front's global-domain field cannot "
                   "encode every scheduler domain: raising kMaxCores "
@@ -688,13 +699,14 @@ struct ChipSyncState
     /**
      * Pack a (tick, global domain index) order point so that integer
      * comparison is the reference kernel's step order: time, then
-     * lowest global index. 60 tick bits cover ~13 days of simulated
-     * picoseconds; saturate beyond (kTickMax keys order last).
+     * lowest global index. 58 tick bits cover ~3.3 days of simulated
+     * picoseconds; saturate one bit below that (kTickMax keys and
+     * any absurdly late tick order last).
      */
     static std::uint64_t
     pack(Tick t, int gd)
     {
-        if (t >= (Tick{1} << 59))
+        if (t >= (Tick{1} << 57))
             return kDone;
         return (static_cast<std::uint64_t>(t) << kDomainBits) |
                static_cast<std::uint64_t>(gd);

@@ -162,10 +162,18 @@ DomainScheduler::runEvent(const CoreProgress *cores, int ncores)
         Tick edge = clocks_[di].nextEdge();
         if (fabric_.bound(d) > edge) {
             // Proven-idle edges: consume them without stepping, then
-            // re-key on the first edge at or after the wake time.
+            // re-key on the first edge at or after the wake time. The
+            // skip refuses to cross a pending period change's landing
+            // edge (jitter can deliver it below the wake bound); no
+            // progress means this very edge is the landing — fall
+            // through and deliver it with a real step, so the epoch
+            // bump broadcasts.
             advanceClockWhileBelow(d, fabric_.bound(d));
-            fabric_.setKey(d, clocks_[di].nextEdge());
-            continue;
+            Tick ne = clocks_[di].nextEdge();
+            if (ne != edge) {
+                fabric_.setKey(d, ne);
+                continue;
+            }
         }
         Tick raw = domains_[d]->step(edge);
         // The step's bound extrapolated the pre-advance grid; if this
@@ -257,8 +265,13 @@ DomainScheduler::stepGroupUntil(GroupRun &g, const CoreProgress *cores,
         Tick edge = clocks_[di].nextEdge();
         if (fabric_.bound(d) > edge) {
             advanceClockWhileBelow(d, fabric_.bound(d));
-            fabric_.setKey(d, clocks_[di].nextEdge());
-            continue;
+            Tick ne = clocks_[di].nextEdge();
+            if (ne != edge) {
+                fabric_.setKey(d, ne);
+                continue;
+            }
+            // No progress: a pending period change lands on this
+            // very edge — deliver it with a real step (see runEvent).
         }
         Tick raw = domains_[d]->step(edge);
         Tick w = advanceClock(d) ? 0 : domains_[d]->clampBound(raw);

@@ -50,18 +50,21 @@ struct CoreProgress
 };
 
 /**
- * One worker's share of a horizon-parallel chip run: the cores it
- * steps, which of them already finished their windows, and its
- * watchdog counters. Aligned so two workers' hot counters never
- * share a cache line.
+ * One worker's share of a horizon-parallel chip *round*: the cores it
+ * claimed through the round's atomic cursor, which of them finished
+ * their windows during the round, and its watchdog counters. The
+ * driver rebuilds members/done (and resets the watchdog — group
+ * membership changes between rounds, so a cross-round progress
+ * comparison would be meaningless) in every claim phase. Aligned so
+ * two workers' hot counters never share a cache line.
  */
 struct alignas(64) GroupRun
 {
-    std::array<int, kMaxCores> members{}; //!< core indices.
+    std::array<int, kMaxCores> members{}; //!< cores, ascending.
     int nmembers = 0;
     std::array<bool, kMaxCores> done{}; //!< by member slot.
     int active = 0;                     //!< members still running.
-    std::uint64_t steps = 0;            //!< watchdog (across rounds).
+    std::uint64_t steps = 0;            //!< watchdog (this round).
     std::uint64_t last_progress = 0;
 };
 

@@ -349,7 +349,7 @@ class ChipPool
  * chip.cc asserts the two stay in step). Anything larger is a
  * misconfiguration that would spawn useless co-resident threads.
  */
-constexpr unsigned kMaxChipWorkers = 4;
+constexpr unsigned kMaxChipWorkers = 16;
 
 /**
  * Strictly parse a thread-count environment variable. The entire

@@ -1,5 +1,6 @@
 #include "sim/result_store.hh"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -125,30 +126,53 @@ struct ByteReader
 // decimal, doubles in %a hexfloat, strings length-prefixed. The text
 // is stored verbatim in each record, so it doubles as the collision
 // check and as a human-readable record of what the row is.
+//
+// Rendered with snprintf into stack buffers appended in place: a key
+// is ~30 fields per machine plus ~30 per workload phase, and the
+// csprintf-temporary-per-field version dominated the warm-hit path
+// of cached sweeps (the key is rebuilt on every probe, hit or miss).
 // ----------------------------------------------------------------------
+void
+keyValue(std::string &out, const char *name, const char *fmt, ...)
+{
+    char buf[48];
+    va_list args;
+    va_start(args, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    GALS_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)),
+                "result-store key field overflow");
+    out += name;
+    out += '=';
+    out.append(buf, static_cast<std::size_t>(n));
+    out += ';';
+}
+
 void
 keyInt(std::string &out, const char *name, long long v)
 {
-    out += csprintf("%s=%lld;", name, v);
+    keyValue(out, name, "%lld", v);
 }
 
 void
 keyU64(std::string &out, const char *name, std::uint64_t v)
 {
-    out += csprintf("%s=%llu;", name,
-                    static_cast<unsigned long long>(v));
+    keyValue(out, name, "%llu", static_cast<unsigned long long>(v));
 }
 
 void
 keyDouble(std::string &out, const char *name, double v)
 {
-    out += csprintf("%s=%a;", name, v);
+    keyValue(out, name, "%a", v);
 }
 
 void
 keyString(std::string &out, const char *name, const std::string &v)
 {
-    out += csprintf("%s=%zu:", name, v.size());
+    char buf[24];
+    int n = std::snprintf(buf, sizeof(buf), "=%zu:", v.size());
+    out += name;
+    out.append(buf, static_cast<std::size_t>(n));
     out += v;
     out += ';';
 }
@@ -259,6 +283,7 @@ std::string
 resultKey(const MachineConfig &machine, const WorkloadParams &workload)
 {
     std::string key = "grs-key-v1:single;";
+    key.reserve(1536);
     appendMachineKey(key, machine);
     appendWorkloadKey(key, workload);
     return key;
@@ -269,6 +294,7 @@ resultKey(const ChipConfig &chip,
           const std::vector<WorkloadParams> &workloads)
 {
     std::string key = "grs-key-v1:chip;";
+    key.reserve(768 + 1024 * workloads.size());
     appendMachineKey(key, chip.machine);
     key += "chip{";
     keyInt(key, "cores", chip.cores);
@@ -483,16 +509,31 @@ ResultStore::lookup(const std::string &key, std::string &payload) const
     if (!enabled())
         return false;
 
+    // One sized read straight into the buffer: the stream-insertion
+    // idiom (rdbuf into an ostringstream, then str()) copied every
+    // record twice through chunked virtual calls, which dominated
+    // the warm-sweep hit path.
     std::string bytes;
     {
-        std::ifstream in(recordPath(key), std::ios::binary);
+        std::ifstream in(recordPath(key),
+                         std::ios::binary | std::ios::ate);
         if (!in) {
             misses_.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        bytes = ss.str();
+        std::streamoff size = in.tellg();
+        if (size < 0) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        bytes.resize(static_cast<std::size_t>(size));
+        in.seekg(0);
+        in.read(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        if (!in) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
     }
 
     // Validate everything; any failure is a reject (recompute, never

@@ -334,4 +334,17 @@ SyntheticWorkload::next()
     return op;
 }
 
+void
+SyntheticWorkload::nextBatch(MicroOp *out, int n)
+{
+    // A plain loop over next() is the whole point: the generator's
+    // state (RNG, chains, site tables) stays resident in L1 for the
+    // full batch, where the per-op interleave evicted it against the
+    // simulator's working set between every call. Bit-exactness is
+    // by construction — the op sequence is the same function of the
+    // same state either way.
+    for (int i = 0; i < n; ++i)
+        out[i] = next();
+}
+
 } // namespace gals

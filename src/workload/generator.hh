@@ -56,6 +56,19 @@ class SyntheticWorkload
     /** Generate the next micro-op in program order. */
     MicroOp next();
 
+    /**
+     * Generate the next `n` micro-ops in program order into `out` —
+     * bit-exact with `n` successive next() calls (the generator is
+     * open-loop: nothing it draws depends on simulation state, so
+     * batching moves no RNG draw and changes no stream; the pinned
+     * stream-hash goldens and the batch-equivalence test verify it).
+     * The batch form is what lets each chip worker pre-generate its
+     * own cores' ops inside its stepping rounds in one tight,
+     * cache-hot loop instead of one call per fetch slot interleaved
+     * with the whole simulator working set.
+     */
+    void nextBatch(MicroOp *out, int n);
+
     /** Number of ops generated so far. */
     std::uint64_t generated() const { return generated_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "workload/generator.hh"
 
 namespace gals
 {
@@ -624,11 +625,20 @@ sharingMix(const WorkloadParams &base, int cores,
     mix.reserve(static_cast<size_t>(cores));
     for (int c = 0; c < cores; ++c) {
         WorkloadParams wl = perCoreWorkload(base, c);
-        // Disjoint private footprints: 64MB apart, all far below
-        // kSharedBase, so only the shared window ever aliases across
-        // cores. Core 0 keeps offset 0 (its private stream matches
-        // the single-core layout).
-        wl.addr_offset = static_cast<Addr>(c) * 0x0400'0000;
+        // Disjoint private footprints, all below kSharedBase, so only
+        // the shared window ever aliases across cores. Core 0 keeps
+        // offset 0 (its private stream matches the single-core
+        // layout); chips up to 4 cores keep the historical 64MB
+        // spacing (their streams are pinned by existing goldens),
+        // wider chips tighten to 32MB — at 64MB, core 12's streamed
+        // region (kStreamBase + 12*64MB) would land exactly on
+        // kSharedBase.
+        const Addr spacing = cores <= 4 ? 0x0400'0000 : 0x0200'0000;
+        wl.addr_offset = static_cast<Addr>(c) * spacing;
+        GALS_ASSERT(kStreamBase + wl.addr_offset <
+                        kSharedBase - 0x0200'0000,
+                    "per-core private regions must stay below the "
+                    "coherent shared window");
         wl.name += "+" + kind;
         if (kind == "producer-consumer") {
             wl.shared_bytes = 16 * KB;

@@ -191,6 +191,32 @@ randomChipConfig(Pcg32 &rng, int cores)
 }
 
 /**
+ * Core-count draw over the full 2..kMaxCores range, weighted toward
+ * small chips: small-N runs are cheap enough to dominate the iteration
+ * budget (more machine/workload shapes per suite run) while the tail
+ * still lands on big chips — including kMaxCores itself — often
+ * enough to keep the wide-mask and many-worker paths exercised.
+ */
+inline int
+randomCoreCount(Pcg32 &rng)
+{
+    int roll = rng.nextRange(0, 9);
+    if (roll < 6)
+        return rng.nextRange(2, 4); // 60%: the pre-scale-up range.
+    if (roll < 8)
+        return rng.nextRange(5, 8);
+    return rng.nextRange(9, static_cast<int>(kMaxCores));
+}
+
+/** Random chip with the core count drawn too (weighted small-N). */
+inline ChipConfig
+randomChipConfig(Pcg32 &rng)
+{
+    int cores = randomCoreCount(rng);
+    return randomChipConfig(rng, cores);
+}
+
+/**
  * A multiprogrammed workload mix over short differential windows,
  * occasionally reshaped toward shared-L2 pressure (large random
  * pools and high random-access fractions drive cross-core misses

@@ -322,21 +322,29 @@ TEST(Clock, AdvanceWhileBelowMatchesSteppedAdvance)
     EXPECT_EQ(fast.nextEdge(), before);
 }
 
-TEST(Clock, AdvanceWhileBelowHonorsPendingPeriodChange)
+TEST(Clock, AdvanceWhileBelowStopsAtPendingPeriodChange)
 {
-    // The period change must land on the same edge as edge-by-edge
-    // execution, so skipped stretches spanning a re-lock stay exact.
+    // The landing edge of a period change is never skippable: jitter
+    // can deliver it below the skip target even though its nominal
+    // position is past the change-due time, and the scheduler must
+    // consume it with a real step anyway (the epoch bump broadcasts
+    // there). The skip stops just before the landing; delivering it
+    // and resuming matches edge-by-edge execution exactly.
     Clock fast(100, 100);
     Clock stepped(100, 100);
     fast.setPeriod(250, 550);
     stepped.setPeriod(250, 550);
     fast.advanceWhileBelow(3'000);
+    EXPECT_EQ(fast.nextEdge(), 600u);
+    EXPECT_TRUE(fast.changePending());
+    fast.advance(); // the scheduler's real step at the landing edge
+    EXPECT_EQ(fast.periodChanges(), 1u);
+    EXPECT_EQ(fast.period(), 250u);
+    fast.advanceWhileBelow(3'000);
     while (stepped.nextEdge() < 3'000)
         stepped.advance();
     EXPECT_EQ(fast.nextEdge(), stepped.nextEdge());
     EXPECT_EQ(fast.cycle(), stepped.cycle());
-    EXPECT_EQ(fast.period(), 250u);
-    EXPECT_EQ(fast.periodChanges(), 1u);
 }
 
 TEST(Clock, AdvanceWhileBelowPreservesJitterStream)

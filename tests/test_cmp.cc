@@ -287,7 +287,7 @@ TEST(CmpDifferential, EventKernelMatchesReferenceOnMultiCoreChips)
 {
     Pcg32 rng(0xD1FF2);
     for (int i = 0; i < 12; ++i) {
-        int cores = rng.nextRange(2, static_cast<int>(kMaxCores));
+        int cores = randomCoreCount(rng);
         ChipConfig cc = randomChipConfig(rng, cores);
         std::vector<WorkloadParams> mix =
             randomChipWorkloads(rng, cores);
@@ -450,7 +450,7 @@ TEST(CmpParallel, ParallelStepperMatchesSequentialAndReference)
 {
     Pcg32 rng(0x9A7A11E1);
     for (int i = 0; i < 20; ++i) {
-        int cores = rng.nextRange(2, static_cast<int>(kMaxCores));
+        int cores = randomCoreCount(rng);
         ChipConfig cc = randomChipConfig(rng, cores);
         std::vector<WorkloadParams> mix =
             randomChipWorkloads(rng, cores);
@@ -479,6 +479,88 @@ TEST(CmpParallel, ParallelStepperMatchesSequentialAndReference)
     }
 }
 
+TEST(CmpParallel, SixteenCoreThreeWayUnderForcedWorkerCounts)
+{
+    // A full-width coherent chip — 16 cores sharing one migratory
+    // window — stepped under forced worker counts spanning the
+    // interesting shapes: 2 (each round's claims span many cores),
+    // 5 (core count not divisible by workers), and 16 (one core per
+    // worker, maximal claim-race contention). All must be
+    // bit-identical to the sequential event kernel and the reference
+    // oracle.
+    ChipConfig cc;
+    cc.machine = MachineConfig::mcdPhaseAdaptive();
+    cc.cores = static_cast<int>(kMaxCores);
+    cc.l2_banks = 4;
+    cc.l2_bank_mshrs = 2;
+    std::vector<WorkloadParams> mix =
+        sharingMix(goldenWorkload("gzip"), cc.cores, "migratory");
+
+    ChipRunStats seq = runChipWithThreads(
+        cc, mix, Processor::Kernel::EventDriven, 1);
+    ChipRunStats ref = runChipWithThreads(
+        cc, mix, Processor::Kernel::Reference, 1);
+    expectSameChipStats(seq, ref);
+
+    for (int threads : {2, 5, 16}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ChipRunStats par = runChipWithThreads(
+            cc, mix, Processor::Kernel::EventDriven, threads);
+        expectSameChipStats(par, seq);
+        // Telemetry sanity: the run went through the work-stealing
+        // driver, every worker's claim counter exists, and each
+        // round handed out at least one live core.
+        EXPECT_GT(par.parallel_rounds, 0u);
+        ASSERT_EQ(par.worker_claims.size(),
+                  static_cast<size_t>(threads));
+        std::uint64_t claims = 0;
+        for (std::uint64_t c : par.worker_claims)
+            claims += c;
+        EXPECT_GE(claims, par.parallel_rounds);
+    }
+}
+
+TEST(CmpParallel, WorkStealingHandlesImbalance)
+{
+    // Pathological imbalance: core 0 runs a long window while the
+    // other 15 finish almost immediately. A static partition would
+    // strand every worker but core 0's at the barrier for the whole
+    // tail; the per-round claim cursor instead shrinks the worklist
+    // to the single live core. The test pins bit-identity through
+    // the membership collapse (finished cores must drop out of the
+    // claimable set in the same round order the sequential kernel
+    // halts them) plus the telemetry shape.
+    ChipConfig cc;
+    cc.machine = MachineConfig::mcdProgram({});
+    cc.cores = static_cast<int>(kMaxCores);
+    std::vector<WorkloadParams> mix;
+    for (int c = 0; c < cc.cores; ++c) {
+        WorkloadParams wl = perCoreWorkload(goldenWorkload("gzip"), c);
+        wl.sim_instrs = c == 0 ? 12'000 : 300;
+        wl.warmup_instrs = c == 0 ? 1'000 : 100;
+        mix.push_back(wl);
+    }
+
+    ChipRunStats seq = runChipWithThreads(
+        cc, mix, Processor::Kernel::EventDriven, 1);
+    for (int threads : {4, 16}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ChipRunStats par = runChipWithThreads(
+            cc, mix, Processor::Kernel::EventDriven, threads);
+        expectSameChipStats(par, seq);
+        EXPECT_GT(par.parallel_rounds, 0u);
+        std::uint64_t claims = 0;
+        for (std::uint64_t c : par.worker_claims)
+            claims += c;
+        // Early rounds hand out all 16 cores, the long tail exactly
+        // one: total claims sit strictly between one-per-round and
+        // sixteen-per-round.
+        EXPECT_GE(claims, par.parallel_rounds);
+        EXPECT_LT(claims, par.parallel_rounds *
+                              static_cast<std::uint64_t>(cc.cores));
+    }
+}
+
 TEST(CmpParallel, ThreadCountEnvParsingFallsBackAndClamps)
 {
     // Strict full-string parsing: garbage falls back (with a logged
@@ -498,7 +580,7 @@ TEST(CmpParallel, ThreadCountEnvParsingFallsBackAndClamps)
     EXPECT_EQ(chipThreads(), 1u);
     // Oversized requests clamp to the chip-worker ceiling, NOT to the
     // host's thread count: the chip pool co-schedules spinning slots,
-    // so small hosts must still be able to drive a 4-worker chip (the
+    // so small hosts must still be able to drive a 16-worker chip (the
     // parallel differential gates depend on it).
     setenv("GALS_CHIP_THREADS", "64", 1);
     EXPECT_EQ(chipThreads(), kMaxChipWorkers);
@@ -757,7 +839,7 @@ TEST(CmpCoherence, SharingMixesAgreeAcrossKernelsAndCarryRealWakes)
     std::uint64_t total_invalidations = 0;
     std::uint64_t total_deferred = 0;
     for (int i = 0; i < 20; ++i) {
-        int cores = rng.nextRange(2, static_cast<int>(kMaxCores));
+        int cores = randomCoreCount(rng);
         ChipConfig cc = randomChipConfig(rng, cores);
         std::vector<WorkloadParams> mix =
             sharingMix(randomWorkload(rng), cores, kKinds[i % 3]);

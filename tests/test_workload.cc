@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <set>
 
@@ -289,4 +290,63 @@ TEST(Generator, StreamHashesArePinned)
     for (const auto &g : kGolden)
         EXPECT_EQ(streamHash(findBenchmark(g.name), 50'000), g.hash)
             << g.name;
+}
+
+TEST(Generator, NextBatchMatchesPerOpGeneration)
+{
+    // nextBatch is the in-worker refill path of the chip's front
+    // ends; it must be bit-exact with n successive next() calls for
+    // any batch-boundary placement, including batches spanning a
+    // phase switch.
+    WorkloadParams wl = findBenchmark("gzip");
+    SyntheticWorkload per_op(wl);
+    SyntheticWorkload batched(wl);
+    std::array<MicroOp, 37> buf{};
+    std::uint64_t checked = 0;
+    while (checked < 60'000) {
+        int n = static_cast<int>(buf.size());
+        batched.nextBatch(buf.data(), n);
+        for (int i = 0; i < n; ++i) {
+            MicroOp a = per_op.next();
+            const MicroOp &b = buf[static_cast<size_t>(i)];
+            ASSERT_EQ(static_cast<int>(a.cls),
+                      static_cast<int>(b.cls));
+            ASSERT_EQ(a.pc, b.pc);
+            ASSERT_EQ(a.mem_addr, b.mem_addr);
+            ASSERT_EQ(a.src1, b.src1);
+            ASSERT_EQ(a.src2, b.src2);
+            ASSERT_EQ(a.dst, b.dst);
+            ASSERT_EQ(a.taken, b.taken);
+        }
+        checked += static_cast<std::uint64_t>(n);
+    }
+}
+
+/**
+ * Per-core streams on the scaled-up chip: a 16-core sharing mix puts
+ * cores >= 4 in the tightened 32MB-spaced private regions (chips of
+ * <= 4 cores keep the legacy 64MB spacing, whose streams the
+ * single-core goldens above pin via core 0), and the golden-ratio
+ * reseed must keep every core's stream stable. Captured when
+ * kMaxCores grew to 16.
+ */
+TEST(Generator, PerCoreStreamHashesArePinnedOnWideChips)
+{
+    std::vector<WorkloadParams> mix =
+        sharingMix(findBenchmark("gzip"), 16, "migratory");
+    const struct
+    {
+        int core;
+        std::uint64_t hash;
+    } kGolden[] = {
+        {4, 0x8c2fd26aa82768c5ULL},
+        {9, 0x97524ea04f52e09dULL},
+        {15, 0x406a49e7f5905771ULL},
+    };
+    for (const auto &g : kGolden) {
+        EXPECT_EQ(streamHash(mix[static_cast<size_t>(g.core)],
+                             50'000),
+                  g.hash)
+            << "core " << g.core;
+    }
 }
