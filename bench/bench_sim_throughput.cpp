@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cmp/chip.hh"
+#include "obs/trace.hh"
 #include "sim/result_store.hh"
 #include "sim/shard.hh"
 #include "sim/simulation.hh"
@@ -272,6 +273,46 @@ measureWarmSweepItemsPerSec()
     return static_cast<double>(instrs) / elapsed;
 }
 
+/**
+ * Informational (NOT gated by perf_smoke, which only iterates the
+ * "configs" map): single-core gzip throughput with the event tracer
+ * armed, per-run buffers dropped between iterations so every run
+ * records a full trace instead of saturating the run cap. The
+ * tracing_off/tracing_on ratio documents the opt-in cost of
+ * GALS_TRACE; the untraced columns above are measured with the
+ * tracer disarmed, exactly like production runs.
+ */
+double
+measureTracedItemsPerSec(const MachineConfig &config)
+{
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::temp_directory_path() /
+        ("gals_bench_trace_" + std::to_string(::getpid()) + ".json");
+    obs::Tracer &tr = obs::Tracer::instance();
+    if (!tr.configure(path.string()))
+        return 0.0;
+
+    WorkloadParams wl = benchWorkload();
+    simulate(config, wl); // warm caches and the thread arena.
+    tr.reset();
+
+    std::uint64_t instrs = 0;
+    double elapsed = 0.0;
+    double t0 = cpuSeconds();
+    do {
+        RunStats s = simulate(config, wl);
+        benchmark::DoNotOptimize(s.time_ps);
+        tr.reset();
+        instrs += 55'000;
+        elapsed = cpuSeconds() - t0;
+    } while (elapsed < 1.2);
+
+    tr.disable();
+    fs::remove(path);
+    return static_cast<double>(instrs) / elapsed;
+}
+
 void
 writeJson()
 {
@@ -314,7 +355,22 @@ writeJson()
                     kConfigNames[i], now, kSeedBaseline[i],
                     now / kSeedBaseline[i]);
     }
-    std::fprintf(f, "  }\n}\n");
+    std::fprintf(f, "  },\n");
+    // Tracing-on overhead, informational only (untracked in the
+    // committed reference: perf_smoke gates the "configs" map alone,
+    // and the ratio moves with trace volume, not simulator speed).
+    double off = measureItemsPerSec(configFor(1));
+    double on = measureTracedItemsPerSec(configFor(1));
+    std::fprintf(f,
+                 "  \"informational\": {\n"
+                 "    \"tracing_overhead\": {\"config\": "
+                 "\"mcdProgram\", \"tracing_off\": %.0f, "
+                 "\"tracing_on\": %.0f, \"on_off_ratio\": %.3f}\n"
+                 "  }\n}\n",
+                 off, on, on > 0.0 ? on / off : 0.0);
+    std::printf("JSON tracing overhead (mcdProgram): off %.0f, "
+                "on %.0f items/s (%.1f%% of untraced)\n",
+                off, on, off > 0.0 ? 100.0 * on / off : 0.0);
     std::fclose(f);
 }
 

@@ -6,11 +6,19 @@
  * the CMP subsystem (a single-core chip reproduces the Processor
  * bit-exactly).
  *
- *   cmp_quickstart [cores] [banks]
+ *   cmp_quickstart [cores] [banks] [mix]
+ *
+ * `mix` is "multi" (default: the multiprogrammed suite rotation) or
+ * "sharing" (a producer/consumer sharing mix over the coherent
+ * window on a phase-adaptive machine — the configuration the traced
+ * observability quickstart exercises: it produces coherence
+ * invalidations AND reconfiguration decisions, so a GALS_TRACE run
+ * carries every event family for scripts/check_trace.py).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "cmp/chip.hh"
 #include "sim/simulation.hh"
@@ -23,14 +31,19 @@ main(int argc, char **argv)
 {
     int cores = argc > 1 ? std::atoi(argv[1]) : 2;
     int banks = argc > 2 ? std::atoi(argv[2]) : 4;
+    const bool sharing =
+        argc > 3 && std::strcmp(argv[3], "sharing") == 0;
 
     ChipConfig cc;
-    cc.machine = MachineConfig::mcdProgram({});
+    cc.machine = sharing ? MachineConfig::mcdPhaseAdaptive()
+                         : MachineConfig::mcdProgram({});
     cc.cores = cores;
     cc.l2_banks = banks;
 
     std::vector<WorkloadParams> mix =
-        multiprogrammedMix(benchmarkSuite(), cores, 0);
+        sharing ? sharingMix(benchmarkSuite().front(), cores,
+                             "producer-consumer")
+                : multiprogrammedMix(benchmarkSuite(), cores, 0);
     for (WorkloadParams &wl : mix) {
         wl.sim_instrs = 30'000;
         wl.warmup_instrs = 3'000;

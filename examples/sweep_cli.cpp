@@ -51,6 +51,8 @@
 
 #include "common/logging.hh"
 #include "core/ports.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/report.hh"
 #include "sim/result_store.hh"
 #include "sim/shard.hh"
@@ -73,6 +75,7 @@ usage()
         "                 [--benchmarks N] [--bench NAME]\n"
         "                 [--cores LIST] [--sim INSTRS]\n"
         "                 [--warmup INSTRS] [--cache-dir DIR]\n"
+        "                 [--trace-out FILE] [--metrics-out FILE]\n"
         "                 [--resume] [--full] [--verbose]\n"
         "       sweep_cli --merge OUT IN1 IN2 ...\n");
     return 2;
@@ -128,6 +131,8 @@ main(int argc, char **argv)
     std::string cores = "1,2,4,8,16";
     std::string out_path;
     std::string cache_dir;
+    std::string trace_out;
+    std::string metrics_out;
     ShardSpec shard = shardFromEnv();
     size_t benchmarks = 0; // 0 = whole suite.
     std::uint64_t sim_instrs = 0;
@@ -181,6 +186,10 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--cache-dir") {
             cache_dir = value();
+        } else if (arg == "--trace-out") {
+            trace_out = value();
+        } else if (arg == "--metrics-out") {
+            metrics_out = value();
         } else if (arg == "--resume") {
             resume = true;
         } else if (arg == "--full") {
@@ -196,6 +205,11 @@ main(int argc, char **argv)
     // content-addressed result store for every leaf simulation below.
     if (!cache_dir.empty())
         configureResultStore(cache_dir);
+    // --trace-out overrides GALS_TRACE (same logged-fallback
+    // contract: a bad path warns once and tracing stays off). The
+    // trace itself is written by the tracer's at-exit exporter.
+    if (!trace_out.empty())
+        obs::Tracer::instance().configure(trace_out);
     if (resume && !resultStore().enabled()) {
         fatal("--resume needs a usable result cache (give --cache-dir "
               "or set GALS_RESULT_CACHE)");
@@ -260,6 +274,14 @@ main(int argc, char **argv)
     if (resultStore().enabled()) {
         std::fprintf(stderr, "%s\n",
                      resultStore().statsLine().c_str());
+    }
+
+    // --metrics-out: the machine-readable telemetry surface — chip
+    // and sweep counters accumulated above plus the result store's
+    // folded stats (obs/metrics.hh).
+    if (!metrics_out.empty()) {
+        resultStore().publishMetrics();
+        obs::MetricsRegistry::instance().writeTo(metrics_out);
     }
     return 0;
 }

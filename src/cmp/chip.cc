@@ -5,6 +5,8 @@
 #include <barrier>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/parallel.hh"
 #include "timing/frequency_model.hh"
 #include "workload/generator.hh"
@@ -167,6 +169,10 @@ Chip::run()
     worker_claims_.clear();
     parallel_rounds_ = 0;
 
+    obs::ensureInitFromEnv();
+    const bool traced =
+        obs::Tracer::instance().beginRun("chip", cfg_.cores);
+
     if (kernel_ == Processor::Kernel::Reference) {
         // The oracle stays sequential: it defines the order the
         // parallel kernel must reproduce.
@@ -180,6 +186,9 @@ Chip::run()
             runEventParallel(progress.data(),
                              static_cast<int>(threads));
     }
+
+    if (traced)
+        obs::Tracer::instance().endRun();
 
     ChipRunStats out;
     out.cores.reserve(cores_.size());
@@ -198,6 +207,26 @@ Chip::run()
     out.ownership_transfers = l2_.ownershipTransfers();
     out.worker_claims = worker_claims_;
     out.parallel_rounds = parallel_rounds_;
+
+    // Chip telemetry folds into the metrics registry (the
+    // machine-readable mirror of the ChipRunStats telemetry fields;
+    // counters accumulate across the process's chip runs). Purely
+    // observational — nothing here feeds back into a simulation.
+    obs::MetricsRegistry &m = obs::MetricsRegistry::instance();
+    m.add("chip.runs", 1);
+    m.add("chip.parallel_rounds", parallel_rounds_);
+    m.add("chip.total_committed", out.total_committed);
+    m.add("chip.l2.accesses", out.l2_accesses);
+    m.add("chip.l2.misses", out.l2_misses);
+    m.add("chip.l2.bank_conflicts", out.bank_conflicts);
+    m.add("chip.l2.bank_mshr_waits", out.bank_mshr_waits);
+    m.add("chip.l2.fill_merges", out.fill_merges);
+    m.add("chip.coh.invalidations", out.invalidations);
+    m.add("chip.coh.ownership_transfers", out.ownership_transfers);
+    for (size_t w = 0; w < worker_claims_.size(); ++w) {
+        m.add(csprintf("chip.worker_claims.w%zu", w),
+              worker_claims_[w]);
+    }
     return out;
 }
 
@@ -296,6 +325,13 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
                 0, std::memory_order_release);
         }
         ++parallel_rounds_;
+        // Round boundary on the chip-level trace track: recorded
+        // single-threaded (init / barrier completion step), with the
+        // nondecreasing window starts as timestamps.
+        if (obs::tracing()) {
+            obs::Tracer::instance().chip(obs::Ev::Round, window_start,
+                                         horizon);
+        }
     };
     settleRound();
     if (stop)
@@ -303,9 +339,23 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
 
     icp_.beginParallel(&sync);
     std::barrier bar(nworkers, settleRound);
+    // The caller is the thread that claimed the tracer (if any);
+    // workers join the traced run for the duration of the stepping.
+    const bool traced = obs::tracing();
+    if (traced)
+        obs::Tracer::instance().setRunWorkers(nworkers);
     chipParallelRun(static_cast<size_t>(nworkers), [&](size_t w) {
+        if (traced)
+            obs::Tracer::adoptThread(true);
+        obs::Tracer &tr = obs::Tracer::instance();
         GroupRun &g = groups[w];
         for (;;) {
+            std::uint64_t t_start = 0;
+            std::uint64_t cpu_start = 0;
+            if (traced) {
+                t_start = tr.hostNow();
+                cpu_start = obs::Tracer::hostThreadCpuNs();
+            }
             // Claim phase: race the cursor over this round's live
             // cores. worker_of_core is written by the claiming
             // worker and read only by that worker's own gates this
@@ -331,6 +381,11 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
                 ++g.nmembers;
                 ++g.active;
                 g.last_progress += *progress[c].progress;
+                if (traced) {
+                    tr.hostWait(static_cast<int>(w),
+                                obs::Ev::StealClaim, tr.hostNow(),
+                                static_cast<std::uint64_t>(c));
+                }
             }
             worker_claims_[w] +=
                 static_cast<std::uint64_t>(g.nmembers);
@@ -344,10 +399,24 @@ Chip::runEventParallel(const CoreProgress *progress, int nworkers)
                         g.members[static_cast<size_t>(mi)])] = true;
                 }
             }
-            bar.arrive_and_wait();
+            if (traced) {
+                const std::uint64_t t_arrive = tr.hostNow();
+                tr.hostSpan(
+                    static_cast<int>(w), obs::Ev::WorkerRound,
+                    t_start, t_arrive,
+                    static_cast<std::uint64_t>(g.nmembers),
+                    obs::Tracer::hostThreadCpuNs() - cpu_start);
+                bar.arrive_and_wait();
+                tr.hostSpan(static_cast<int>(w), obs::Ev::BarrierWait,
+                            t_arrive, tr.hostNow());
+            } else {
+                bar.arrive_and_wait();
+            }
             if (stop)
                 break;
         }
+        if (traced)
+            obs::Tracer::adoptThread(false);
     });
     icp_.endParallel();
 }

@@ -58,6 +58,7 @@ Core::Core(const MachineConfig &config, const WorkloadParams &wl,
     fp_cluster_.wire(ports_, reconfig_);
     lsu_.wire(ports_, reconfig_);
     reconfig_.attachDomains(fe_, int_cluster_, fp_cluster_, lsu_);
+    reconfig_.setTraceBase(core_index_ * kNumDomains);
     for (Domain *d : domain_table_)
         d->attachPending(&reconfig_.pending(d->id()));
     fe_.onMeasureStart([this](Tick now) { snapshotBaselines(now); });

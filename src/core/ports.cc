@@ -5,6 +5,7 @@
 
 #include "cache/shared_l2.hh"
 #include "core/machine_config.hh"
+#include "obs/trace.hh"
 #include "timing/frequency_model.hh"
 
 namespace gals
@@ -64,6 +65,9 @@ InterconnectPort::gate(int core, int consumer, Tick now) const
         return;
     const std::uint64_t point = ChipSyncState::pack(now, consumer);
     const int self = s->worker_of_core[static_cast<size_t>(core)];
+    const bool rec = obs::tracing();
+    std::uint64_t spun = 0;
+    std::uint64_t spin_begin = 0;
     for (int w = 0; w < s->nworkers; ++w) {
         if (w == self)
             continue;
@@ -77,6 +81,10 @@ InterconnectPort::gate(int core, int consumer, Tick now) const
         std::uint64_t spins = 0;
         while (s->fronts[static_cast<size_t>(w)].v.load(
                    std::memory_order_acquire) <= point) {
+            if (rec && spun == 0) {
+                spin_begin = obs::Tracer::instance().hostNow();
+            }
+            ++spun;
             if ((++spins & 0x3ff) == 0)
                 std::this_thread::yield();
             GALS_ASSERT(spins < 20'000'000'000ull,
@@ -85,6 +93,11 @@ InterconnectPort::gate(int core, int consumer, Tick now) const
                         w, static_cast<unsigned long long>(now),
                         consumer);
         }
+    }
+    if (rec && spun > 0) {
+        obs::Tracer &tr = obs::Tracer::instance();
+        tr.hostWaitSpan(self, obs::Ev::GateSpin, spin_begin,
+                        tr.hostNow(), spun);
     }
 }
 
@@ -199,6 +212,11 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
     if (b.owner != core && b.owner != -1 && b.busy_until > start) {
         start = b.busy_until;
         ++l2_.bank_conflicts_;
+        if (obs::tracing()) {
+            obs::Tracer::instance().sim(
+                consumer, obs::Ev::BankConflict, now,
+                static_cast<std::uint64_t>(bank));
+        }
     }
     b.busy_until = start + l2_.p_.bank_occupancy_ps;
     b.owner = core;
@@ -236,6 +254,11 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
         if (fill_done > r.done) {
             r.done = fill_done;
             ++l2_.fill_merges_;
+            if (obs::tracing()) {
+                obs::Tracer::instance().sim(
+                    consumer, obs::Ev::FillMerge, now,
+                    static_cast<std::uint64_t>(bank));
+            }
         }
     } else {
         // Miss: probe both live partitions, then fill from memory
@@ -269,11 +292,21 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
                 std::sort(other_done, other_done + k);
                 issue_at = other_done[k - l2_.p_.bank_mshrs];
                 ++l2_.bank_mshr_waits_;
+                if (obs::tracing()) {
+                    obs::Tracer::instance().sim(
+                        consumer, obs::Ev::MshrWait, now,
+                        static_cast<std::uint64_t>(bank));
+                }
             }
         }
         r.done = l2_.memory_.issueFill(issue_at);
         r.hit = false;
         b.fills.push_back(SharedL2::Fill{line, r.done, core});
+        if (obs::tracing()) {
+            obs::Tracer::instance().sim(
+                consumer, obs::Ev::L2Fill, now,
+                static_cast<std::uint64_t>(bank), r.done);
+        }
     }
 
     // Coherence tail: a D-side request for a shared-region line
@@ -290,6 +323,10 @@ InterconnectPort::request(int core, DomainId consumer_local, Addr addr,
             e.settle > r.done) {
             r.done = e.settle;
             ++l2_.ownership_transfers_;
+            if (obs::tracing()) {
+                obs::Tracer::instance().sim(
+                    consumer, obs::Ev::OwnershipWait, now, e.settle);
+            }
         }
     }
     return r;
@@ -351,6 +388,11 @@ InterconnectPort::publishStore(int core, Addr addr, Tick now)
         const int consumer =
             c * kNumDomains + static_cast<int>(DomainId::LoadStore);
         ++l2_.invalidations_sent_;
+        if (obs::tracing()) {
+            obs::Tracer::instance().sim(
+                publisher, obs::Ev::CohInvalidate, now,
+                static_cast<std::uint64_t>(c), line_base);
+        }
         if (sync_ != nullptr) {
             deferWake(now, publisher, consumer, when, c, line_base);
         } else {
@@ -379,6 +421,14 @@ InterconnectPort::consumeInvalidations(int core, Tick now,
     if (in.head == in.msgs.size() && in.head != 0) {
         in.msgs.clear();
         in.head = 0;
+    }
+    if (n > 0 && obs::tracing()) {
+        // Delivery lands inside the consumer core's load/store step
+        // at `now`, so its own track's publication order holds.
+        obs::Tracer::instance().sim(
+            core * kNumDomains +
+                static_cast<int>(DomainId::LoadStore),
+            obs::Ev::CohDeliver, now, static_cast<std::uint64_t>(n));
     }
     return n;
 }

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.hh"
+
 namespace gals
 {
 
@@ -33,6 +35,8 @@ Processor::Processor(const MachineConfig &config,
 RunStats
 Processor::run()
 {
+    obs::ensureInitFromEnv();
+    const bool traced = obs::Tracer::instance().beginRun("processor", 1);
     if (kernel_ == Kernel::Reference) {
         scheduler_.runReference(core_.committedRef(),
                                 core_.targetInstrs());
@@ -40,6 +44,8 @@ Processor::run()
         scheduler_.runEvent(core_.committedRef(),
                             core_.targetInstrs());
     }
+    if (traced)
+        obs::Tracer::instance().endRun();
     return core_.collectStats();
 }
 

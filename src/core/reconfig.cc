@@ -4,6 +4,7 @@
 #include "core/front_end.hh"
 #include "core/issue_cluster.hh"
 #include "core/lsu.hh"
+#include "obs/trace.hh"
 
 namespace gals
 {
@@ -102,6 +103,20 @@ ReconfigUnit::request(Structure s, int target, Tick now,
     Tick lock_done = pll.startRelock(now);
     timing_.clock(d).setPeriod(periodPsFromGHz(f_new), lock_done);
     trace_.record(committed, s, cur, target);
+    if (obs::tracing()) {
+        // Both land on the front end's track: every controller is
+        // sampled inside the front end's step at `now`, so the
+        // track's publication order is the decision order.
+        obs::Tracer &tr = obs::Tracer::instance();
+        const int gd =
+            trace_base_ + static_cast<int>(DomainId::FrontEnd);
+        tr.sim(gd, obs::Ev::Reconfig, now,
+               static_cast<std::uint64_t>(s),
+               (static_cast<std::uint64_t>(cur) << 8) |
+                   static_cast<std::uint64_t>(target));
+        tr.sim(gd, obs::Ev::PllRelock, now, lock_done - now,
+               static_cast<std::uint64_t>(d));
+    }
     // The re-clocked domain must consume the edge where the period
     // change lands even if it is otherwise idle: other domains read
     // its grid (nextEdgeAfter/period) for synchronizer timing, so a

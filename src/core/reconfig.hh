@@ -42,6 +42,11 @@ class ReconfigUnit
     void attachDomains(FrontEnd &fe, IssueCluster &int_cluster,
                        IssueCluster &fp_cluster, LoadStoreUnit &lsu);
 
+    /** The owning core's global domain-index base (core * 4): where
+     * this unit's decisions land in the event trace (obs/trace.hh).
+     * Purely observational; defaults to core 0's base. */
+    void setTraceBase(int gd_base) { trace_base_ = gd_base; }
+
     /**
      * A controller asks for `s` to become configuration `target`.
      * Ignored while the owning domain's PLL is busy or a change is
@@ -78,6 +83,7 @@ class ReconfigUnit
     std::array<Pll, 4> plls_;
     std::array<PendingApply, 4> pending_;
     ReconfigTrace trace_;
+    int trace_base_ = 0;
 
     FrontEnd *fe_ = nullptr;
     IssueCluster *int_cluster_ = nullptr;

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace gals
 {
@@ -49,6 +50,10 @@ DomainScheduler::advanceClock(int d)
     // Grid epochs are per core: broadcast through the landing core's
     // port, with the core-local changed-domain index.
     epochs_[d]->broadcast(d % kNumDomains, landing);
+    if (obs::tracing()) {
+        obs::Tracer::instance().sim(d, obs::Ev::EpochBump, landing,
+                                    c.period());
+    }
     return true;
 }
 
@@ -94,6 +99,10 @@ DomainScheduler::runReference(const CoreProgress *cores, int ncores)
                 best = e;
                 d = i;
             }
+        }
+        if (obs::tracing()) {
+            obs::Tracer::instance().domainStep(
+                d, best, clocks_[static_cast<size_t>(d)].period());
         }
         domains_[d]->step(best);
         advanceClock(d);
@@ -175,6 +184,9 @@ DomainScheduler::runEvent(const CoreProgress *cores, int ncores)
                 continue;
             }
         }
+        if (obs::tracing())
+            obs::Tracer::instance().domainStep(d, edge,
+                                               clocks_[di].period());
         Tick raw = domains_[d]->step(edge);
         // The step's bound extrapolated the pre-advance grid; if this
         // domain's own period change lands on the consumed edge, every
@@ -273,6 +285,9 @@ DomainScheduler::stepGroupUntil(GroupRun &g, const CoreProgress *cores,
             // No progress: a pending period change lands on this
             // very edge — deliver it with a real step (see runEvent).
         }
+        if (obs::tracing())
+            obs::Tracer::instance().domainStep(d, edge,
+                                               clocks_[di].period());
         Tick raw = domains_[d]->step(edge);
         Tick w = advanceClock(d) ? 0 : domains_[d]->clampBound(raw);
         fabric_.setBound(d, w);

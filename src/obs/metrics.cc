@@ -1,0 +1,155 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace gals
+{
+
+namespace obs
+{
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Intentionally immortal (never destroyed): the tracer's at-exit
+    // exporter publishes obs.trace.* counters here, and atexit/static
+    // destructor interleaving would otherwise let that write land in
+    // a destroyed registry.
+    static MetricsRegistry *registry = new MetricsRegistry;
+    return *registry;
+}
+
+void
+MetricsRegistry::add(std::string_view name, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        it = metrics_.emplace(std::string(name), Entry{}).first;
+    it->second.is_double = false;
+    it->second.u += delta;
+}
+
+void
+MetricsRegistry::set(std::string_view name, std::uint64_t value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        it = metrics_.emplace(std::string(name), Entry{}).first;
+    it->second.is_double = false;
+    it->second.u = value;
+}
+
+void
+MetricsRegistry::setDouble(std::string_view name, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        it = metrics_.emplace(std::string(name), Entry{}).first;
+    it->second.is_double = true;
+    it->second.d = value;
+}
+
+std::uint64_t
+MetricsRegistry::value(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        return 0;
+    return it->second.is_double
+               ? static_cast<std::uint64_t>(it->second.d)
+               : it->second.u;
+}
+
+bool
+MetricsRegistry::has(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_.find(name) != metrics_.end();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.clear();
+}
+
+std::string
+MetricsRegistry::json() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\n  \"schema\": \"gals-metrics-v1\",\n"
+                      "  \"metrics\": {\n";
+    bool first = true;
+    for (const auto &[name, e] : metrics_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        if (e.is_double) {
+            out += csprintf("    \"%s\": %.6g", name.c_str(), e.d);
+        } else {
+            out += csprintf("    \"%s\": %llu", name.c_str(),
+                            static_cast<unsigned long long>(e.u));
+        }
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+bool
+MetricsRegistry::writeTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write metrics '%s'", path.c_str());
+        return false;
+    }
+    const std::string doc = json();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    if (std::fclose(f) != 0 || !ok) {
+        warn("cannot write metrics '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+MetricsRegistry::configureFromEnv()
+{
+    const char *env = std::getenv("GALS_METRICS");
+    if (env == nullptr || *env == '\0') {
+        exit_path_.clear();
+        return;
+    }
+    // Probe now so a mistyped path warns at startup, not silently at
+    // exit (the threadCountFromEnv logged-fallback contract).
+    std::FILE *f = std::fopen(env, "w");
+    if (f == nullptr) {
+        warn("GALS_METRICS path '%s' is not writable; metrics "
+             "output disabled",
+             env);
+        return;
+    }
+    std::fclose(f);
+    exit_path_ = env;
+    if (!exit_hook_registered_) {
+        exit_hook_registered_ = true;
+        std::atexit([]() {
+            MetricsRegistry &m = MetricsRegistry::instance();
+            if (!m.exitPath().empty())
+                m.writeTo(m.exitPath());
+        });
+    }
+}
+
+} // namespace obs
+
+} // namespace gals

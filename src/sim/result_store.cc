@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "sim/simulation.hh"
 
 namespace fs = std::filesystem;
@@ -628,9 +629,25 @@ ResultStore::counters() const
     return c;
 }
 
+void
+ResultStore::publishMetrics() const
+{
+    Counters c = counters();
+    obs::MetricsRegistry &m = obs::MetricsRegistry::instance();
+    m.set("result_store.enabled", enabled() ? 1 : 0);
+    m.set("result_store.hits", c.hits);
+    m.set("result_store.misses", c.misses);
+    m.set("result_store.stores", c.stores);
+    m.set("result_store.rejects", c.rejects);
+}
+
 std::string
 ResultStore::statsLine() const
 {
+    // The human-facing stderr line doubles as the fold point into
+    // the machine-readable registry: every caller that reports the
+    // store's telemetry keeps --metrics-out/GALS_METRICS current.
+    publishMetrics();
     Counters c = counters();
     return csprintf("result-store: %llu hits, %llu misses "
                     "(%llu rejected records), %llu stored, dir %s",

@@ -114,7 +114,13 @@ class ResultStore
     };
     Counters counters() const;
 
-    /** e.g. "result-store: 256 hits, 0 misses, 0 stored ...". */
+    /** Mirror counters() into the obs metrics registry under
+     * "result_store.*" (the --metrics-out telemetry surface). */
+    void publishMetrics() const;
+
+    /** e.g. "result-store: 256 hits, 0 misses, 0 stored ...". Also
+     * calls publishMetrics(), so the stderr line and the registry
+     * can never drift apart. */
     std::string statsLine() const;
 
   private:

@@ -1,5 +1,7 @@
 #include "sim/simulation.hh"
 
+#include "obs/metrics.hh"
+
 namespace gals
 {
 
@@ -7,7 +9,11 @@ RunStats
 simulate(const MachineConfig &machine, const WorkloadParams &workload)
 {
     Processor cpu(machine, workload);
-    return cpu.run();
+    RunStats stats = cpu.run();
+    // Process-lifetime run telemetry (obs/metrics.hh): one counter
+    // bump per completed run, far off the simulated hot path.
+    obs::MetricsRegistry::instance().add("sim.runs", 1);
+    return stats;
 }
 
 RunStats

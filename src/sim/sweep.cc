@@ -8,6 +8,7 @@
 
 #include "cmp/chip.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "sim/parallel.hh"
 #include "sim/result_store.hh"
 #include "sim/simulation.hh"
@@ -96,6 +97,8 @@ sweepAdaptiveRaw(const WorkloadParams &wl, ShardSpec shard)
         out[i].runtime_ns =
             runtimeNs(runAdaptive(wl, out[i].cfg));
     });
+    obs::MetricsRegistry::instance().add("sweep.adaptive_points",
+                                         out.size());
     return out;
 }
 
